@@ -1,0 +1,76 @@
+"""E9 — the Chapter 2 comparison, measured.
+
+The paper surveys seven prior algorithms and a centralized scheme and compares
+them analytically.  This bench replays an identical Poisson workload against
+every implementation (including the DAG algorithm) at several system sizes and
+prints the measured messages-per-entry and synchronization delays — the
+measured counterpart of the Chapter 2/6 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.summary import summarize_results
+from repro.baselines import registry
+from repro.topology import star
+from repro.workload import WorkloadGenerator
+from repro.workload.scenarios import compare_algorithms
+
+
+def run_comparison(sizes, requests_per_node=4):
+    tables = {}
+    for n in sizes:
+        topology = star(n, token_holder=2)
+        generator = WorkloadGenerator(topology.nodes, seed=100 + n)
+        workload = generator.poisson(
+            total_requests=requests_per_node * n,
+            mean_interarrival=3.0,
+        )
+        results = compare_algorithms(topology, workload)
+        tables[n] = [result.summary_row() for result in results]
+    return tables
+
+
+def test_algorithm_comparison(benchmark, experiment_sizes):
+    sizes = experiment_sizes[:3]
+    tables = benchmark.pedantic(run_comparison, args=(sizes,), rounds=1, iterations=1)
+
+    for n, rows in tables.items():
+        by_algorithm = {row["algorithm"]: row for row in rows}
+        benchmark.extra_info[f"dag_N{n}_msgs_per_entry"] = by_algorithm["dag"][
+            "messages_per_entry"
+        ]
+        # The qualitative shape of the paper's comparison: the DAG algorithm
+        # sends fewer messages per entry than every broadcast-based algorithm,
+        # and no more than Raymond's tree algorithm on the star topology.
+        dag_cost = by_algorithm["dag"]["messages_per_entry"]
+        assert dag_cost <= by_algorithm["lamport"]["messages_per_entry"]
+        assert dag_cost <= by_algorithm["ricart-agrawala"]["messages_per_entry"]
+        assert dag_cost <= by_algorithm["suzuki-kasami"]["messages_per_entry"]
+        assert dag_cost <= by_algorithm["maekawa"]["messages_per_entry"]
+        assert dag_cost <= by_algorithm["raymond"]["messages_per_entry"] + 1e-9
+        assert dag_cost <= 3.5  # near the centralized figure on the star
+
+    print()
+    for n, rows in tables.items():
+        print(f"E9 — identical Poisson workload, star topology, N={n}")
+        print(format_table(rows))
+        print()
+    print("  who wins and by roughly what factor matches the paper's comparison:")
+    print("  broadcast algorithms cost Θ(N) per entry, Maekawa Θ(sqrt(N)),")
+    print("  Raymond about 4 on the star, and the DAG algorithm about 3 or less")
+
+
+def test_every_algorithm_completes_the_same_workload(benchmark):
+    """Sanity benchmark: all nine algorithms serve the same 60-request load."""
+
+    def run_all():
+        topology = star(9, token_holder=3)
+        generator = WorkloadGenerator(topology.nodes, seed=7)
+        workload = generator.poisson(total_requests=60, mean_interarrival=2.0)
+        results = compare_algorithms(topology, workload)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert {result.completed_entries for result in results} == {60}
+    assert {result.algorithm for result in results} == set(registry.names())

@@ -1,0 +1,62 @@
+"""E4 — Section 6.2: average messages per entry on the star topology.
+
+The paper derives ``3 - 5/N + 2/N²`` for the DAG algorithm (assuming each node
+is equally likely to hold the token and to request) versus ``3 - 3/N`` for the
+centralized scheme, both approaching three as N grows.  This bench measures
+the same averages by enumerating every (token placement, requester) pair.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series
+from repro.analysis.theory import (
+    average_messages_centralized_star,
+    average_messages_dag_star,
+)
+from repro.topology import star
+from repro.workload.scenarios import average_messages_over_placements
+
+
+def run_sweep(sizes):
+    measured_dag = []
+    measured_centralized = []
+    for n in sizes:
+        measured_dag.append(average_messages_over_placements("dag", star(n)))
+        measured_centralized.append(
+            average_messages_over_placements("centralized", star(n))
+        )
+    return measured_dag, measured_centralized
+
+
+def test_average_bound_sweep(benchmark, experiment_sizes):
+    sizes = experiment_sizes
+    measured_dag, measured_centralized = benchmark(run_sweep, sizes)
+
+    paper_dag = [average_messages_dag_star(n) for n in sizes]
+    paper_centralized = [average_messages_centralized_star(n) for n in sizes]
+
+    for n, measured, expected in zip(sizes, measured_dag, paper_dag):
+        benchmark.extra_info[f"dag_N{n}_measured"] = round(measured, 4)
+        benchmark.extra_info[f"dag_N{n}_paper"] = round(expected, 4)
+        assert abs(measured - expected) < 1e-9
+    for n, measured, expected in zip(sizes, measured_centralized, paper_centralized):
+        assert abs(measured - expected) < 1e-9
+
+    # The paper's comparison: the DAG average never exceeds the centralized one.
+    assert all(d <= c + 1e-12 for d, c in zip(measured_dag, measured_centralized))
+
+    print()
+    print("E4 / Section 6.2 — average messages per entry on the star topology")
+    print(
+        format_series(
+            {
+                "dag measured": measured_dag,
+                "dag paper (3-5/N+2/N^2)": paper_dag,
+                "centralized measured": measured_centralized,
+                "centralized paper (3-3/N)": paper_centralized,
+            },
+            x_label="N",
+            x_values=sizes,
+        )
+    )
+    print("  both series approach 3 messages per entry as N grows, as the paper states")

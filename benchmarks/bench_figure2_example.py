@@ -1,0 +1,43 @@
+"""E1 — Figure 2: the Chapter 3 example on the six-node line.
+
+Regenerates the message sequence of the paper's first worked example and
+reports its cost: two REQUEST messages and one PRIVILEGE message for node 3's
+entry while node 5 holds the token.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import DagMutexProtocol
+from repro.topology import paper_figure2_topology
+from repro.viz.ascii_dag import render_orientation
+
+
+def run_figure2_example():
+    protocol = DagMutexProtocol(paper_figure2_topology(), record_trace=True)
+    protocol.request(5)          # Figure 2a: holder enters
+    protocol.request(3)          # Figure 2b: node 3 requests
+    protocol.run_until_quiescent()
+    protocol.release(5)          # Figure 2d: holder passes the token
+    protocol.run_until_quiescent()
+    protocol.release(3)          # Figure 2e: node 3 entered, now leaves
+    protocol.run_until_quiescent()
+    return protocol
+
+
+def test_figure2_trace(benchmark):
+    protocol = benchmark(run_figure2_example)
+    counts = protocol.metrics.messages_by_type
+    benchmark.extra_info["request_messages"] = counts.get("REQUEST", 0)
+    benchmark.extra_info["privilege_messages"] = counts.get("PRIVILEGE", 0)
+    benchmark.extra_info["paper_request_messages"] = 2
+    benchmark.extra_info["paper_privilege_messages"] = 1
+    assert counts == {"REQUEST": 2, "PRIVILEGE": 1}
+    assert protocol.metrics.completed_entries == 2
+
+    print()
+    print("E1 / Figure 2 — Chapter 3 example on the 6-node line")
+    print("  paper:    2 REQUEST + 1 PRIVILEGE for node 3's entry")
+    print(f"  measured: {counts.get('REQUEST', 0)} REQUEST + {counts.get('PRIVILEGE', 0)} PRIVILEGE")
+    print("  final orientation (NEXT pointers):")
+    pointers = {node_id: node.next_node for node_id, node in protocol.nodes.items()}
+    print("    " + render_orientation(pointers).replace("\n", "\n    "))

@@ -1,0 +1,48 @@
+"""E2 — Figure 6: the Chapter 4 complete example.
+
+Replays the thirteen-step example (concurrent requests by nodes 2, 1 and 5
+while node 3 executes) and prints the same state table the thesis prints for
+the final configuration (Figure 6k), plus the implicit queue at step 9.
+"""
+
+from __future__ import annotations
+
+from repro.core.inspector import implicit_queue
+from repro.core.protocol import DagMutexProtocol
+from repro.topology import paper_figure6_topology
+from repro.viz.state_table import render_state_table
+
+
+def run_figure6_example():
+    protocol = DagMutexProtocol(paper_figure6_topology(), record_trace=True)
+    protocol.request(3)
+    protocol.request(2)
+    protocol.run_until_quiescent()
+    protocol.request(1)
+    protocol.request(5)
+    protocol.run_until_quiescent()
+    queue_at_step9 = implicit_queue(protocol)
+    for node_id in (3, 2, 1, 5):
+        protocol.release(node_id)
+        protocol.run_until_quiescent()
+    return protocol, queue_at_step9
+
+
+def test_figure6_trace(benchmark):
+    protocol, queue_at_step9 = benchmark(run_figure6_example)
+    counts = protocol.metrics.messages_by_type
+    benchmark.extra_info["implicit_queue_step9"] = queue_at_step9
+    benchmark.extra_info["request_messages"] = counts.get("REQUEST", 0)
+    benchmark.extra_info["privilege_messages"] = counts.get("PRIVILEGE", 0)
+
+    assert queue_at_step9 == [2, 1, 5]            # the paper's global queue
+    assert counts == {"REQUEST": 4, "PRIVILEGE": 3}
+    assert protocol.metrics.completed_entries == 4
+    final_holder = [n for n in protocol.node_ids if protocol.node(n).has_token()]
+    assert final_holder == [5]                     # Figure 6k
+
+    print()
+    print("E2 / Figure 6 — Chapter 4 complete example")
+    print(f"  implicit queue after step 9: {queue_at_step9} (paper: [2, 1, 5])")
+    print(f"  total messages: {counts} (paper: 4 REQUEST, 3 PRIVILEGE)")
+    print(render_state_table(protocol, title="  Final state (paper Figure 6k)"))

@@ -1,0 +1,52 @@
+"""E5 — Section 6.2, heavy demand: at most three messages per entry on the star.
+
+Under heavy demand every node requests continuously; the paper argues the DAG
+algorithm and the centralized scheme then both cost about (at most) three
+messages per entry.  This bench drives several rounds of all-nodes-request
+workloads and reports the amortised cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series
+from repro.topology import star
+from repro.workload.scenarios import heavy_demand_run
+
+
+def run_sweep(sizes, rounds):
+    dag_cost = []
+    centralized_cost = []
+    for n in sizes:
+        dag_cost.append(
+            heavy_demand_run("dag", star(n), rounds=rounds).messages_per_entry
+        )
+        centralized_cost.append(
+            heavy_demand_run("centralized", star(n), rounds=rounds).messages_per_entry
+        )
+    return dag_cost, centralized_cost
+
+
+def test_heavy_demand_star(benchmark, experiment_sizes):
+    sizes = experiment_sizes
+    dag_cost, centralized_cost = benchmark(run_sweep, sizes, 4)
+
+    for n, dag_value, central_value in zip(sizes, dag_cost, centralized_cost):
+        benchmark.extra_info[f"dag_N{n}"] = round(dag_value, 3)
+        benchmark.extra_info[f"centralized_N{n}"] = round(central_value, 3)
+        # The paper's claim: at most three messages per entry under heavy demand.
+        assert dag_value <= 3.0 + 1e-9
+        assert central_value <= 3.0 + 1e-9
+
+    print()
+    print("E5 / Section 6.2 — heavy demand on the star topology (4 rounds, all nodes)")
+    print(
+        format_series(
+            {
+                "dag msgs/entry": dag_cost,
+                "centralized msgs/entry": centralized_cost,
+            },
+            x_label="N",
+            x_values=sizes,
+        )
+    )
+    print("  paper: both schemes need at most three messages per entry under heavy demand")

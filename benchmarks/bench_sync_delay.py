@@ -1,0 +1,86 @@
+"""E6 — Section 6.3: synchronization delay.
+
+The synchronization delay is the number of sequential messages between one
+node leaving its critical section and the next waiting node entering.  The
+paper's comparison:
+
+====================  =========================
+DAG (this paper)      1
+Suzuki–Kasami         1
+Singhal               1
+Centralized           2
+Raymond               up to D
+====================  =========================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.theory import raymond_sync_delay, sync_delay_bounds
+from repro.topology import line, star
+from repro.topology.metrics import diameter
+from repro.workload.scenarios import sync_delay_run
+
+
+def run_star_comparison(n):
+    topology = star(n)
+    rows = []
+    expectations = sync_delay_bounds()
+    for algorithm, paper_value in expectations.items():
+        result = sync_delay_run(algorithm, topology)
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "paper": paper_value,
+                "measured": max(result.sync_delays),
+            }
+        )
+    return rows
+
+
+def test_sync_delay_star(benchmark, experiment_sizes):
+    n = experiment_sizes[-1]
+    rows = benchmark(run_star_comparison, n)
+    for row in rows:
+        benchmark.extra_info[f"{row['algorithm']}_measured"] = row["measured"]
+        benchmark.extra_info[f"{row['algorithm']}_paper"] = row["paper"]
+        assert row["measured"] == row["paper"]
+
+    print()
+    print(f"E6 / Section 6.3 — synchronization delay (messages), star topology, N={n}")
+    print(format_table(rows))
+    print("  the DAG algorithm halves the centralized scheme's hand-off delay")
+
+
+def test_sync_delay_raymond_grows_with_diameter(benchmark):
+    """Raymond's delay scales with the distance the token must travel."""
+
+    def run_lines():
+        rows = []
+        for n in (4, 8, 12):
+            topology = line(n, token_holder=1)
+            result = sync_delay_run("raymond", topology, first=2, second=n)
+            dag_result = sync_delay_run("dag", topology, first=2, second=n)
+            rows.append(
+                {
+                    "N (line)": n,
+                    "raymond measured": max(result.sync_delays),
+                    "raymond paper bound (D)": raymond_sync_delay(diameter(topology)),
+                    "dag measured": max(dag_result.sync_delays),
+                    "dag paper": 1.0,
+                }
+            )
+        return rows
+
+    rows = benchmark(run_lines)
+    for row in rows:
+        assert row["raymond measured"] <= row["raymond paper bound (D)"]
+        assert row["dag measured"] == 1.0
+    # Raymond's delay strictly grows with the line length; the DAG's does not.
+    raymond_delays = [row["raymond measured"] for row in rows]
+    assert raymond_delays == sorted(raymond_delays)
+    assert raymond_delays[-1] > raymond_delays[0]
+
+    print()
+    print("E6 / Section 6.3 — synchronization delay on growing lines")
+    print(format_table(rows))

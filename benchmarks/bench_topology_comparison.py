@@ -1,0 +1,82 @@
+"""E8 — Figure 8 and the Chapter 6 topology discussion.
+
+The paper's central structural claim: the *worst* topology for the DAG
+algorithm is a straight line and the *best* is the "centralized" star — not
+Raymond's radiating star.  This bench measures worst-case and average message
+costs for both algorithms across line, star, radiating-star and balanced-tree
+topologies of comparable size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.topology import balanced_tree, line, radiating_star, star
+from repro.topology.metrics import diameter
+from repro.workload.scenarios import (
+    average_messages_over_placements,
+    worst_case_placement,
+)
+from repro.workload.driver import run_experiment
+
+
+def topologies_of_size_about(n):
+    return {
+        "line": line(n),
+        "star (centralized)": star(n),
+        "radiating star": radiating_star(arms=4, arm_length=max(1, (n - 1) // 4)),
+        "balanced binary tree": balanced_tree(2, max(1, (n - 1).bit_length() - 1)),
+    }
+
+
+def run_comparison(n):
+    rows = []
+    for label, topology in topologies_of_size_about(n).items():
+        rooted, workload = worst_case_placement(topology)
+        dag_worst = run_experiment("dag", rooted, workload).total_messages
+        raymond_worst = run_experiment("raymond", rooted, workload).total_messages
+        dag_average = average_messages_over_placements("dag", topology)
+        rows.append(
+            {
+                "topology": label,
+                "nodes": topology.size,
+                "diameter D": diameter(topology),
+                "dag worst (paper D+1)": dag_worst,
+                "raymond worst (paper 2D)": raymond_worst,
+                "dag average": round(dag_average, 3),
+            }
+        )
+    return rows
+
+
+def test_topology_comparison(benchmark, experiment_sizes):
+    n = experiment_sizes[min(1, len(experiment_sizes) - 1)]
+    rows = benchmark(run_comparison, n)
+
+    by_label = {row["topology"]: row for row in rows}
+    for row in rows:
+        assert row["dag worst (paper D+1)"] == row["diameter D"] + 1
+        assert row["raymond worst (paper 2D)"] == 2 * row["diameter D"]
+        benchmark.extra_info[row["topology"]] = row["dag worst (paper D+1)"]
+
+    # The paper's claims: the line is worst, the star is best, and the star
+    # beats Raymond's radiating star.
+    assert by_label["star (centralized)"]["dag worst (paper D+1)"] == 3
+    assert (
+        by_label["line"]["dag worst (paper D+1)"]
+        == max(row["dag worst (paper D+1)"] for row in rows)
+    )
+    assert (
+        by_label["star (centralized)"]["dag worst (paper D+1)"]
+        <= by_label["radiating star"]["dag worst (paper D+1)"]
+    )
+    # And the DAG algorithm beats Raymond on every topology.
+    for row in rows:
+        assert row["dag worst (paper D+1)"] <= row["raymond worst (paper 2D)"] + 1
+
+    print()
+    print(f"E8 / Figure 8 — topology comparison (target size about N={n})")
+    print(format_table(rows))
+    print(
+        "  worst topology: straight line; best topology: the centralized star "
+        "(not Raymond's radiating star), exactly as Chapter 6 argues"
+    )

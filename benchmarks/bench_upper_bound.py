@@ -1,0 +1,93 @@
+"""E3 — Section 6.1: worst-case messages per critical-section entry.
+
+For every algorithm the requester and the token are placed as far apart as the
+topology allows (a single isolated request), and the measured message count is
+compared against the paper's quoted upper bound:
+
+=====================  ==================
+Lamport                3 (N - 1)
+Ricart–Agrawala        2 (N - 1)
+Carvalho–Roucairol     2 (N - 1)
+Suzuki–Kasami          N
+Singhal                N
+Maekawa                about 7 sqrt(N)
+Raymond                2 D
+Centralized            3
+DAG (this paper)       D + 1
+=====================  ==================
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_measured_to_theory
+from repro.analysis.report import format_table
+from repro.baselines import registry
+from repro.topology import line, star
+from repro.topology.metrics import diameter
+from repro.workload.driver import run_experiment
+from repro.workload.scenarios import worst_case_placement
+
+
+def worst_case_run(algorithm, topology):
+    rooted, workload = worst_case_placement(topology)
+    return run_experiment(algorithm, rooted, workload)
+
+
+def run_comparison(n):
+    topology = star(n)
+    results = [worst_case_run(name, topology) for name in registry.names()]
+    return results, compare_measured_to_theory(results, n=n, diameter=diameter(topology))
+
+
+def test_upper_bound_star_topology(benchmark, experiment_sizes):
+    n = experiment_sizes[-1]
+    results, rows = benchmark(run_comparison, n)
+    for row in rows:
+        benchmark.extra_info[f"{row.label}_measured"] = row.measured_value
+        benchmark.extra_info[f"{row.label}_paper_bound"] = row.paper_value
+    assert all(row.within_bound for row in rows)
+    dag_row = next(row for row in rows if row.label == "dag")
+    assert dag_row.measured_value == 3  # D + 1 on the star
+
+    print()
+    print(f"E3 / Section 6.1 — worst-case messages per entry, star topology, N={n}")
+    print(format_table([row.as_row() for row in rows]))
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_upper_bound_line_topology(benchmark, n):
+    """On the straight line the DAG algorithm's worst case is N messages."""
+    result = benchmark(worst_case_run, "dag", line(n))
+    benchmark.extra_info["measured"] = result.total_messages
+    benchmark.extra_info["paper_bound"] = n
+    assert result.total_messages == n
+
+    print()
+    print(
+        f"E3 — line topology N={n}: measured {result.total_messages} messages "
+        f"(paper: D + 1 = N = {n})"
+    )
+
+
+def test_upper_bound_dag_vs_raymond_on_star(benchmark):
+    """The head-to-head of Section 6.1: 3 messages (DAG) vs 4 (Raymond)."""
+
+    def run_pair():
+        topology = star(17)
+        return (
+            worst_case_run("dag", topology).total_messages,
+            worst_case_run("raymond", topology).total_messages,
+        )
+
+    dag_messages, raymond_messages = benchmark(run_pair)
+    benchmark.extra_info["dag"] = dag_messages
+    benchmark.extra_info["raymond"] = raymond_messages
+    assert dag_messages == 3
+    assert raymond_messages == 4
+    print()
+    print(
+        f"E3 — star topology worst case: DAG {dag_messages} messages, "
+        f"Raymond {raymond_messages} messages (paper: 3 vs 4)"
+    )

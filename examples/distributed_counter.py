@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A replicated counter protected by the DAG algorithm's DistributedLock.
+
+This is the asyncio runtime in action: six nodes run as concurrent tasks, each
+incrementing a shared counter many times.  Without the lock the read-modify-
+write races and loses updates; with the lock every update survives, because
+the DAG protocol serialises the critical sections across all nodes with only
+about three messages per acquisition on the star topology.
+
+Run with::
+
+    python examples/distributed_counter.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.runtime import LocalCluster
+from repro.topology import star
+
+NODES = 6
+INCREMENTS_PER_NODE = 50
+
+
+class SharedRegister:
+    """A deliberately race-prone shared integer (models a replicated record)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    async def unsafe_increment(self) -> None:
+        current = self.value
+        await asyncio.sleep(0)          # yield: another task can interleave here
+        self.value = current + 1
+
+
+async def run_without_lock() -> int:
+    register = SharedRegister()
+
+    async def worker() -> None:
+        for _ in range(INCREMENTS_PER_NODE):
+            await register.unsafe_increment()
+
+    await asyncio.gather(*(worker() for _ in range(NODES)))
+    return register.value
+
+
+async def run_with_lock() -> tuple[int, int]:
+    register = SharedRegister()
+    topology = star(NODES)
+
+    async with LocalCluster(topology) as cluster:
+        async def worker(node_id: int) -> None:
+            for _ in range(INCREMENTS_PER_NODE):
+                async with cluster.lock(node_id):
+                    await register.unsafe_increment()
+
+        await asyncio.gather(*(worker(node_id) for node_id in cluster.node_ids))
+        return register.value, cluster.transport.messages_sent
+
+
+async def main() -> None:
+    expected = NODES * INCREMENTS_PER_NODE
+
+    unsafe_result = await run_without_lock()
+    print(f"without the lock : counter = {unsafe_result:4d}  (expected {expected}; "
+          f"{expected - unsafe_result} updates lost to races)")
+
+    started = time.perf_counter()
+    safe_result, messages = await run_with_lock()
+    elapsed = time.perf_counter() - started
+    print(f"with the lock    : counter = {safe_result:4d}  (expected {expected}; no losses)")
+    print(f"protocol cost    : {messages} messages for {expected} acquisitions "
+          f"= {messages / expected:.2f} messages per critical-section entry")
+    print(f"wall-clock       : {elapsed:.2f}s for {expected} serialised critical sections")
+
+    assert safe_result == expected
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

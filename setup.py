@@ -1,0 +1,4 @@
+"""Setup shim so the package installs in environments without the wheel package."""
+from setuptools import setup
+
+setup()

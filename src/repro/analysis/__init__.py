@@ -1,0 +1,29 @@
+"""Analytic bounds from Chapter 6 and measured-vs-theory comparison tools."""
+
+from repro.analysis.theory import (
+    AlgorithmBounds,
+    average_messages_centralized_star,
+    average_messages_dag_star,
+    storage_overhead_table,
+    sync_delay_bounds,
+    upper_bound_table,
+    upper_bound_messages,
+)
+from repro.analysis.summary import RunSummary, summarize_results
+from repro.analysis.comparison import ComparisonRow, compare_measured_to_theory
+from repro.analysis.report import format_table
+
+__all__ = [
+    "AlgorithmBounds",
+    "upper_bound_messages",
+    "upper_bound_table",
+    "average_messages_dag_star",
+    "average_messages_centralized_star",
+    "sync_delay_bounds",
+    "storage_overhead_table",
+    "RunSummary",
+    "summarize_results",
+    "ComparisonRow",
+    "compare_measured_to_theory",
+    "format_table",
+]

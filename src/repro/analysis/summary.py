@@ -1,0 +1,115 @@
+"""Aggregate statistics over experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.workload.driver import ExperimentResult
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate statistics of one or more runs of the same configuration.
+
+    Attributes:
+        algorithm: the algorithm's registry name.
+        runs: number of experiment results aggregated.
+        total_entries: critical-section entries across all runs.
+        mean_messages_per_entry: messages per entry, averaged over runs.
+        min_messages_per_entry / max_messages_per_entry: extremes over runs.
+        mean_sync_delay: mean of per-run mean synchronization delays (runs
+            with no waiting entries are skipped).
+        max_sync_delay: largest delay seen in any run.
+        mean_waiting_time: mean of per-run mean waiting times.
+    """
+
+    algorithm: str
+    runs: int
+    total_entries: int
+    mean_messages_per_entry: float
+    min_messages_per_entry: float
+    max_messages_per_entry: float
+    mean_sync_delay: Optional[float]
+    max_sync_delay: Optional[float]
+    mean_waiting_time: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for :func:`repro.analysis.report.format_table`."""
+        return {
+            "algorithm": self.algorithm,
+            "runs": self.runs,
+            "entries": self.total_entries,
+            "msgs/entry (mean)": round(self.mean_messages_per_entry, 3),
+            "msgs/entry (max)": round(self.max_messages_per_entry, 3),
+            "sync delay (mean)": (
+                round(self.mean_sync_delay, 3) if self.mean_sync_delay is not None else "-"
+            ),
+            "sync delay (max)": (
+                round(self.max_sync_delay, 3) if self.max_sync_delay is not None else "-"
+            ),
+            "waiting time (mean)": round(self.mean_waiting_time, 3),
+        }
+
+
+def summarize_results(results: Sequence[ExperimentResult]) -> RunSummary:
+    """Aggregate several results of the *same* algorithm into one summary.
+
+    Raises:
+        ValueError: if the results are empty or mix different algorithms.
+    """
+    if not results:
+        raise ValueError("cannot summarise an empty result list")
+    algorithms = {result.algorithm for result in results}
+    if len(algorithms) != 1:
+        raise ValueError(f"results mix algorithms: {sorted(algorithms)}")
+
+    per_entry = [result.messages_per_entry for result in results]
+    sync_means = [
+        result.mean_sync_delay for result in results if result.mean_sync_delay is not None
+    ]
+    sync_maxes = [
+        result.max_sync_delay for result in results if result.max_sync_delay is not None
+    ]
+    waits = [result.mean_waiting_time for result in results]
+    return RunSummary(
+        algorithm=results[0].algorithm,
+        runs=len(results),
+        total_entries=sum(result.completed_entries for result in results),
+        mean_messages_per_entry=_mean(per_entry),
+        min_messages_per_entry=min(per_entry),
+        max_messages_per_entry=max(per_entry),
+        mean_sync_delay=_mean(sync_means) if sync_means else None,
+        max_sync_delay=max(sync_maxes) if sync_maxes else None,
+        mean_waiting_time=_mean(waits),
+    )
+
+
+def summarize_by_algorithm(
+    results: Sequence[ExperimentResult],
+) -> Dict[str, RunSummary]:
+    """Group results by algorithm and summarise each group."""
+    grouped: Dict[str, List[ExperimentResult]] = {}
+    for result in results:
+        grouped.setdefault(result.algorithm, []).append(result)
+    return {name: summarize_results(group) for name, group in grouped.items()}
+
+
+def confidence_interval(values: Sequence[float], *, z: float = 1.96) -> tuple:
+    """Normal-approximation confidence interval ``(mean, half_width)``.
+
+    With fewer than two samples the half-width is 0.0.
+    """
+    if not values:
+        raise ValueError("cannot compute a confidence interval of no samples")
+    mean = _mean(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    half_width = z * math.sqrt(variance / len(values))
+    return mean, half_width
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)

@@ -1,0 +1,51 @@
+"""Baseline mutual exclusion algorithms (the paper's Chapter 2) plus adapters.
+
+Every algorithm the paper compares against is implemented here on the same
+simulation substrate and behind the same :class:`~repro.baselines.base
+.MutexSystem` interface, so an identical workload can be replayed against each
+one and the resulting message counts and delays are directly comparable:
+
+======================  ============================================  ==========================
+Registry name           Algorithm                                     Paper's message bound
+======================  ============================================  ==========================
+``centralized``         central coordinator                           3 per entry
+``lamport``             Lamport's queue + acknowledgement scheme      3 (N - 1)
+``ricart-agrawala``     deferred-REPLY scheme                         2 (N - 1)
+``carvalho-roucairol``  Ricart–Agrawala with cached permissions       0 .. 2 (N - 1)
+``suzuki-kasami``       broadcast token                               0 or N
+``singhal``             heuristically-aided token                     up to N
+``maekawa``             quorum (grid quorums, Sanders' fix)           3·√N .. 7·√N
+``raymond``             tree token                                    up to 2·D
+``dag``                 the paper's DAG algorithm (adapter)           up to D + 1
+======================  ============================================  ==========================
+
+Importing this package populates :data:`repro.baselines.base.registry`.
+"""
+
+from repro.baselines.base import AlgorithmRegistry, MutexNodeBase, MutexSystem, registry
+from repro.baselines.centralized import CentralizedSystem
+from repro.baselines.lamport import LamportSystem
+from repro.baselines.ricart_agrawala import RicartAgrawalaSystem
+from repro.baselines.carvalho_roucairol import CarvalhoRoucairolSystem
+from repro.baselines.suzuki_kasami import SuzukiKasamiSystem
+from repro.baselines.singhal import SinghalSystem
+from repro.baselines.maekawa import MaekawaSystem, build_grid_quorums
+from repro.baselines.raymond import RaymondSystem
+from repro.baselines.dag_adapter import DagSystem
+
+__all__ = [
+    "AlgorithmRegistry",
+    "MutexNodeBase",
+    "MutexSystem",
+    "registry",
+    "CentralizedSystem",
+    "LamportSystem",
+    "RicartAgrawalaSystem",
+    "CarvalhoRoucairolSystem",
+    "SuzukiKasamiSystem",
+    "SinghalSystem",
+    "MaekawaSystem",
+    "build_grid_quorums",
+    "RaymondSystem",
+    "DagSystem",
+]

@@ -1,0 +1,246 @@
+"""Common interface shared by every mutual exclusion algorithm in the library.
+
+Chapter 6 compares the DAG algorithm against seven published algorithms plus
+a centralized coordinator.  To make those comparisons measured rather than
+quoted, every algorithm — including the paper's own — is implemented behind
+the same :class:`MutexSystem` interface on the same simulation substrate, so a
+single experiment driver can replay an identical workload against each one and
+read identical metrics off the collector.
+
+A system is always constructed from a :class:`~repro.topology.Topology`.
+Algorithms that ignore the logical structure (they assume a fully connected
+logical network: Lamport, Ricart–Agrawala, Carvalho–Roucairol, Suzuki–Kasami,
+Singhal, Maekawa, and the centralized scheme) use only the node set and the
+initial token/coordinator location; the tree-structured algorithms (Raymond
+and the DAG algorithm) also use the edges.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.exceptions import ExperimentError, ProtocolError
+from repro.sim.engine import SimulationEngine
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceRecorder
+from repro.topology.base import Topology
+
+EnterCallback = Callable[[int, float], None]
+
+
+class MutexNodeBase(SimProcess):
+    """Base class for one participant of any mutual exclusion algorithm.
+
+    Subclasses implement :meth:`request_cs`, :meth:`release_cs` and
+    :meth:`on_message`, and call :meth:`_enter_critical_section` when the
+    algorithm's entry condition becomes true.  The shared bookkeeping here
+    keeps metrics consistent across algorithms.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        *,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+        on_enter: Optional[EnterCallback] = None,
+    ) -> None:
+        super().__init__(node_id, network)
+        self.in_critical_section = False
+        self.requesting = False
+        self.cs_entries = 0
+        self._metrics = metrics
+        self._trace = trace
+        self._on_enter = on_enter
+
+    # ------------------------------------------------------------------ #
+    # interface
+    # ------------------------------------------------------------------ #
+    def request_cs(self) -> None:
+        """Ask to enter the critical section."""
+        raise NotImplementedError
+
+    def release_cs(self) -> None:
+        """Leave the critical section."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared bookkeeping for subclasses
+    # ------------------------------------------------------------------ #
+    def _note_request(self) -> None:
+        """Record the request with the metrics collector and guard re-entry."""
+        if self.requesting:
+            raise ProtocolError(f"node {self.node_id} already has an outstanding request")
+        if self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} is already in its critical section")
+        self.requesting = True
+        if self._metrics is not None:
+            self._metrics.cs_requested(self.node_id, self.now)
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_request", self.node_id)
+
+    def _enter_critical_section(self) -> None:
+        """Mark entry, notify metrics/trace and the driver callback."""
+        self.requesting = False
+        self.in_critical_section = True
+        self.cs_entries += 1
+        if self._metrics is not None:
+            self._metrics.cs_entered(self.node_id, self.now)
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_enter", self.node_id)
+        if self._on_enter is not None:
+            self._on_enter(self.node_id, self.now)
+
+    def _note_exit(self) -> None:
+        """Mark exit with metrics/trace; subclasses then pass on permissions."""
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} is not in its critical section")
+        self.in_critical_section = False
+        if self._metrics is not None:
+            self._metrics.cs_exited(self.node_id, self.now)
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_exit", self.node_id)
+
+
+class MutexSystem(abc.ABC):
+    """A complete mutual exclusion system: engine, network and all nodes.
+
+    Subclasses override :meth:`_create_nodes` to instantiate their node type,
+    and the class attributes describing the algorithm for reports.
+    """
+
+    #: Human-readable algorithm name used in comparison tables.
+    algorithm_name: str = "abstract"
+    #: Whether the algorithm uses the logical tree edges (vs only the node set).
+    uses_topology_edges: bool = False
+    #: Per-node storage description for the Section 6.4 comparison.
+    storage_description: str = ""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        latency: Optional[LatencyModel] = None,
+        record_trace: bool = False,
+        on_enter: Optional[EnterCallback] = None,
+    ) -> None:
+        self.topology = topology
+        self.engine = SimulationEngine()
+        self.metrics = MetricsCollector()
+        self.trace = TraceRecorder(enabled=record_trace)
+        self.network = Network(
+            self.engine,
+            latency=latency,
+            metrics=self.metrics,
+            trace=self.trace if record_trace else None,
+        )
+        self._on_enter = on_enter
+        self.nodes: Dict[int, MutexNodeBase] = self._create_nodes()
+
+    # ------------------------------------------------------------------ #
+    # construction hook
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _create_nodes(self) -> Dict[int, MutexNodeBase]:
+        """Instantiate one node object per topology node."""
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+    @property
+    def node_ids(self) -> List[int]:
+        """All node identifiers, in topology order."""
+        return list(self.nodes)
+
+    def node(self, node_id: int) -> MutexNodeBase:
+        """The node object for ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown node {node_id}") from None
+
+    def request(self, node_id: int) -> None:
+        """Issue a critical-section request at ``node_id``."""
+        self.node(node_id).request_cs()
+
+    def release(self, node_id: int) -> None:
+        """Release the critical section at ``node_id``."""
+        self.node(node_id).release_cs()
+
+    def run(self, *, max_events: Optional[int] = None, until: Optional[float] = None) -> int:
+        """Advance the simulation; returns the number of events processed."""
+        return self.engine.run(max_events=max_events, until=until)
+
+    def run_until_quiescent(self, *, max_events: int = 1_000_000) -> int:
+        """Run until no events remain.
+
+        Raises:
+            ExperimentError: if the event budget is exhausted, which indicates
+                a livelock in the algorithm under test.
+        """
+        processed = self.engine.run(max_events=max_events)
+        if self.engine.pending_events > 0:
+            raise ExperimentError(
+                f"{self.algorithm_name}: simulation did not quiesce within "
+                f"{max_events} events"
+            )
+        return processed
+
+    def in_critical_section(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently inside its critical section."""
+        return self.node(node_id).in_critical_section
+
+    def nodes_in_critical_section(self) -> List[int]:
+        """All nodes currently inside their critical sections (should be ≤ 1)."""
+        return sorted(
+            node_id for node_id, node in self.nodes.items() if node.in_critical_section
+        )
+
+    def describe(self) -> str:
+        """Short description used in comparison tables."""
+        return f"{self.algorithm_name} (N={self.topology.size})"
+
+
+class AlgorithmRegistry:
+    """Registry mapping algorithm names to :class:`MutexSystem` subclasses.
+
+    The comparison benchmarks iterate over the registry so that adding a new
+    algorithm automatically includes it in every comparison.
+    """
+
+    def __init__(self) -> None:
+        self._systems: Dict[str, Type[MutexSystem]] = {}
+
+    def register(self, system_class: Type[MutexSystem]) -> Type[MutexSystem]:
+        """Register a system class under its ``algorithm_name`` (decorator-friendly)."""
+        name = system_class.algorithm_name
+        if name in self._systems:
+            raise ValueError(f"algorithm {name!r} is already registered")
+        self._systems[name] = system_class
+        return system_class
+
+    def get(self, name: str) -> Type[MutexSystem]:
+        """Look up a system class by algorithm name."""
+        try:
+            return self._systems[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown algorithm {name!r}; known: {sorted(self._systems)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All registered algorithm names, in registration order."""
+        return list(self._systems)
+
+    def items(self) -> List[tuple]:
+        """(name, class) pairs in registration order."""
+        return list(self._systems.items())
+
+
+#: The global registry populated by the modules in this package.
+registry = AlgorithmRegistry()

@@ -1,0 +1,44 @@
+"""Adapter exposing the paper's DAG algorithm through the baseline interface.
+
+:class:`~repro.core.protocol.DagMutexProtocol` is the library's primary,
+feature-rich entry point (invariant checking, implicit-queue inspection).  The
+comparison experiments, however, iterate over :class:`~repro.baselines.base
+.MutexSystem` implementations, so this adapter plugs the same
+:class:`~repro.core.node.DagMutexNode` state machine into that interface.
+:class:`DagMutexNode` already provides ``request_cs`` / ``release_cs`` /
+``in_critical_section`` / ``requesting``, which is all the driver relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import MutexSystem, registry
+from repro.core.node import DagMutexNode
+
+
+@registry.register
+class DagSystem(MutexSystem):
+    """The paper's DAG-based algorithm behind the common comparison interface."""
+
+    algorithm_name = "dag"
+    uses_topology_edges = True
+    storage_description = (
+        "per node: HOLDING flag, NEXT pointer, FOLLOW pointer (three scalars); "
+        "token carries nothing"
+    )
+
+    def _create_nodes(self) -> Dict[int, DagMutexNode]:
+        pointers = self.topology.next_pointers()
+        return {
+            node_id: DagMutexNode(
+                node_id,
+                self.network,
+                holding=(node_id == self.topology.token_holder),
+                next_node=pointers[node_id],
+                metrics=self.metrics,
+                trace=self.trace if self.trace.enabled else None,
+                on_enter=self._on_enter,
+            )
+            for node_id in self.topology.nodes
+        }

@@ -1,0 +1,266 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+The CLI exposes the library's most useful entry points as subcommands::
+
+    python -m repro figure2                 # replay the Chapter 3 example
+    python -m repro figure6                 # replay the Chapter 4 example
+    python -m repro bounds --n 17           # print the Section 6.1 bound table
+    python -m repro compare --n 17          # replay one workload on all algorithms
+    python -m repro average --sizes 5 9 17  # Section 6.2 average-bound sweep
+    python -m repro topology --kind star --n 9   # draw a topology and its orientation
+
+Every subcommand prints plain-text tables (the same renderer the benchmark
+harness uses), so output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.comparison import compare_measured_to_theory
+from repro.analysis.report import format_series, format_table
+from repro.analysis.theory import (
+    average_messages_centralized_star,
+    average_messages_dag_star,
+    upper_bound_table,
+)
+from repro.baselines import registry
+from repro.core.inspector import implicit_queue
+from repro.core.protocol import DagMutexProtocol
+from repro.topology import (
+    balanced_tree,
+    line,
+    paper_figure2_topology,
+    paper_figure6_topology,
+    radiating_star,
+    random_tree,
+    star,
+)
+from repro.topology.base import Topology
+from repro.topology.metrics import diameter
+from repro.viz.ascii_dag import render_orientation, render_topology
+from repro.viz.state_table import render_state_table
+from repro.workload import WorkloadGenerator
+from repro.workload.scenarios import (
+    average_messages_over_placements,
+    compare_algorithms,
+)
+
+
+def build_topology(kind: str, n: int, token_holder: Optional[int] = None, seed: int = 0) -> Topology:
+    """Build one of the named topology families used throughout the paper."""
+    if kind == "line":
+        return line(n, token_holder=token_holder)
+    if kind == "star":
+        return star(n, token_holder=token_holder)
+    if kind == "radiating-star":
+        arms = max(2, round((n - 1) ** 0.5))
+        arm_length = max(1, (n - 1) // arms)
+        topology = radiating_star(arms=arms, arm_length=arm_length)
+        return topology if token_holder is None else topology.with_token_holder(token_holder)
+    if kind == "balanced-tree":
+        depth = max(1, (n - 1).bit_length() - 1)
+        topology = balanced_tree(2, depth)
+        return topology if token_holder is None else topology.with_token_holder(token_holder)
+    if kind == "random":
+        return random_tree(n, seed=seed, token_holder=token_holder)
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_figure2(args: argparse.Namespace) -> int:
+    protocol = DagMutexProtocol(paper_figure2_topology(), record_trace=True)
+    protocol.request(5)
+    protocol.request(3)
+    protocol.run_until_quiescent()
+    protocol.release(5)
+    protocol.run_until_quiescent()
+    protocol.release(3)
+    print("Figure 2 (Chapter 3 example) replayed on the 6-node line.")
+    print(f"Messages: {protocol.metrics.messages_by_type} "
+          "(paper: 2 REQUEST, 1 PRIVILEGE)")
+    print(render_state_table(protocol, title="Final state"))
+    return 0
+
+
+def cmd_figure6(args: argparse.Namespace) -> int:
+    protocol = DagMutexProtocol(paper_figure6_topology(), record_trace=True)
+    protocol.request(3)
+    protocol.request(2)
+    protocol.run_until_quiescent()
+    protocol.request(1)
+    protocol.request(5)
+    protocol.run_until_quiescent()
+    queue = implicit_queue(protocol)
+    print(f"Implicit queue after all requests: {queue} (paper: [2, 1, 5])")
+    print(render_state_table(protocol, title="State at paper step 6g"))
+    for node in (3, 2, 1, 5):
+        protocol.release(node)
+        protocol.run_until_quiescent()
+    print()
+    print(f"Messages: {protocol.metrics.messages_by_type} "
+          "(paper: 4 REQUEST, 3 PRIVILEGE)")
+    print(render_state_table(protocol, title="Final state (paper Figure 6k)"))
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    topology = build_topology(args.topology, args.n, seed=args.seed)
+    d = diameter(topology)
+    rows = [
+        {
+            "algorithm": bound.name,
+            "formula": bound.formula,
+            "upper bound": round(bound.upper_bound, 2),
+            "sync delay": bound.sync_delay if bound.sync_delay is not None else "-",
+        }
+        for bound in upper_bound_table(n=args.n, diameter=d)
+    ]
+    print(format_table(
+        rows,
+        title=f"Section 6.1 bounds for N={args.n}, topology={args.topology} (D={d})",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    topology = build_topology(args.topology, args.n, token_holder=args.token_holder, seed=args.seed)
+    generator = WorkloadGenerator(topology.nodes, seed=args.seed)
+    workload = generator.poisson(
+        total_requests=args.requests,
+        mean_interarrival=args.mean_interarrival,
+    )
+    algorithms = args.algorithms if args.algorithms else None
+    results = compare_algorithms(topology, workload, algorithms=algorithms)
+    print(format_table(
+        [result.summary_row() for result in results],
+        title=(
+            f"{len(workload)} Poisson requests on {topology.describe()} "
+            f"(seed {args.seed})"
+        ),
+    ))
+    rows = compare_measured_to_theory(results, n=args.n, diameter=diameter(topology))
+    print()
+    print(format_table(
+        [row.as_row() for row in rows],
+        title="Measured messages/entry vs the paper's worst-case bounds",
+    ))
+    return 0
+
+
+def cmd_average(args: argparse.Namespace) -> int:
+    sizes = args.sizes
+    dag_measured = [average_messages_over_placements("dag", star(n)) for n in sizes]
+    centralized_measured = [
+        average_messages_over_placements("centralized", star(n)) for n in sizes
+    ]
+    print(format_series(
+        {
+            "dag measured": dag_measured,
+            "dag paper": [average_messages_dag_star(n) for n in sizes],
+            "centralized measured": centralized_measured,
+            "centralized paper": [average_messages_centralized_star(n) for n in sizes],
+        },
+        x_label="N",
+        x_values=sizes,
+        title="Section 6.2 average messages per entry (star topology)",
+    ))
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topology = build_topology(args.kind, args.n, token_holder=args.token_holder, seed=args.seed)
+    print(render_topology(topology, label=topology.describe()))
+    print()
+    print(render_orientation(topology.next_pointers(), label="Initial NEXT orientation:"))
+    print()
+    print(f"diameter D = {diameter(topology)}  ->  worst case D + 1 = {diameter(topology) + 1} "
+          "messages per entry")
+    return 0
+
+
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": name,
+            "uses tree edges": "yes" if cls.uses_topology_edges else "no",
+            "per-node state": cls.storage_description,
+        }
+        for name, cls in registry.items()
+    ]
+    print(format_table(rows, title="Implemented algorithms"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Neilsen's DAG-based distributed mutual exclusion",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure2 = subparsers.add_parser("figure2", help="replay the Chapter 3 example")
+    figure2.set_defaults(func=cmd_figure2)
+
+    figure6 = subparsers.add_parser("figure6", help="replay the Chapter 4 complete example")
+    figure6.set_defaults(func=cmd_figure6)
+
+    bounds = subparsers.add_parser("bounds", help="print the Section 6.1 bound table")
+    bounds.add_argument("--n", type=int, default=17, help="number of nodes")
+    bounds.add_argument("--topology", default="star",
+                        choices=["line", "star", "radiating-star", "balanced-tree", "random"])
+    bounds.add_argument("--seed", type=int, default=0)
+    bounds.set_defaults(func=cmd_bounds)
+
+    compare = subparsers.add_parser(
+        "compare", help="replay one Poisson workload against several algorithms"
+    )
+    compare.add_argument("--n", type=int, default=17)
+    compare.add_argument("--topology", default="star",
+                         choices=["line", "star", "radiating-star", "balanced-tree", "random"])
+    compare.add_argument("--token-holder", type=int, default=None)
+    compare.add_argument("--requests", type=int, default=60)
+    compare.add_argument("--mean-interarrival", type=float, default=3.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--algorithms",
+        nargs="*",
+        choices=registry.names(),
+        help="subset of algorithms (default: all)",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    average = subparsers.add_parser("average", help="Section 6.2 average-bound sweep")
+    average.add_argument("--sizes", type=int, nargs="+", default=[5, 9, 17, 33])
+    average.set_defaults(func=cmd_average)
+
+    topology = subparsers.add_parser("topology", help="draw a topology and its orientation")
+    topology.add_argument("--kind", default="star",
+                          choices=["line", "star", "radiating-star", "balanced-tree", "random"])
+    topology.add_argument("--n", type=int, default=9)
+    topology.add_argument("--token-holder", type=int, default=None)
+    topology.add_argument("--seed", type=int, default=0)
+    topology.set_defaults(func=cmd_topology)
+
+    algorithms = subparsers.add_parser("algorithms", help="list implemented algorithms")
+    algorithms.set_defaults(func=cmd_algorithms)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

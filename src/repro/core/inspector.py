@@ -1,0 +1,89 @@
+"""Reconstructing the implicit waiting queue.
+
+A central claim of the paper (Chapter 3 and the abstract) is that no node and
+no message carries a queue of pending requests; instead "the queue is
+maintained implicitly in a distributed manner and may be deduced by observing
+the states of the nodes".  These helpers perform exactly that deduction, and
+the property tests check that the deduced queue equals the order in which the
+token is subsequently granted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.exceptions import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.protocol import DagMutexProtocol
+
+
+def token_holder(protocol: "DagMutexProtocol") -> Optional[int]:
+    """The node currently having the token, or ``None`` while it is in flight."""
+    holders = [
+        node_id for node_id, node in protocol.nodes.items() if node.has_token()
+    ]
+    if len(holders) > 1:
+        raise InvariantViolation(
+            f"token duplicated: nodes {sorted(holders)} all report having it"
+        )
+    return holders[0] if holders else None
+
+
+def find_sinks(protocol: "DagMutexProtocol") -> List[int]:
+    """All current sink nodes (``NEXT = 0``).
+
+    In a quiescent system exactly one sink exists; while requests are in
+    transit there may temporarily be up to three (Chapter 3).
+    """
+    return sorted(
+        node_id for node_id, node in protocol.nodes.items() if node.next_node is None
+    )
+
+
+def implicit_queue(protocol: "DagMutexProtocol", *, start: Optional[int] = None) -> List[int]:
+    """The implicit waiting queue, deduced by chasing ``FOLLOW`` pointers.
+
+    Args:
+        protocol: the running protocol instance.
+        start: where to start the chase; defaults to the current token holder.
+            While the token is in transit the caller can pass the node the
+            token was last sent to.
+
+    Returns:
+        The list of node identifiers that will enter the critical section
+        after ``start``, in order.  Empty when nothing is queued.
+
+    Raises:
+        InvariantViolation: if the FOLLOW chain contains a cycle, which would
+            mean two nodes each expect to hand the token to the other.
+    """
+    nodes = protocol.nodes
+    if start is None:
+        start = token_holder(protocol)
+        if start is None:
+            return []
+    queue: List[int] = []
+    seen = {start}
+    current = nodes[start].follow
+    while current is not None:
+        if current in seen:
+            raise InvariantViolation(
+                f"FOLLOW pointers form a cycle: {queue + [current]}"
+            )
+        queue.append(current)
+        seen.add(current)
+        current = nodes[current].follow
+    return queue
+
+
+def next_pointer_map(protocol: "DagMutexProtocol") -> Dict[int, Optional[int]]:
+    """Current ``NEXT`` values of every node (``None`` for sinks)."""
+    return {node_id: node.next_node for node_id, node in sorted(protocol.nodes.items())}
+
+
+def waiting_nodes(protocol: "DagMutexProtocol") -> List[int]:
+    """Nodes with an outstanding request that have not yet entered the CS."""
+    return sorted(
+        node_id for node_id, node in protocol.nodes.items() if node.requesting
+    )

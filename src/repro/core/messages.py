@@ -1,0 +1,77 @@
+"""Protocol messages of the DAG-based algorithm.
+
+The paper uses exactly two messages during normal operation:
+
+* ``REQUEST(X, Y)`` — ``X`` is the adjacent node the message arrives from and
+  ``Y`` is the node that originated the request (Chapter 4).  The sender field
+  ``X`` is carried explicitly here (even though the network also knows it) so
+  the message is self-contained, matching the paper's formulation.
+* ``PRIVILEGE`` — the token.  It deliberately carries **no** payload; Section
+  6.4's storage-overhead claim rests on this.
+
+``INITIALIZE(I)`` is the bootstrap message of Figure 5 used only by the
+initialisation procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Request:
+    """``REQUEST(X, Y)``: forwarded hop-by-hop toward the current sink.
+
+    Attributes:
+        sender: the adjacent node this copy of the request was sent by (the
+            paper's ``X``).
+        origin: the node that originally asked for the critical section (the
+            paper's ``Y``).
+    """
+
+    sender: int
+    origin: int
+
+    type_name = "REQUEST"
+
+    def payload_size(self) -> int:
+        """Number of integer fields carried: two (Section 6.4)."""
+        return 2
+
+    def describe(self) -> str:
+        return f"REQUEST({self.sender},{self.origin})"
+
+
+@dataclass(frozen=True)
+class Privilege:
+    """``PRIVILEGE``: the token.  Carries no data structure (Section 6.4)."""
+
+    type_name = "PRIVILEGE"
+
+    def payload_size(self) -> int:
+        """Number of integer fields carried: zero."""
+        return 0
+
+    def describe(self) -> str:
+        return "PRIVILEGE"
+
+
+@dataclass(frozen=True)
+class Initialize:
+    """``INITIALIZE(I)``: bootstrap flood identifying the path to the token.
+
+    Attributes:
+        origin: the node the message was sent by; receivers set their ``NEXT``
+            variable to it (Figure 5).
+    """
+
+    origin: int
+
+    type_name = "INITIALIZE"
+
+    def payload_size(self) -> int:
+        """Number of integer fields carried: one."""
+        return 1
+
+    def describe(self) -> str:
+        return f"INITIALIZE({self.origin})"

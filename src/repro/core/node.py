@@ -1,0 +1,256 @@
+"""One node of the DAG-based mutual exclusion protocol.
+
+This is a direct, event-driven transcription of the paper's Figure 3.  The
+pseudo-code there is written as two blocking procedures (P1 makes a request
+and waits; P2 handles incoming requests); here P1 is split at its wait point
+into :meth:`DagMutexNode.request_cs` (everything before the wait) and the
+PRIVILEGE branch of :meth:`DagMutexNode.on_message` (everything after), which
+is the standard transformation onto an event loop and does not change the
+order in which the variables are read or written.
+
+Variable names follow the paper: ``HOLDING`` (token held while not in the
+critical section and with no pending request), ``NEXT`` (the neighbour on the
+path toward the current sink, ``None`` when this node *is* a sink — the
+paper's 0), and ``FOLLOW`` (the node to hand the token to next, ``None`` when
+empty).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.messages import Privilege, Request
+from repro.core.state import NodeStateName, classify_state
+from repro.exceptions import ProtocolError
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceRecorder
+
+EnterCallback = Callable[[int, float], None]
+
+
+class DagMutexNode(SimProcess):
+    """A protocol participant holding the three paper variables.
+
+    Args:
+        node_id: this node's identifier.
+        network: the reliable FIFO network shared by all nodes.
+        holding: whether this node initially holds the token (exactly one node
+            in the system must).
+        next_node: initial ``NEXT`` value — the neighbour on the path toward
+            the token holder, or ``None`` if this node holds the token.
+        metrics: optional collector receiving request/enter/exit events.
+        trace: optional recorder receiving state-change events.
+        on_enter: optional callback invoked as ``on_enter(node_id, time)``
+            whenever this node enters its critical section.  The experiment
+            driver uses it to schedule the corresponding release.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        *,
+        holding: bool = False,
+        next_node: Optional[int] = None,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+        on_enter: Optional[EnterCallback] = None,
+    ) -> None:
+        super().__init__(node_id, network)
+        if holding and next_node is not None:
+            raise ProtocolError(
+                f"node {node_id}: the initial token holder must be a sink (NEXT = 0)"
+            )
+        if not holding and next_node is None:
+            raise ProtocolError(
+                f"node {node_id}: a node that does not hold the token needs an initial "
+                "NEXT pointer toward the holder"
+            )
+        self.holding = holding
+        self.next_node = next_node
+        self.follow: Optional[int] = None
+        self.requesting = False
+        self.in_critical_section = False
+        self.cs_entries = 0
+        self._metrics = metrics
+        self._trace = trace
+        self._on_enter = on_enter
+
+    # ------------------------------------------------------------------ #
+    # public protocol actions
+    # ------------------------------------------------------------------ #
+    def request_cs(self) -> None:
+        """Ask to enter the critical section (first half of procedure P1).
+
+        If the node already holds the token it enters immediately without any
+        messages; otherwise it sends ``REQUEST(I, I)`` toward the sink and
+        becomes a sink itself (``NEXT := 0``), then waits for the PRIVILEGE
+        message to arrive.
+
+        Raises:
+            ProtocolError: if the node already has an outstanding request or
+                is inside its critical section (the paper allows at most one
+                outstanding request per node).
+        """
+        if self.requesting:
+            raise ProtocolError(f"node {self.node_id} already has an outstanding request")
+        if self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} is already in its critical section")
+
+        if self._metrics is not None:
+            self._metrics.cs_requested(self.node_id, self.now)
+        self._record("cs_request")
+
+        if self.holding:
+            # The node is an idle token holder: P1 skips the request entirely.
+            self.holding = False
+            self._enter_critical_section()
+            return
+
+        self.requesting = True
+        if self.next_node is None:
+            # Not holding and NEXT = 0 can only mean an earlier request of ours
+            # is still outstanding (Lemma 1), which the guard above rejects.
+            raise ProtocolError(
+                f"node {self.node_id} is a sink without the token and without a request; "
+                "the system was initialised inconsistently"
+            )
+        target = self.next_node
+        self.next_node = None
+        self.send(target, Request(sender=self.node_id, origin=self.node_id))
+        self._record("state_change", reason="sent own request", next=None)
+
+    def release_cs(self) -> None:
+        """Leave the critical section (second half of procedure P1).
+
+        Passes the token to ``FOLLOW`` if a successor was captured while this
+        node was executing; otherwise keeps the token by setting ``HOLDING``.
+
+        Raises:
+            ProtocolError: if the node is not in its critical section.
+        """
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} is not in its critical section")
+        self.in_critical_section = False
+        if self._metrics is not None:
+            self._metrics.cs_exited(self.node_id, self.now)
+        self._record("cs_exit")
+
+        if self.follow is not None:
+            successor = self.follow
+            self.follow = None
+            self.send(successor, Privilege())
+            self._record("state_change", reason="passed token", to=successor)
+        else:
+            self.holding = True
+            self._record("state_change", reason="kept token (HOLDING)")
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: int, message: Any) -> None:
+        """Dispatch REQUEST to procedure P2 and PRIVILEGE to the P1 wait point."""
+        if isinstance(message, Request):
+            self._handle_request(message)
+        elif isinstance(message, Privilege):
+            self._handle_privilege()
+        else:
+            raise ProtocolError(
+                f"node {self.node_id} received unexpected message {message!r} from {sender}"
+            )
+
+    def _handle_request(self, message: Request) -> None:
+        """Procedure P2 of Figure 3 for ``REQUEST(X, Y)``."""
+        adjacent = message.sender
+        origin = message.origin
+
+        if self.next_node is None:
+            # This node is a sink: the request has reached the end of the path.
+            if self.holding:
+                # Transition 8 (state H): hand the idle token straight to the
+                # request's originator.
+                self.holding = False
+                self.send(origin, Privilege())
+                self._record("state_change", reason="idle holder granted token", to=origin)
+            else:
+                # The sink is requesting or executing: capture the requester as
+                # our successor in the implicit queue.
+                self.follow = origin
+                self._record("state_change", reason="captured FOLLOW", follow=origin)
+        else:
+            # Intermediate node: forward the request toward the sink on the
+            # originator's behalf.
+            self.send(self.next_node, Request(sender=self.node_id, origin=origin))
+        # In every case the edge to the adjacent sender is reversed so later
+        # requests travel toward the new sink.
+        self.next_node = adjacent
+
+    def _handle_privilege(self) -> None:
+        """The P1 wait point: the token arrived, enter the critical section."""
+        if not self.requesting:
+            raise ProtocolError(
+                f"node {self.node_id} received the PRIVILEGE message without an "
+                "outstanding request; the token was duplicated or misrouted"
+            )
+        self.requesting = False
+        self._enter_critical_section()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def state_name(self) -> NodeStateName:
+        """This node's symbolic state in the Figure 4 transition graph."""
+        return classify_state(
+            holding=self.holding,
+            in_critical_section=self.in_critical_section,
+            requesting=self.requesting,
+            follow=self.follow,
+        )
+
+    def is_sink(self) -> bool:
+        """Whether this node is currently a sink (``NEXT = 0``)."""
+        return self.next_node is None
+
+    def has_token(self) -> bool:
+        """Whether the token currently resides at this node.
+
+        The token is here if the node is idle-holding it or executing its
+        critical section.  A node *waiting* for the PRIVILEGE message does not
+        have the token even though it is a sink.
+        """
+        return self.holding or self.in_critical_section
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The paper's per-node variable table row (Figure 6 style)."""
+        return {
+            "HOLDING": self.holding,
+            "NEXT": self.next_node,
+            "FOLLOW": self.follow,
+            "requesting": self.requesting,
+            "in_cs": self.in_critical_section,
+            "state": self.state_name().value,
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _enter_critical_section(self) -> None:
+        self.in_critical_section = True
+        self.cs_entries += 1
+        if self._metrics is not None:
+            self._metrics.cs_entered(self.node_id, self.now)
+        self._record("cs_enter")
+        if self._on_enter is not None:
+            self._on_enter(self.node_id, self.now)
+
+    def _record(self, category: str, **detail: Any) -> None:
+        if self._trace is not None:
+            self._trace.record(self.now, category, self.node_id, **detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"DagMutexNode(id={self.node_id}, HOLDING={self.holding}, "
+            f"NEXT={self.next_node}, FOLLOW={self.follow}, state={self.state_name().value})"
+        )

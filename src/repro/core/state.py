@@ -1,0 +1,95 @@
+"""Node states of the paper's state transition graph (Figure 4).
+
+Figure 4 classifies a node by three orthogonal facts — whether it holds the
+token, whether it is in (or waiting for) its critical section, and whether it
+has captured a subsequent request in ``FOLLOW`` — into six named states:
+
+===== =============================================================
+State Meaning
+===== =============================================================
+``N``   not requesting, not holding the token
+``R``   requesting, no subsequent request received
+``RF``  requesting, a subsequent request captured in ``FOLLOW``
+``E``   executing in the critical section, no subsequent request
+``EF``  executing in the critical section, subsequent request captured
+``H``   holding the token idle, no requests received
+===== =============================================================
+
+The classification function below maps a node's concrete variables onto these
+names; tests assert that every transition the implementation takes corresponds
+to an arc of Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class NodeStateName(enum.Enum):
+    """Symbolic node states from Figure 4 of the paper."""
+
+    NOT_REQUESTING = "N"
+    REQUESTING = "R"
+    REQUESTING_FOLLOW = "RF"
+    EXECUTING = "E"
+    EXECUTING_FOLLOW = "EF"
+    HOLDING_IDLE = "H"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_state(
+    *,
+    holding: bool,
+    in_critical_section: bool,
+    requesting: bool,
+    follow: Optional[int],
+) -> NodeStateName:
+    """Classify a node's variables into one of the six Figure 4 states.
+
+    Args:
+        holding: the node's ``HOLDING`` flag (token held but idle).
+        in_critical_section: the node is currently executing its critical
+            section.
+        requesting: the node has an outstanding request and is waiting for the
+            PRIVILEGE message.
+        follow: the node's ``FOLLOW`` variable (``None`` when it is 0).
+
+    Returns:
+        The matching :class:`NodeStateName`.
+
+    Raises:
+        ValueError: for variable combinations the protocol can never reach
+            (e.g. holding the token idle while also waiting for it).
+    """
+    if in_critical_section:
+        if holding or requesting:
+            raise ValueError(
+                "a node in its critical section cannot simultaneously be idle-holding "
+                "or still waiting for the token"
+            )
+        return NodeStateName.EXECUTING_FOLLOW if follow is not None else NodeStateName.EXECUTING
+
+    if holding:
+        if requesting:
+            raise ValueError("a node holding the token idle cannot also be requesting")
+        if follow is not None:
+            raise ValueError(
+                "a node holding the token idle must have an empty FOLLOW variable; "
+                "a captured request would have taken the token immediately (transition 8)"
+            )
+        return NodeStateName.HOLDING_IDLE
+
+    if requesting:
+        return (
+            NodeStateName.REQUESTING_FOLLOW if follow is not None else NodeStateName.REQUESTING
+        )
+
+    if follow is not None:
+        raise ValueError(
+            "a node that is neither requesting nor in its critical section cannot hold "
+            "a FOLLOW pointer: FOLLOW is cleared when the token is passed on"
+        )
+    return NodeStateName.NOT_REQUESTING

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` raised by argument
+validation in constructors) propagate normally where that is more idiomatic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or after shutdown."""
+
+
+class NetworkError(SimulationError):
+    """Raised for invalid network operations (unknown node, self-send, ...)."""
+
+
+class TopologyError(ReproError):
+    """Raised when a logical topology violates the paper's assumptions.
+
+    The DAG algorithm requires the undirected logical graph to be a tree
+    (connected and acyclic) and the orientation to have exactly one sink with
+    out-degree zero while every other node has out-degree one.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol handler receives a message it cannot process."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by invariant checkers when a safety property is violated.
+
+    These indicate a bug in an algorithm implementation (or a deliberately
+    injected fault in a test), never a recoverable runtime condition.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed workload specifications."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment cannot be completed (e.g. requests remain
+    unsatisfied after the simulation ran out of events, which indicates a
+    deadlock in the algorithm under test)."""
+
+
+class RuntimeTransportError(ReproError):
+    """Raised by the asyncio runtime transport layer."""
+
+
+class LockError(ReproError):
+    """Raised for invalid uses of :class:`repro.runtime.lock.DistributedLock`."""

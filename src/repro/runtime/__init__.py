@@ -1,0 +1,24 @@
+"""asyncio runtime: the DAG algorithm as a usable concurrency primitive.
+
+The simulator measures the algorithm; this package *runs* it.  Each node is an
+asyncio task exchanging messages over an in-memory transport with per-sender
+FIFO delivery (the paper's network assumptions), and the public surface is a
+familiar lock API:
+
+    async with cluster.lock(node_id):
+        ...  # critical section
+
+See ``examples/distributed_counter.py`` for a complete program.
+"""
+
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.lock import DistributedLock
+from repro.runtime.node_runtime import AsyncDagNode
+from repro.runtime.transport import InMemoryTransport
+
+__all__ = [
+    "InMemoryTransport",
+    "AsyncDagNode",
+    "LocalCluster",
+    "DistributedLock",
+]

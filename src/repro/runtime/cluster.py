@@ -1,0 +1,103 @@
+"""A local cluster of asyncio nodes running the DAG algorithm."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import LockError
+from repro.runtime.lock import DistributedLock
+from repro.runtime.node_runtime import AsyncDagNode
+from repro.runtime.transport import InMemoryTransport
+from repro.topology.base import Topology
+
+
+class LocalCluster:
+    """Spawns one :class:`AsyncDagNode` per topology node in this process.
+
+    Usable as an async context manager::
+
+        async with LocalCluster(star(5)) as cluster:
+            async with cluster.lock(3):
+                ...  # critical section protected across all nodes
+
+    Args:
+        topology: the logical tree and initial token holder.
+        delay: optional per-message delay callable ``(sender, receiver) -> seconds``
+            passed to the transport, e.g. to exaggerate contention in demos.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        delay: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        self.topology = topology
+        self.transport = InMemoryTransport(delay=delay)
+        pointers = topology.next_pointers()
+        self.nodes: Dict[int, AsyncDagNode] = {
+            node_id: AsyncDagNode(
+                node_id,
+                self.transport,
+                holding=(node_id == topology.token_holder),
+                next_node=pointers[node_id],
+            )
+            for node_id in topology.nodes
+        }
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start every node's consumer task."""
+        for node in self.nodes.values():
+            node.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop all nodes and close the transport."""
+        for node in self.nodes.values():
+            await node.stop()
+        await self.transport.close()
+        self._started = False
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def node_ids(self) -> List[int]:
+        """All node identifiers."""
+        return list(self.nodes)
+
+    def node(self, node_id: int) -> AsyncDagNode:
+        """The node object for ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise LockError(f"unknown node {node_id}") from None
+
+    def lock(self, node_id: int) -> DistributedLock:
+        """A :class:`DistributedLock` handle bound to ``node_id``."""
+        if not self._started:
+            raise LockError("cluster is not started; use 'async with LocalCluster(...)'")
+        return DistributedLock(self.node(node_id))
+
+    def token_location(self) -> Optional[int]:
+        """The node currently having the token, or ``None`` while in transit."""
+        holders = [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.holding or node.in_critical_section
+        ]
+        if len(holders) > 1:
+            raise LockError(f"token duplicated at nodes {sorted(holders)}")
+        return holders[0] if holders else None

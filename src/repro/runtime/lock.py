@@ -1,0 +1,77 @@
+"""The public lock API over the asyncio runtime."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, TYPE_CHECKING
+
+from repro.exceptions import LockError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.runtime.node_runtime import AsyncDagNode
+
+
+class DistributedLock:
+    """An async context manager acquiring the cluster-wide critical section.
+
+    Each instance is bound to one node: acquiring the lock makes *that node*
+    request and enter its critical section, so concurrent acquisitions from
+    different nodes are serialised by the DAG protocol rather than by a local
+    mutex.
+
+    Example::
+
+        lock = cluster.lock(3)
+        async with lock:
+            ...  # no other node is in its critical section right now
+    """
+
+    def __init__(self, node: "AsyncDagNode") -> None:
+        self._node = node
+        self._held = False
+
+    @property
+    def node_id(self) -> int:
+        """The node this lock handle acts on behalf of."""
+        return self._node.node_id
+
+    @property
+    def held(self) -> bool:
+        """Whether this handle currently holds the critical section."""
+        return self._held
+
+    async def acquire(self, *, timeout: Optional[float] = None) -> None:
+        """Acquire the critical section, optionally bounded by ``timeout`` seconds.
+
+        Raises:
+            LockError: if this handle already holds the lock.
+            asyncio.TimeoutError: if the token does not arrive in time (the
+                request stays outstanding; a later acquire on the same node
+                would be rejected by the protocol, so treat a timeout as fatal
+                for this node).
+        """
+        if self._held:
+            raise LockError(f"lock on node {self.node_id} is already held")
+        if timeout is None:
+            await self._node.acquire()
+        else:
+            await asyncio.wait_for(self._node.acquire(), timeout)
+        self._held = True
+
+    async def release(self) -> None:
+        """Release the critical section.
+
+        Raises:
+            LockError: if the lock is not currently held by this handle.
+        """
+        if not self._held:
+            raise LockError(f"lock on node {self.node_id} is not held")
+        await self._node.release()
+        self._held = False
+
+    async def __aenter__(self) -> "DistributedLock":
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.release()

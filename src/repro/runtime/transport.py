@@ -1,0 +1,108 @@
+"""In-memory asyncio transport with per-sender FIFO delivery.
+
+This is the runtime counterpart of :class:`repro.sim.network.Network`: a
+reliable, fully connected message fabric whose only ordering guarantee is the
+one the paper assumes — messages from the same sender to the same receiver are
+delivered in the order they were sent.
+
+An optional per-message delay simulates network latency.  Delayed messages on
+the same directed channel are forwarded by a dedicated channel worker task, so
+the FIFO guarantee survives arbitrary delays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exceptions import RuntimeTransportError
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: sender, receiver and the protocol payload."""
+
+    sender: int
+    receiver: int
+    message: Any
+
+
+class InMemoryTransport:
+    """Connects asyncio nodes through per-node inbox queues.
+
+    Args:
+        delay: optional callable ``delay(sender, receiver) -> float`` giving a
+            per-message delay in seconds; ``None`` delivers immediately.
+    """
+
+    def __init__(self, *, delay: Optional[Callable[[int, int], float]] = None) -> None:
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._delay = delay
+        self._channels: Dict[Tuple[int, int], asyncio.Queue] = {}
+        self._channel_workers: Dict[Tuple[int, int], asyncio.Task] = {}
+        self._messages_sent = 0
+        self._closed = False
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages accepted by the transport."""
+        return self._messages_sent
+
+    @property
+    def node_ids(self):
+        """Identifiers of all registered nodes."""
+        return list(self._inboxes)
+
+    def register(self, node_id: int) -> asyncio.Queue:
+        """Create and return the inbox queue for ``node_id``."""
+        if node_id in self._inboxes:
+            raise RuntimeTransportError(f"node {node_id} is already registered")
+        inbox: asyncio.Queue = asyncio.Queue()
+        self._inboxes[node_id] = inbox
+        return inbox
+
+    def send(self, sender: int, receiver: int, message: Any) -> None:
+        """Send ``message``; delivery is immediate or delayed but always FIFO."""
+        if self._closed:
+            raise RuntimeTransportError("transport is closed")
+        if receiver not in self._inboxes:
+            raise RuntimeTransportError(f"unknown receiver node {receiver}")
+        if sender not in self._inboxes:
+            raise RuntimeTransportError(f"unknown sender node {sender}")
+        self._messages_sent += 1
+        envelope = Envelope(sender=sender, receiver=receiver, message=message)
+        if self._delay is None:
+            self._inboxes[receiver].put_nowait(envelope)
+            return
+        channel = (sender, receiver)
+        if channel not in self._channels:
+            self._channels[channel] = asyncio.Queue()
+            self._channel_workers[channel] = asyncio.create_task(
+                self._forward_channel(channel)
+            )
+        self._channels[channel].put_nowait(envelope)
+
+    async def close(self) -> None:
+        """Cancel channel workers; the transport cannot be reused afterwards."""
+        self._closed = True
+        workers = list(self._channel_workers.values())
+        for worker in workers:
+            worker.cancel()
+        for worker in workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._channel_workers.clear()
+
+    async def _forward_channel(self, channel: Tuple[int, int]) -> None:
+        """Deliver one channel's messages in order, applying the delay to each."""
+        queue = self._channels[channel]
+        sender, receiver = channel
+        while True:
+            envelope = await queue.get()
+            delay = self._delay(sender, receiver) if self._delay is not None else 0.0
+            if delay > 0:
+                await asyncio.sleep(delay)
+            self._inboxes[receiver].put_nowait(envelope)

@@ -1,0 +1,177 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a heap of :class:`~repro.sim.events.Event` objects ordered by
+``(time, priority, sequence)`` and advances a virtual clock as it pops them.
+It is intentionally minimal: processes, networks, and metrics are layered on
+top rather than baked in, so the same engine drives every algorithm in the
+library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import SchedulingError, SimulationError
+from repro.sim.events import Event, EventKind
+
+
+class SimulationEngine:
+    """A single-threaded discrete-event scheduler with a virtual clock.
+
+    Example:
+        >>> engine = SimulationEngine()
+        >>> fired = []
+        >>> _ = engine.schedule(5.0, lambda ev: fired.append(engine.now))
+        >>> engine.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        *,
+        kind: EventKind = EventKind.CALLBACK,
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute virtual ``time``.
+
+        Args:
+            time: absolute virtual time; must not be earlier than ``now``.
+            callback: callable invoked with the event when it fires.
+            kind: classification used by tracing.
+            payload: opaque data attached to the event.
+            priority: events at the same time run in ascending priority.
+
+        Returns:
+            The scheduled event, which the caller may later ``cancel()``.
+
+        Raises:
+            SchedulingError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=self._next_sequence(),
+            kind=kind,
+            callback=callback,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        *,
+        kind: EventKind = EventKind.CALLBACK,
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self.schedule(
+            self._now + delay,
+            callback,
+            kind=kind,
+            payload=payload,
+            priority=priority,
+        )
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events until the heap drains or a limit is reached.
+
+        Args:
+            until: stop (without processing) events scheduled strictly after
+                this virtual time.  The clock is advanced to ``until`` if it is
+                reached.
+            max_events: stop after processing this many events in this call.
+
+        Returns:
+            The number of events processed during this call.
+
+        Raises:
+            SimulationError: if called re-entrantly from an event callback.
+        """
+        if self._running:
+            raise SimulationError("SimulationEngine.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        processed_in_call = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and processed_in_call >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    self._now = max(self._now, until)
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(event)
+                self._processed += 1
+                processed_in_call += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return processed_in_call
+
+    def step(self) -> bool:
+        """Process exactly one (non-cancelled) event.
+
+        Returns:
+            ``True`` if an event was processed, ``False`` if the heap is empty.
+        """
+        return self.run(max_events=1) == 1
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` call return after the
+        currently executing event finishes."""
+        self._stopped = True
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence

@@ -1,0 +1,79 @@
+"""Event types used by the discrete-event simulation engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+assigned by the engine at scheduling time, which makes the simulation fully
+deterministic: two events scheduled for the same instant are processed in the
+order they were scheduled unless an explicit priority says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Classification of simulation events, used by traces and metrics."""
+
+    MESSAGE_DELIVERY = "message_delivery"
+    TIMER_FIRED = "timer_fired"
+    CALLBACK = "callback"
+    WORKLOAD_ARRIVAL = "workload_arrival"
+
+
+@dataclass(order=True)
+class Event:
+    """A schedulable simulation event.
+
+    Only the ordering key participates in comparisons; the payload and the
+    callback are excluded so that events carrying non-comparable payloads can
+    still live in the engine's heap.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: EventKind = field(compare=False)
+    callback: Callable[["Event"], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+@dataclass(frozen=True)
+class MessageDelivery:
+    """Payload of a message-delivery event.
+
+    Attributes:
+        sender: identifier of the node that sent the message.
+        receiver: identifier of the node the message is delivered to.
+        message: the protocol message object (opaque to the substrate).
+        send_time: virtual time at which the message was sent.
+        channel_sequence: position of the message in the (sender, receiver)
+            FIFO channel; used to assert FIFO delivery in tests.
+    """
+
+    sender: int
+    receiver: int
+    message: Any
+    send_time: float
+    channel_sequence: int
+
+
+@dataclass(frozen=True)
+class TimerFired:
+    """Payload of a timer event set by a process.
+
+    Attributes:
+        owner: identifier of the node that set the timer.
+        name: caller-chosen label for the timer.
+        context: optional opaque data passed back to the owner.
+    """
+
+    owner: int
+    name: str
+    context: Optional[Any] = None

@@ -1,0 +1,162 @@
+"""Fault injection: probing which of the paper's assumptions are load-bearing.
+
+The algorithm's proofs (Chapter 5) rest on three assumptions: the network is
+reliable, per-sender FIFO, and nodes do not fail.  This module provides a
+network that can violate the first and third assumption on demand — dropping
+selected messages and crash-stopping nodes — so tests and experiments can
+demonstrate *which* property breaks when an assumption is removed:
+
+* **Safety is never lost.**  Mutual exclusion depends only on there being at
+  most one token; dropping messages or silencing nodes can only lose the
+  token, never duplicate it.
+* **Liveness is exactly as fragile as the paper says.**  A dropped REQUEST
+  starves its originator; a dropped PRIVILEGE or a crashed token holder
+  starves every later requester; a crashed node that is not on any request
+  path is harmless.
+
+The injector is deliberately *not* part of the normal protocol stack: the
+paper assumes these faults away, and the reproduction follows the paper.  It
+exists to make the boundary of the guarantees measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, MessageDelivery
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class FaultLog:
+    """Record of every fault the injector actually applied."""
+
+    dropped_messages: list = field(default_factory=list)
+    suppressed_sends: list = field(default_factory=list)
+    suppressed_deliveries: list = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of messages affected by injected faults."""
+        return (
+            len(self.dropped_messages)
+            + len(self.suppressed_sends)
+            + len(self.suppressed_deliveries)
+        )
+
+
+class FaultInjectingNetwork(Network):
+    """A :class:`~repro.sim.network.Network` with controllable fault injection.
+
+    Faults available:
+
+    * :meth:`drop_next` — silently discard the next ``count`` messages on a
+      directed channel (a targeted violation of the reliability assumption);
+    * :meth:`crash` — crash-stop a node: it neither sends nor receives from
+      the moment of the call until :meth:`recover`;
+    * the inherited :meth:`partition` / :meth:`heal` for persistent loss.
+
+    All injected faults are recorded in :attr:`fault_log` so experiments can
+    report exactly what was done to the run.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        *,
+        latency: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(engine, latency=latency, metrics=metrics, trace=trace)
+        self._drop_budget: Dict[Tuple[int, int], int] = {}
+        self._crashed: Set[int] = set()
+        self.fault_log = FaultLog()
+
+    # ------------------------------------------------------------------ #
+    # fault controls
+    # ------------------------------------------------------------------ #
+    def drop_next(self, sender: int, receiver: int, *, count: int = 1) -> None:
+        """Silently drop the next ``count`` messages sent ``sender -> receiver``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        channel = (sender, receiver)
+        self._drop_budget[channel] = self._drop_budget.get(channel, 0) + count
+
+    def crash(self, node_id: int) -> None:
+        """Crash-stop ``node_id``: its sends vanish and nothing is delivered to it."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        """Let a crashed node participate again (messages lost meanwhile stay lost)."""
+        self._crashed.discard(node_id)
+
+    @property
+    def crashed_nodes(self) -> Set[int]:
+        """Nodes currently crash-stopped."""
+        return set(self._crashed)
+
+    # ------------------------------------------------------------------ #
+    # interception
+    # ------------------------------------------------------------------ #
+    def send(self, sender: int, receiver: int, message) -> None:
+        if sender in self._crashed:
+            # A crashed node produces no messages.  The send is not counted as
+            # protocol traffic either: the node is dead.
+            self.fault_log.suppressed_sends.append((sender, receiver, message))
+            return
+        channel = (sender, receiver)
+        budget = self._drop_budget.get(channel, 0)
+        if budget > 0:
+            self._drop_budget[channel] = budget - 1
+            self.fault_log.dropped_messages.append((sender, receiver, message))
+            return
+        super().send(sender, receiver, message)
+
+    def _deliver(self, event: Event) -> None:
+        payload: MessageDelivery = event.payload
+        if payload.receiver in self._crashed:
+            self.fault_log.suppressed_deliveries.append(
+                (payload.sender, payload.receiver, payload.message)
+            )
+            return
+        super()._deliver(event)
+
+
+def build_faulty_dag_system(topology, **system_kwargs):
+    """A :class:`~repro.baselines.dag_adapter.DagSystem` on a fault-injecting network.
+
+    The system is constructed normally and its network is then replaced by a
+    :class:`FaultInjectingNetwork` *before* any node registers — achieved by
+    building the system around the faulty network from the start.
+
+    Returns:
+        ``(system, network)`` where ``network`` is the injector to drive.
+    """
+    from repro.baselines.dag_adapter import DagSystem
+
+    class FaultyDagSystem(DagSystem):
+        algorithm_name = "dag"
+
+        def __init__(self, topology, **kwargs):
+            # Reproduce MutexSystem.__init__ but with the injecting network.
+            self.topology = topology
+            self.engine = SimulationEngine()
+            self.metrics = MetricsCollector()
+            self.trace = TraceRecorder(enabled=kwargs.get("record_trace", False))
+            self.network = FaultInjectingNetwork(
+                self.engine,
+                latency=kwargs.get("latency"),
+                metrics=self.metrics,
+                trace=self.trace if self.trace.enabled else None,
+            )
+            self._on_enter = kwargs.get("on_enter")
+            self.nodes = self._create_nodes()
+
+    system = FaultyDagSystem(topology, **system_kwargs)
+    return system, system.network

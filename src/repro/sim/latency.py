@@ -1,0 +1,130 @@
+"""Latency models for the simulated network.
+
+The paper's analysis counts messages rather than wall-clock time, so the
+default model is a constant one-unit delay: with it, "synchronization delay in
+messages" and "synchronization delay in time units" coincide, which makes the
+Chapter 6 numbers directly readable off the metrics.  Other models are
+provided for robustness experiments (the algorithm's correctness must not
+depend on timing, only on per-sender FIFO order, which the network enforces
+regardless of the model).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from repro.sim.rng import SeededRNG
+
+
+class LatencyModel(abc.ABC):
+    """Strategy interface producing a delivery delay for each message."""
+
+    @abc.abstractmethod
+    def delay(self, sender: int, receiver: int) -> float:
+        """Return the transmission delay for a message ``sender -> receiver``.
+
+        The returned value must be positive; zero-delay messages would allow a
+        reply to arrive at the same instant the original send happened, which
+        complicates FIFO reasoning without modelling anything real.
+        """
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units (default 1.0)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise ValueError(f"latency must be positive, got {value}")
+        self.value = float(value)
+
+    def delay(self, sender: int, receiver: int) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"ConstantLatency({self.value})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` for every message."""
+
+    def __init__(self, low: float, high: float, *, rng: Optional[SeededRNG] = None) -> None:
+        if low <= 0 or high < low:
+            raise ValueError(f"require 0 < low <= high, got low={low}, high={high}")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = rng if rng is not None else SeededRNG(0, label="uniform-latency")
+
+    def delay(self, sender: int, receiver: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delay with the given mean, floored at ``minimum``.
+
+    The floor prevents pathologically small delays from collapsing the event
+    ordering into near-simultaneity, which makes traces hard to read without
+    changing any measured message count.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        *,
+        minimum: float = 1e-6,
+        rng: Optional[SeededRNG] = None,
+    ) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if minimum <= 0:
+            raise ValueError(f"minimum must be positive, got {minimum}")
+        self.mean = float(mean)
+        self.minimum = float(minimum)
+        self._rng = rng if rng is not None else SeededRNG(0, label="exp-latency")
+
+    def delay(self, sender: int, receiver: int) -> float:
+        return max(self.minimum, self._rng.exponential(self.mean))
+
+    def describe(self) -> str:
+        return f"ExponentialLatency(mean={self.mean})"
+
+
+class PerLinkLatency(LatencyModel):
+    """Fixed per-link delays with a default for unlisted links.
+
+    Useful for modelling a geographically skewed deployment (e.g. one far-away
+    node) when studying how topology choice interacts with link cost.
+    """
+
+    def __init__(
+        self,
+        link_delays: Dict[Tuple[int, int], float],
+        *,
+        default: float = 1.0,
+        symmetric: bool = True,
+    ) -> None:
+        if default <= 0:
+            raise ValueError(f"default latency must be positive, got {default}")
+        for link, value in link_delays.items():
+            if value <= 0:
+                raise ValueError(f"latency for link {link} must be positive, got {value}")
+        self.default = float(default)
+        self.symmetric = symmetric
+        self._delays = dict(link_delays)
+
+    def delay(self, sender: int, receiver: int) -> float:
+        if (sender, receiver) in self._delays:
+            return self._delays[(sender, receiver)]
+        if self.symmetric and (receiver, sender) in self._delays:
+            return self._delays[(receiver, sender)]
+        return self.default
+
+    def describe(self) -> str:
+        return f"PerLinkLatency({len(self._delays)} links, default={self.default})"

@@ -1,0 +1,201 @@
+"""Reliable, fully connected, per-sender FIFO network.
+
+This implements the paper's communication assumptions (Chapter 2): the nodes
+are fully connected by a reliable network and messages sent by the same node
+do not overtake each other in transit.  FIFO order is enforced per directed
+``(sender, receiver)`` channel regardless of the latency model: if a random
+latency draw would deliver a message before an earlier one on the same
+channel, its delivery is pushed back to just after the earlier delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import NetworkError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventKind, MessageDelivery
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import TraceRecorder
+
+MessageHandler = Callable[[int, Any], None]
+# Minimal spacing inserted between two deliveries on the same channel when the
+# latency draw would otherwise reorder them.
+_FIFO_EPSILON = 1e-9
+
+
+class Network:
+    """Delivers messages between registered nodes through the event engine.
+
+    Args:
+        engine: the simulation engine used to schedule deliveries.
+        latency: delay model; defaults to a constant one-unit delay so that
+            message counts and time-based delays coincide.
+        metrics: optional collector notified of every send.
+        trace: optional recorder receiving ``send`` / ``receive`` events.
+        allow_self_send: if ``False`` (default) a node sending to itself is an
+            error — none of the paper's algorithms ever do it, so it almost
+            always indicates a protocol bug.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        *,
+        latency: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+        allow_self_send: bool = False,
+    ) -> None:
+        self._engine = engine
+        self._latency = latency if latency is not None else ConstantLatency(1.0)
+        self._metrics = metrics
+        self._trace = trace
+        self._allow_self_send = allow_self_send
+        self._handlers: Dict[int, MessageHandler] = {}
+        self._channel_sequence: Dict[Tuple[int, int], int] = {}
+        self._last_delivery_time: Dict[Tuple[int, int], float] = {}
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._partitioned: set[Tuple[int, int]] = set()
+        self._dropped = 0
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The engine this network schedules deliveries on."""
+        return self._engine
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The latency model in use."""
+        return self._latency
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Identifiers of all registered nodes, in registration order."""
+        return list(self._handlers)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages handed to the network so far."""
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Total messages delivered to handlers so far."""
+        return self._messages_delivered
+
+    @property
+    def messages_in_flight(self) -> int:
+        """Messages sent but not yet delivered (and not dropped)."""
+        return self._messages_sent - self._messages_delivered - self._dropped
+
+    def register(self, node_id: int, handler: MessageHandler) -> None:
+        """Register ``handler`` to receive messages addressed to ``node_id``."""
+        if node_id in self._handlers:
+            raise NetworkError(f"node {node_id} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: int) -> None:
+        """Remove a node; in-flight messages to it will raise on delivery."""
+        if node_id not in self._handlers:
+            raise NetworkError(f"node {node_id} is not registered")
+        del self._handlers[node_id]
+
+    def send(self, sender: int, receiver: int, message: Any) -> None:
+        """Send ``message`` from ``sender`` to ``receiver``.
+
+        Delivery is scheduled on the engine after the latency model's delay,
+        clamped so that per-channel FIFO order is preserved.
+
+        Raises:
+            NetworkError: if either endpoint is unknown, or on self-send when
+                that is disallowed.
+        """
+        if sender not in self._handlers:
+            raise NetworkError(f"unknown sender node {sender}")
+        if receiver not in self._handlers:
+            raise NetworkError(f"unknown receiver node {receiver}")
+        if sender == receiver and not self._allow_self_send:
+            raise NetworkError(f"node {sender} attempted to send a message to itself")
+
+        channel = (sender, receiver)
+        sequence = self._channel_sequence.get(channel, 0) + 1
+        self._channel_sequence[channel] = sequence
+        self._messages_sent += 1
+
+        if self._metrics is not None:
+            self._metrics.message_sent(sender, receiver, message, self._engine.now)
+        if self._trace is not None:
+            self._trace.record(
+                self._engine.now,
+                "send",
+                sender,
+                to=receiver,
+                message=_describe_message(message),
+            )
+
+        if channel in self._partitioned:
+            self._dropped += 1
+            return
+
+        delay = self._latency.delay(sender, receiver)
+        delivery_time = self._engine.now + delay
+        earliest = self._last_delivery_time.get(channel)
+        if earliest is not None and delivery_time <= earliest:
+            delivery_time = earliest + _FIFO_EPSILON
+        self._last_delivery_time[channel] = delivery_time
+
+        payload = MessageDelivery(
+            sender=sender,
+            receiver=receiver,
+            message=message,
+            send_time=self._engine.now,
+            channel_sequence=sequence,
+        )
+        self._engine.schedule(
+            delivery_time,
+            self._deliver,
+            kind=EventKind.MESSAGE_DELIVERY,
+            payload=payload,
+        )
+
+    def partition(self, sender: int, receiver: int) -> None:
+        """Silently drop future messages on the directed channel.
+
+        The paper assumes a reliable network; partitions exist only so tests
+        can demonstrate which assumptions the proofs rely on (a partitioned
+        channel makes requests starve, which the liveness tests then detect).
+        """
+        self._partitioned.add((sender, receiver))
+
+    def heal(self, sender: int, receiver: int) -> None:
+        """Stop dropping messages on the directed channel."""
+        self._partitioned.discard((sender, receiver))
+
+    def _deliver(self, event: Event) -> None:
+        payload: MessageDelivery = event.payload
+        handler = self._handlers.get(payload.receiver)
+        if handler is None:
+            raise NetworkError(
+                f"message from {payload.sender} addressed to unregistered node {payload.receiver}"
+            )
+        self._messages_delivered += 1
+        if self._trace is not None:
+            self._trace.record(
+                self._engine.now,
+                "receive",
+                payload.receiver,
+                sender=payload.sender,
+                message=_describe_message(payload.message),
+            )
+        handler(payload.sender, payload.message)
+
+
+def _describe_message(message: Any) -> str:
+    """Short label for a message, preferring an explicit ``describe()``."""
+    describe = getattr(message, "describe", None)
+    if callable(describe):
+        return describe()
+    return type(message).__name__

@@ -1,0 +1,85 @@
+"""Process abstraction layered on the engine and network.
+
+A :class:`SimProcess` is one node of the distributed system: it can send
+messages, receive them through :meth:`on_message`, and set virtual-time timers.
+Algorithm implementations (the DAG protocol and every baseline) subclass it,
+so the substrate they run on is identical and the measured message counts are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventKind, TimerFired
+from repro.sim.network import Network
+
+
+class SimProcess:
+    """Base class for a simulated node process.
+
+    Subclasses override :meth:`on_message` (and optionally :meth:`on_timer`).
+    The constructor registers the process with the network so it can receive
+    messages immediately.
+    """
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        self.node_id = int(node_id)
+        self.network = network
+        self.engine: SimulationEngine = network.engine
+        network.register(self.node_id, self._receive)
+
+    # ------------------------------------------------------------------ #
+    # actions available to subclasses
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.engine.now
+
+    def send(self, receiver: int, message: Any) -> None:
+        """Send ``message`` to ``receiver`` over the reliable FIFO network."""
+        self.network.send(self.node_id, receiver, message)
+
+    def set_timer(
+        self,
+        delay: float,
+        name: str,
+        *,
+        context: Optional[Any] = None,
+    ) -> Event:
+        """Schedule :meth:`on_timer` to run after ``delay`` time units.
+
+        Returns the event so the caller can cancel the timer.
+        """
+        payload = TimerFired(owner=self.node_id, name=name, context=context)
+        return self.engine.schedule_after(
+            delay,
+            self._timer_fired,
+            kind=EventKind.TIMER_FIRED,
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------ #
+    # hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: int, message: Any) -> None:
+        """Handle a message delivered to this node.  Subclasses must override."""
+        raise NotImplementedError
+
+    def on_timer(self, timer: TimerFired) -> None:
+        """Handle a timer set with :meth:`set_timer`.  Default: ignore."""
+
+    # ------------------------------------------------------------------ #
+    # internal plumbing
+    # ------------------------------------------------------------------ #
+    def _receive(self, sender: int, message: Any) -> None:
+        self.on_message(sender, message)
+
+    def _timer_fired(self, event: Event) -> None:
+        payload: TimerFired = event.payload
+        self.on_timer(payload)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(node_id={self.node_id})"

@@ -1,0 +1,117 @@
+"""Event tracing.
+
+The trace is the raw material for two deliverables: replaying the worked
+examples of Figures 2 and 6 (each step in those figures corresponds to a send,
+a receive, or a critical-section transition), and computing derived statistics
+that the metrics collector does not track directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded protocol-level occurrence.
+
+    Attributes:
+        time: virtual time of the occurrence.
+        category: one of ``send``, ``receive``, ``cs_request``, ``cs_enter``,
+            ``cs_exit``, ``state_change``, or a caller-defined label.
+        node: identifier of the node at which the occurrence happened.
+        detail: free-form mapping with category-specific fields (message type,
+            peer node, variable values, ...).
+    """
+
+    time: float
+    category: str
+    node: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering used by example scripts."""
+        parts = ", ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[t={self.time:8.3f}] node {self.node:>3} {self.category:<12} {parts}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` objects during a simulation run.
+
+    Recording can be disabled (the default for large benchmark runs) in which
+    case :meth:`record` is a no-op, keeping the hot path cheap.
+    """
+
+    def __init__(self, *, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events in chronological order of recording."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded because the capacity was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        node: int,
+        **detail: Any,
+    ) -> None:
+        """Record one event (no-op when the recorder is disabled or full)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(time=time, category=category, node=node, detail=detail))
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+        self._dropped = 0
+
+    def filter(
+        self,
+        *,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Return events matching all of the provided criteria."""
+        result = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def count(self, category: str) -> int:
+        """Number of recorded events with the given category."""
+        return sum(1 for event in self._events if event.category == category)
+
+    def format(self, *, limit: Optional[int] = None) -> str:
+        """Render the trace as a multi-line string (optionally truncated)."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [event.describe() for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

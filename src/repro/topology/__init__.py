@@ -1,0 +1,53 @@
+"""Logical topologies for the DAG-based algorithm and the tree-based baseline.
+
+The paper's logical structure is a tree (acyclic even ignoring edge
+directions) oriented so every node has out-degree at most one and exactly one
+node — the sink — has out-degree zero.  This package provides:
+
+* :class:`~repro.topology.base.Topology` — an immutable description of the
+  undirected tree plus its orientation toward an initial token holder;
+* builders for the topologies discussed in Chapter 6 (line, star /
+  "centralized", radiating star, balanced trees, random trees);
+* validation helpers enforcing the paper's structural assumptions;
+* graph metrics (diameter, path lengths) used by the theoretical bounds.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.builders import (
+    balanced_tree,
+    custom_tree,
+    line,
+    paper_figure2_topology,
+    paper_figure6_topology,
+    radiating_star,
+    random_tree,
+    star,
+)
+from repro.topology.metrics import (
+    diameter,
+    eccentricity,
+    mean_distance_to,
+    path_between,
+)
+from repro.topology.validation import (
+    validate_orientation,
+    validate_tree,
+)
+
+__all__ = [
+    "Topology",
+    "line",
+    "star",
+    "radiating_star",
+    "balanced_tree",
+    "random_tree",
+    "custom_tree",
+    "paper_figure2_topology",
+    "paper_figure6_topology",
+    "diameter",
+    "eccentricity",
+    "mean_distance_to",
+    "path_between",
+    "validate_tree",
+    "validate_orientation",
+]

@@ -1,0 +1,191 @@
+"""Constructors for the topologies discussed in the paper.
+
+Chapter 6 compares a straight **line** (the worst topology), the
+**centralized** topology (one centre, all other nodes leaves — what this
+module calls :func:`star`, the best topology), and Raymond's **radiating
+star**.  The worked examples use two specific small trees which are provided
+verbatim as :func:`paper_figure2_topology` and :func:`paper_figure6_topology`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.sim.rng import SeededRNG
+from repro.topology.base import Topology
+
+
+def _default_holder(nodes: Sequence[int], token_holder: Optional[int]) -> int:
+    if token_holder is None:
+        return nodes[0]
+    if token_holder not in nodes:
+        raise TopologyError(f"token holder {token_holder} is not one of the nodes")
+    return token_holder
+
+
+def line(n: int, *, token_holder: Optional[int] = None) -> Topology:
+    """A straight line ``1 - 2 - ... - n`` (the paper's worst topology).
+
+    Args:
+        n: number of nodes (``n >= 1``).
+        token_holder: initial token holder; defaults to node 1.
+    """
+    if n < 1:
+        raise TopologyError(f"need at least one node, got {n}")
+    nodes = tuple(range(1, n + 1))
+    edges = tuple((i, i + 1) for i in range(1, n))
+    return Topology(nodes=nodes, edges=edges, token_holder=_default_holder(nodes, token_holder))
+
+
+def star(n: int, *, center: int = 1, token_holder: Optional[int] = None) -> Topology:
+    """The centralized topology: ``center`` connected to every other node.
+
+    This is the paper's *best* topology (Figure 8): its diameter is 2, so the
+    worst case is 3 messages per critical-section entry.
+
+    Args:
+        n: number of nodes (``n >= 1``).
+        center: identifier of the hub node (must be in ``1..n``).
+        token_holder: initial token holder; defaults to the centre.
+    """
+    if n < 1:
+        raise TopologyError(f"need at least one node, got {n}")
+    nodes = tuple(range(1, n + 1))
+    if center not in nodes:
+        raise TopologyError(f"center {center} is not one of the nodes 1..{n}")
+    edges = tuple((center, node) for node in nodes if node != center)
+    holder = center if token_holder is None else _default_holder(nodes, token_holder)
+    return Topology(nodes=nodes, edges=edges, token_holder=holder)
+
+
+def radiating_star(
+    arms: int,
+    arm_length: int,
+    *,
+    token_holder: Optional[int] = None,
+) -> Topology:
+    """Raymond's radiating star: a hub with ``arms`` paths of ``arm_length`` nodes.
+
+    Raymond's paper recommends this topology; Neilsen's analysis shows that
+    collapsing the arms to length one (i.e. the plain :func:`star`) is better.
+    Node 1 is the hub; arm nodes are numbered breadth-first along each arm.
+    """
+    if arms < 1 or arm_length < 1:
+        raise TopologyError("radiating star needs at least one arm of length one")
+    nodes: List[int] = [1]
+    edges: List[Tuple[int, int]] = []
+    next_id = 2
+    for _ in range(arms):
+        previous = 1
+        for _ in range(arm_length):
+            nodes.append(next_id)
+            edges.append((previous, next_id))
+            previous = next_id
+            next_id += 1
+    holder = _default_holder(nodes, token_holder)
+    return Topology(nodes=tuple(nodes), edges=tuple(edges), token_holder=holder)
+
+
+def balanced_tree(branching: int, depth: int, *, token_holder: Optional[int] = None) -> Topology:
+    """A balanced tree with the given branching factor and depth.
+
+    Depth 0 is a single node; depth 1 with branching ``b`` is a star on
+    ``b + 1`` nodes.  Node 1 is the root and children are numbered level by
+    level, so the root is the default token holder.
+    """
+    if branching < 1:
+        raise TopologyError(f"branching factor must be >= 1, got {branching}")
+    if depth < 0:
+        raise TopologyError(f"depth must be >= 0, got {depth}")
+    nodes: List[int] = [1]
+    edges: List[Tuple[int, int]] = []
+    current_level = [1]
+    next_id = 2
+    for _ in range(depth):
+        next_level: List[int] = []
+        for parent in current_level:
+            for _ in range(branching):
+                nodes.append(next_id)
+                edges.append((parent, next_id))
+                next_level.append(next_id)
+                next_id += 1
+        current_level = next_level
+    holder = _default_holder(nodes, token_holder)
+    return Topology(nodes=tuple(nodes), edges=tuple(edges), token_holder=holder)
+
+
+def random_tree(
+    n: int,
+    *,
+    seed: int = 0,
+    token_holder: Optional[int] = None,
+) -> Topology:
+    """A uniformly random labelled tree on ``n`` nodes (random Prüfer sequence).
+
+    Deterministic for a given ``seed``.  Useful for property-based tests and
+    for showing that the algorithm's correctness does not depend on a
+    particular tree shape.
+    """
+    if n < 1:
+        raise TopologyError(f"need at least one node, got {n}")
+    nodes = tuple(range(1, n + 1))
+    if n == 1:
+        return Topology(nodes=nodes, edges=(), token_holder=_default_holder(nodes, token_holder))
+    if n == 2:
+        return Topology(
+            nodes=nodes, edges=((1, 2),), token_holder=_default_holder(nodes, token_holder)
+        )
+
+    rng = SeededRNG(seed, label="random-tree")
+    prufer = [rng.randint(1, n) for _ in range(n - 2)]
+    degree = {node: 1 for node in nodes}
+    for value in prufer:
+        degree[value] += 1
+
+    edges: List[Tuple[int, int]] = []
+    remaining = sorted(node for node in nodes if degree[node] == 1)
+    for value in prufer:
+        leaf = remaining.pop(0)
+        edges.append((leaf, value))
+        degree[value] -= 1
+        if degree[value] == 1:
+            # Keep the candidate list sorted so the construction is canonical.
+            remaining.append(value)
+            remaining.sort()
+    # The two nodes left with degree one after consuming the Prüfer sequence
+    # are joined by the final edge.
+    leftovers = sorted(remaining)
+    edges.append((leftovers[0], leftovers[1]))
+    holder = _default_holder(nodes, token_holder)
+    return Topology(nodes=nodes, edges=tuple(edges), token_holder=holder)
+
+
+def custom_tree(
+    edges: Sequence[Tuple[int, int]],
+    token_holder: int,
+) -> Topology:
+    """A tree given explicitly as an edge list (validated on construction)."""
+    return Topology.from_edges(edges, token_holder)
+
+
+def paper_figure2_topology() -> Topology:
+    """The six-node straight line used by the paper's Chapter 3 example.
+
+    Node 5 initially holds the token, and node 3's request travels
+    ``3 -> 4 -> 5`` exactly as in Figure 2.
+    """
+    return line(6, token_holder=5)
+
+
+def paper_figure6_topology() -> Topology:
+    """The six-node tree of the complete example in Chapter 4 (Figure 6).
+
+    The initial ``NEXT`` values in Figure 6a (1→2, 2→3, 4→3, 5→2, 6→4, node 3
+    the sink) imply the undirected edges 1–2, 2–3, 3–4, 2–5, 4–6 with node 3
+    holding the token.
+    """
+    return Topology.from_edges(
+        [(1, 2), (2, 3), (3, 4), (2, 5), (4, 6)],
+        token_holder=3,
+    )

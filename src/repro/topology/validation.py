@@ -1,0 +1,122 @@
+"""Structural validation of logical topologies and orientations.
+
+The paper's assumptions (Chapter 3):
+
+* the undirected logical graph is acyclic even without considering edge
+  directions and, together with the requirement that requests can always
+  reach the token holder, connected — i.e. it is a tree;
+* each node's out-degree is at most one (``NEXT`` is a single variable);
+* in a quiescent system exactly one node is a sink (``NEXT = 0``) and it is
+  reachable from every node by following ``NEXT`` pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+
+
+def validate_tree(nodes: Sequence[int], edges: Sequence[Tuple[int, int]]) -> None:
+    """Validate that ``(nodes, edges)`` forms a tree.
+
+    Raises:
+        TopologyError: if the graph is empty, has an edge touching an unknown
+            node, is disconnected, or contains a cycle.
+    """
+    node_set = set(nodes)
+    if not node_set:
+        raise TopologyError("topology must contain at least one node")
+    for a, b in edges:
+        if a not in node_set or b not in node_set:
+            raise TopologyError(f"edge ({a}, {b}) references a node outside the topology")
+        if a == b:
+            raise TopologyError(f"self-loop edge ({a}, {b}) is not allowed")
+
+    if len(edges) != len(node_set) - 1:
+        raise TopologyError(
+            f"a tree on {len(node_set)} nodes needs exactly {len(node_set) - 1} edges, "
+            f"got {len(edges)} (the graph is disconnected or contains a cycle)"
+        )
+
+    adjacency: Dict[int, list] = {node: [] for node in node_set}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    # With |E| = |V| - 1 established, connectivity alone implies acyclicity.
+    start = next(iter(node_set))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in adjacency[current]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    if seen != node_set:
+        missing = sorted(node_set - seen)
+        raise TopologyError(f"topology is disconnected; unreachable nodes: {missing}")
+
+
+def validate_orientation(
+    next_pointers: Mapping[int, Optional[int]],
+    *,
+    edges: Optional[Iterable[Tuple[int, int]]] = None,
+) -> int:
+    """Validate a quiescent ``NEXT`` orientation and return the sink node.
+
+    Checks that exactly one node has ``NEXT = None`` (the sink), that every
+    other node's pointer targets a known node, that following pointers from
+    any node reaches the sink without revisiting a node, and — when ``edges``
+    is given — that every pointer follows an edge of the underlying tree.
+
+    Raises:
+        TopologyError: on any violation.
+    """
+    nodes = set(next_pointers)
+    if not nodes:
+        raise TopologyError("orientation over an empty node set")
+
+    sinks = [node for node, target in next_pointers.items() if target is None]
+    if len(sinks) != 1:
+        raise TopologyError(
+            f"a quiescent orientation must have exactly one sink, found {sorted(sinks)}"
+        )
+    sink = sinks[0]
+
+    edge_set = None
+    if edges is not None:
+        edge_set = set()
+        for a, b in edges:
+            edge_set.add((a, b))
+            edge_set.add((b, a))
+
+    for node, target in next_pointers.items():
+        if target is None:
+            continue
+        if target not in nodes:
+            raise TopologyError(f"node {node} points at unknown node {target}")
+        if target == node:
+            raise TopologyError(f"node {node} points at itself")
+        if edge_set is not None and (node, target) not in edge_set:
+            raise TopologyError(
+                f"node {node} points at {target}, which is not a neighbour in the tree"
+            )
+
+    for node in nodes:
+        visited = set()
+        current: Optional[int] = node
+        while current is not None:
+            if current in visited:
+                raise TopologyError(
+                    f"NEXT pointers contain a cycle reachable from node {node}"
+                )
+            visited.add(current)
+            current = next_pointers[current]
+        if sink not in visited:
+            raise TopologyError(
+                f"node {node} cannot reach the sink {sink} by following NEXT pointers"
+            )
+
+    return sink

@@ -1,0 +1,17 @@
+"""Text rendering of topologies, orientations, and protocol state.
+
+The paper communicates its algorithm through figures: drawings of the oriented
+logical structure (Figures 1, 2, 8) and per-step variable tables (Figure 6).
+This package reproduces both in plain text, which the examples print and the
+paper-trace tests compare against.
+"""
+
+from repro.viz.ascii_dag import render_orientation, render_topology
+from repro.viz.state_table import render_state_table, state_table_rows
+
+__all__ = [
+    "render_topology",
+    "render_orientation",
+    "render_state_table",
+    "state_table_rows",
+]

@@ -1,0 +1,62 @@
+"""ASCII rendering of logical topologies and their current orientation."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional
+
+from repro.topology.base import Topology
+
+
+def render_topology(topology: Topology, *, label: Optional[str] = None) -> str:
+    """Render the undirected tree as an indented adjacency listing.
+
+    The token holder is marked with ``[*]``; this mirrors the shading the
+    paper uses to mark the holder in its figures.
+    """
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    root = topology.token_holder
+    seen = {root}
+    queue = deque([(root, 0)])
+    # Depth-first ordering gives the usual tree indentation.
+    stack = [(root, 0)]
+    seen = set()
+    while stack:
+        node, depth = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        marker = " [*]" if node == topology.token_holder else ""
+        lines.append(f"{'  ' * depth}{node}{marker}")
+        for neighbour in sorted(topology.neighbors(node), reverse=True):
+            if neighbour not in seen:
+                stack.append((neighbour, depth + 1))
+    return "\n".join(lines)
+
+
+def render_orientation(
+    next_pointers: Mapping[int, Optional[int]],
+    *,
+    label: Optional[str] = None,
+) -> str:
+    """Render ``NEXT`` pointers as arrows, sinks marked explicitly.
+
+    Example output::
+
+        1 -> 2
+        2 -> 3
+        3    (sink)
+    """
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    width = max(len(str(node)) for node in next_pointers)
+    for node in sorted(next_pointers):
+        target = next_pointers[node]
+        if target is None:
+            lines.append(f"{str(node).rjust(width)}    (sink)")
+        else:
+            lines.append(f"{str(node).rjust(width)} -> {target}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The experiment driver: replay a workload against an algorithm.
+
+The driver owns the interaction pattern the paper assumes: a node issues at
+most one request at a time, stays in its critical section for the request's
+duration, and releases.  Requests that a workload schedules while the node's
+previous one is still in progress are queued locally and issued as soon as the
+node is free again, so the same :class:`~repro.workload.requests.Workload` can
+be replayed against algorithms of very different speeds and still make sense.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Type, Union
+
+from repro.baselines.base import MutexSystem, registry
+from repro.exceptions import ExperimentError
+from repro.sim.latency import LatencyModel
+from repro.topology.base import Topology
+from repro.workload.requests import CSRequest, Workload
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of replaying one workload against one algorithm.
+
+    Attributes:
+        algorithm: the algorithm's registry name.
+        topology: short description of the logical topology.
+        workload: short description of the workload.
+        completed_entries: critical-section entries completed.
+        total_messages: protocol messages sent.
+        messages_per_entry: ``total_messages / completed_entries``.
+        messages_by_type: per-message-type send counts.
+        mean_waiting_time: average request-to-entry time.
+        sync_delays: observed synchronization delays (time units).
+        max_sync_delay: largest synchronization delay observed.
+        entry_order: nodes in the order they entered the critical section.
+        finished_at: virtual time at which the last event was processed.
+    """
+
+    algorithm: str
+    topology: str
+    workload: str
+    completed_entries: int
+    total_messages: int
+    messages_per_entry: float
+    messages_by_type: Dict[str, int]
+    mean_waiting_time: float
+    sync_delays: List[float]
+    max_sync_delay: Optional[float]
+    entry_order: List[int]
+    finished_at: float
+
+    @property
+    def mean_sync_delay(self) -> Optional[float]:
+        """Average synchronization delay, or ``None`` if no entry waited."""
+        if not self.sync_delays:
+            return None
+        return sum(self.sync_delays) / len(self.sync_delays)
+
+    def summary_row(self) -> Dict[str, Any]:
+        """Compact dictionary used by comparison tables."""
+        return {
+            "algorithm": self.algorithm,
+            "entries": self.completed_entries,
+            "messages": self.total_messages,
+            "messages_per_entry": round(self.messages_per_entry, 3),
+            "mean_sync_delay": (
+                round(self.mean_sync_delay, 3) if self.mean_sync_delay is not None else None
+            ),
+            "max_sync_delay": self.max_sync_delay,
+            "mean_waiting_time": round(self.mean_waiting_time, 3),
+        }
+
+
+class ExperimentDriver:
+    """Replays a :class:`Workload` against a :class:`MutexSystem`."""
+
+    def __init__(
+        self,
+        system: MutexSystem,
+        workload: Workload,
+    ) -> None:
+        self.system = system
+        self.workload = workload
+        self.entry_order: List[int] = []
+        # Requests waiting because their node is still busy with an earlier one.
+        self._backlog: Dict[int, Deque[CSRequest]] = {}
+        # The request currently being served (or waited on) per node.
+        self._active: Dict[int, CSRequest] = {}
+        system._on_enter = self._handle_enter  # driver owns the enter hook
+        for node in system.nodes.values():
+            node._on_enter = self._handle_enter
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, *, max_events: int = 5_000_000) -> ExperimentResult:
+        """Replay the workload to completion and return the result.
+
+        Raises:
+            ExperimentError: if some requests are never granted (deadlock or
+                starvation in the algorithm under test) or the event budget is
+                exhausted.
+        """
+        engine = self.system.engine
+        for request in self.workload:
+            engine.schedule(
+                request.arrival_time,
+                self._make_arrival(request),
+            )
+        # Drive through the system's run() (not the engine directly) so that
+        # systems which interleave invariant checking with event processing
+        # keep doing so under the driver.
+        processed = self.system.run(max_events=max_events)
+        if engine.pending_events > 0:
+            raise ExperimentError(
+                f"{self.system.algorithm_name}: event budget of {max_events} exhausted "
+                f"after {processed} events; the run did not finish"
+            )
+        self._verify_completion()
+        metrics = self.system.metrics
+        return ExperimentResult(
+            algorithm=self.system.algorithm_name,
+            topology=self.system.topology.describe(),
+            workload=self.workload.description,
+            completed_entries=metrics.completed_entries,
+            total_messages=metrics.total_messages,
+            messages_per_entry=metrics.messages_per_entry,
+            messages_by_type=metrics.messages_by_type,
+            mean_waiting_time=metrics.mean_waiting_time(),
+            sync_delays=metrics.sync_delays,
+            max_sync_delay=metrics.max_sync_delay,
+            entry_order=list(self.entry_order),
+            finished_at=engine.now,
+        )
+
+    # ------------------------------------------------------------------ #
+    # event plumbing
+    # ------------------------------------------------------------------ #
+    def _make_arrival(self, request: CSRequest):
+        def arrival(_event) -> None:
+            self._issue_or_queue(request)
+
+        return arrival
+
+    def _issue_or_queue(self, request: CSRequest) -> None:
+        node = self.system.node(request.node)
+        if request.node in self._active or node.requesting or node.in_critical_section:
+            self._backlog.setdefault(request.node, deque()).append(request)
+            return
+        self._active[request.node] = request
+        node.request_cs()
+
+    def _handle_enter(self, node_id: int, time: float) -> None:
+        self.entry_order.append(node_id)
+        request = self._active.get(node_id)
+        duration = request.cs_duration if request is not None else 1.0
+        self.system.engine.schedule_after(duration, self._make_release(node_id))
+
+    def _make_release(self, node_id: int):
+        def release(_event) -> None:
+            self.system.node(node_id).release_cs()
+            self._active.pop(node_id, None)
+            backlog = self._backlog.get(node_id)
+            if backlog:
+                self._issue_or_queue(backlog.popleft())
+
+        return release
+
+    def _verify_completion(self) -> None:
+        unserved = [
+            node_id
+            for node_id, node in self.system.nodes.items()
+            if node.requesting or node.in_critical_section
+        ]
+        backlog = sorted(node for node, queue in self._backlog.items() if queue)
+        if unserved or backlog:
+            raise ExperimentError(
+                f"{self.system.algorithm_name}: workload did not complete; "
+                f"nodes still waiting or executing: {unserved}, backlogged nodes: {backlog}"
+            )
+
+
+def run_experiment(
+    algorithm: Union[str, Type[MutexSystem]],
+    topology: Topology,
+    workload: Workload,
+    *,
+    latency: Optional[LatencyModel] = None,
+    record_trace: bool = False,
+) -> ExperimentResult:
+    """Convenience wrapper: build the system, replay the workload, return results.
+
+    Args:
+        algorithm: a registry name (``"dag"``, ``"raymond"``, ...) or a
+            :class:`MutexSystem` subclass.
+        topology: the logical topology (edges are ignored by the algorithms
+            that assume a fully connected logical network).
+        workload: the request schedule to replay.
+        latency: optional network latency model.
+        record_trace: record a full protocol trace on the system (accessible
+            via ``result`` only indirectly; use :class:`ExperimentDriver`
+            directly when the trace itself is needed).
+    """
+    system_class = registry.get(algorithm) if isinstance(algorithm, str) else algorithm
+    system = system_class(topology, latency=latency, record_trace=record_trace)
+    driver = ExperimentDriver(system, workload)
+    return driver.run()

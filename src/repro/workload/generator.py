@@ -1,0 +1,172 @@
+"""Reproducible workload generators.
+
+The average-bound and heavy-demand analyses of Section 6.2 assume particular
+request patterns ("each node equally likely to hold the token", "heavy
+demand").  These generators produce such patterns as explicit
+:class:`~repro.workload.requests.Workload` schedules so that the *same*
+schedule can be replayed against every algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.sim.rng import SeededRNG
+from repro.workload.requests import CSRequest, Workload
+
+
+class WorkloadGenerator:
+    """Factory for randomised workloads, deterministic per seed."""
+
+    def __init__(self, node_ids: Sequence[int], *, seed: int = 0) -> None:
+        if not node_ids:
+            raise WorkloadError("workloads need at least one node")
+        self.node_ids = tuple(node_ids)
+        self._rng = SeededRNG(seed, label="workload")
+
+    # ------------------------------------------------------------------ #
+    # arrival patterns
+    # ------------------------------------------------------------------ #
+    def poisson(
+        self,
+        *,
+        total_requests: int,
+        mean_interarrival: float,
+        cs_duration: float = 1.0,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> Workload:
+        """Poisson arrivals over uniformly chosen nodes.
+
+        ``mean_interarrival`` controls the load: small values produce heavy
+        contention (many requests outstanding at once), large values keep the
+        system mostly idle between requests.
+        """
+        if total_requests < 0:
+            raise WorkloadError(f"total_requests must be >= 0, got {total_requests}")
+        candidates = tuple(nodes) if nodes is not None else self.node_ids
+        rng = self._rng.child("poisson")
+        requests = []
+        time = 0.0
+        for _ in range(total_requests):
+            time += rng.exponential(mean_interarrival)
+            requests.append(
+                CSRequest(node=rng.choice(candidates), arrival_time=time, cs_duration=cs_duration)
+            )
+        return Workload(
+            requests=tuple(requests),
+            description=(
+                f"poisson: {total_requests} requests, mean interarrival "
+                f"{mean_interarrival}, cs={cs_duration}"
+            ),
+        )
+
+    def uniform_single_requests(
+        self,
+        *,
+        cs_duration: float = 1.0,
+        spacing: float = 1000.0,
+    ) -> Workload:
+        """Each node issues exactly one request, far apart in time.
+
+        With ``spacing`` much larger than the diameter and CS duration, every
+        request finds an otherwise idle system — the light-load regime of the
+        Section 6.2 average-bound analysis.
+        """
+        requests = [
+            CSRequest(node=node, arrival_time=index * spacing, cs_duration=cs_duration)
+            for index, node in enumerate(self._rng.child("order").shuffle(self.node_ids))
+        ]
+        return Workload(
+            requests=tuple(requests),
+            description=f"one isolated request per node, spacing {spacing}",
+        )
+
+    def heavy_demand(
+        self,
+        *,
+        rounds: int,
+        cs_duration: float = 1.0,
+    ) -> Workload:
+        """Every node requests in every round, all rounds back to back.
+
+        This is the paper's "heavy demand" regime: the token never idles and
+        each entry amortises to at most three messages on the star topology.
+        """
+        if rounds < 1:
+            raise WorkloadError(f"rounds must be >= 1, got {rounds}")
+        requests = []
+        for round_index in range(rounds):
+            for node in self.node_ids:
+                requests.append(
+                    CSRequest(
+                        node=node,
+                        arrival_time=float(round_index),
+                        cs_duration=cs_duration,
+                    )
+                )
+        return Workload(
+            requests=tuple(requests),
+            description=f"heavy demand: {rounds} rounds x {len(self.node_ids)} nodes",
+        )
+
+    def hotspot(
+        self,
+        *,
+        total_requests: int,
+        hot_nodes: Sequence[int],
+        hot_fraction: float = 0.8,
+        mean_interarrival: float = 5.0,
+        cs_duration: float = 1.0,
+    ) -> Workload:
+        """A skewed workload where a few nodes issue most of the requests.
+
+        Useful for showing how the DAG re-orients itself toward the active
+        region of the tree (requests from the hot region become cheap).
+        """
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise WorkloadError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        missing = [node for node in hot_nodes if node not in self.node_ids]
+        if missing:
+            raise WorkloadError(f"hot nodes {missing} are not part of the node set")
+        cold_nodes = [node for node in self.node_ids if node not in set(hot_nodes)] or list(
+            hot_nodes
+        )
+        rng = self._rng.child("hotspot")
+        requests = []
+        time = 0.0
+        for _ in range(total_requests):
+            time += rng.exponential(mean_interarrival)
+            pool = tuple(hot_nodes) if rng.random() < hot_fraction else tuple(cold_nodes)
+            requests.append(
+                CSRequest(node=rng.choice(pool), arrival_time=time, cs_duration=cs_duration)
+            )
+        return Workload(
+            requests=tuple(requests),
+            description=(
+                f"hotspot: {total_requests} requests, {hot_fraction:.0%} from {list(hot_nodes)}"
+            ),
+        )
+
+    def round_robin(
+        self,
+        *,
+        rounds: int,
+        spacing: float = 50.0,
+        cs_duration: float = 1.0,
+    ) -> Workload:
+        """Nodes take turns requesting, one at a time, well separated."""
+        if rounds < 1:
+            raise WorkloadError(f"rounds must be >= 1, got {rounds}")
+        requests = []
+        slot = 0
+        for _ in range(rounds):
+            for node in self.node_ids:
+                requests.append(
+                    CSRequest(node=node, arrival_time=slot * spacing, cs_duration=cs_duration)
+                )
+                slot += 1
+        return Workload(
+            requests=tuple(requests),
+            description=f"round robin: {rounds} rounds, spacing {spacing}",
+        )

@@ -1,0 +1,98 @@
+"""Workload data types: critical-section requests and schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class CSRequest:
+    """One critical-section request in a workload.
+
+    Attributes:
+        node: the node that issues the request.
+        arrival_time: virtual time at which the request is issued.
+        cs_duration: how long the node stays inside its critical section once
+            it gets in.
+    """
+
+    node: int
+    arrival_time: float
+    cs_duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise WorkloadError(f"arrival time must be non-negative, got {self.arrival_time}")
+        if self.cs_duration < 0:
+            raise WorkloadError(f"CS duration must be non-negative, got {self.cs_duration}")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered schedule of critical-section requests.
+
+    The schedule may contain several requests by the same node; the driver
+    serialises them (a node never has two outstanding requests, matching the
+    paper's assumption) by delaying a request until the node's previous one
+    has completed.
+    """
+
+    requests: Tuple[CSRequest, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.requests, key=lambda r: (r.arrival_time, r.node)))
+        object.__setattr__(self, "requests", ordered)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[CSRequest]:
+        return iter(self.requests)
+
+    @property
+    def nodes(self) -> List[int]:
+        """Distinct nodes that appear in the workload, sorted."""
+        return sorted({request.node for request in self.requests})
+
+    @property
+    def horizon(self) -> float:
+        """Latest arrival time in the schedule (0.0 for an empty workload)."""
+        if not self.requests:
+            return 0.0
+        return max(request.arrival_time for request in self.requests)
+
+    def per_node_counts(self) -> Dict[int, int]:
+        """Number of requests issued by each node."""
+        counts: Dict[int, int] = {}
+        for request in self.requests:
+            counts[request.node] = counts.get(request.node, 0) + 1
+        return counts
+
+    @classmethod
+    def single(cls, node: int, *, cs_duration: float = 1.0) -> "Workload":
+        """A workload with one immediate request by ``node``."""
+        return cls(
+            requests=(CSRequest(node=node, arrival_time=0.0, cs_duration=cs_duration),),
+            description=f"single request by node {node}",
+        )
+
+    @classmethod
+    def simultaneous(
+        cls,
+        nodes: Sequence[int],
+        *,
+        cs_duration: float = 1.0,
+        arrival_time: float = 0.0,
+    ) -> "Workload":
+        """All of ``nodes`` request at the same instant (heavy instantaneous load)."""
+        return cls(
+            requests=tuple(
+                CSRequest(node=node, arrival_time=arrival_time, cs_duration=cs_duration)
+                for node in nodes
+            ),
+            description=f"simultaneous requests by {list(nodes)}",
+        )

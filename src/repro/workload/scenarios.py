@@ -1,0 +1,157 @@
+"""Canned experiment scenarios used by the benchmark harness and the examples.
+
+Each scenario corresponds to a setting described in the paper's evaluation:
+worst-case placement for the upper bound (§6.1), uniformly random token
+placement with isolated requests for the average bound (§6.2), all nodes
+requesting continuously for heavy demand (§6.2), and back-to-back requests for
+the synchronization delay (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Type, Union
+
+from repro.baselines.base import MutexSystem, registry
+from repro.sim.latency import ConstantLatency
+from repro.topology.base import Topology
+from repro.topology.metrics import eccentricity, path_between
+from repro.workload.driver import ExperimentResult, run_experiment
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import CSRequest, Workload
+
+AlgorithmSpec = Union[str, Type[MutexSystem]]
+
+
+def worst_case_placement(topology: Topology) -> Tuple[Topology, Workload]:
+    """Token and requester at opposite ends of the longest path (§6.1).
+
+    Returns the topology re-rooted so the token holder is one endpoint of a
+    diameter path and a single-request workload issued by the other endpoint.
+    """
+    # Find a diameter endpoint pair: the node with maximum eccentricity and
+    # the farthest node from it.
+    nodes = list(topology.nodes)
+    first = max(nodes, key=lambda node: eccentricity(topology, node))
+    # Farthest node from `first`:
+    farthest = max(nodes, key=lambda node: len(path_between(topology, first, node)))
+    holder_topology = topology.with_token_holder(first)
+    workload = Workload.single(farthest)
+    return holder_topology, workload
+
+
+def single_request_run(
+    algorithm: AlgorithmSpec,
+    topology: Topology,
+    requester: int,
+) -> ExperimentResult:
+    """One isolated request by ``requester`` on an otherwise idle system."""
+    return run_experiment(
+        algorithm,
+        topology,
+        Workload.single(requester),
+        latency=ConstantLatency(1.0),
+    )
+
+
+def average_messages_over_placements(
+    algorithm: AlgorithmSpec,
+    topology: Topology,
+) -> float:
+    """Average messages per entry over all (token placement, requester) pairs.
+
+    This is the §6.2 experiment: every node is equally likely to hold the
+    token, every node is equally likely to be the requester, and each request
+    happens on an otherwise idle system.
+    """
+    total_messages = 0
+    runs = 0
+    for holder in topology.nodes:
+        rooted = topology.with_token_holder(holder)
+        for requester in topology.nodes:
+            result = single_request_run(algorithm, rooted, requester)
+            total_messages += result.total_messages
+            runs += 1
+    return total_messages / runs
+
+
+def heavy_demand_run(
+    algorithm: AlgorithmSpec,
+    topology: Topology,
+    *,
+    rounds: int = 5,
+    cs_duration: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Every node requests in every round, back to back (§6.2 heavy demand)."""
+    generator = WorkloadGenerator(topology.nodes, seed=seed)
+    workload = generator.heavy_demand(rounds=rounds, cs_duration=cs_duration)
+    return run_experiment(algorithm, topology, workload, latency=ConstantLatency(1.0))
+
+
+def sync_delay_run(
+    algorithm: AlgorithmSpec,
+    topology: Topology,
+    *,
+    first: Optional[int] = None,
+    second: Optional[int] = None,
+    cs_duration: float = 50.0,
+) -> ExperimentResult:
+    """Two requests where the second must wait for the first (§6.3).
+
+    The first requester occupies the critical section long enough for the
+    second request to be fully queued before the release, so the measured gap
+    between exit and the next entry is exactly the synchronization delay.
+
+    By default both requesters are chosen among nodes *other than* the initial
+    token holder (when the system is large enough), since a releasing
+    coordinator / token holder would short-circuit part of the hand-off and
+    understate the delay the paper describes.
+    """
+    nodes = list(topology.nodes)
+    candidates = [node for node in nodes if node != topology.token_holder] or nodes
+    first = candidates[0] if first is None else first
+    second = candidates[-1] if second is None else second
+    if first == second:
+        raise ValueError("synchronization delay needs two distinct requesters")
+    workload = Workload(
+        requests=(
+            CSRequest(node=first, arrival_time=0.0, cs_duration=cs_duration),
+            CSRequest(node=second, arrival_time=1.0, cs_duration=1.0),
+        ),
+        description=f"sync-delay pair: {first} then {second}",
+    )
+    return run_experiment(algorithm, topology, workload, latency=ConstantLatency(1.0))
+
+
+def poisson_run(
+    algorithm: AlgorithmSpec,
+    topology: Topology,
+    *,
+    total_requests: int = 100,
+    mean_interarrival: float = 5.0,
+    cs_duration: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A Poisson workload replayed against one algorithm (used by E9)."""
+    generator = WorkloadGenerator(topology.nodes, seed=seed)
+    workload = generator.poisson(
+        total_requests=total_requests,
+        mean_interarrival=mean_interarrival,
+        cs_duration=cs_duration,
+    )
+    return run_experiment(algorithm, topology, workload, latency=ConstantLatency(1.0))
+
+
+def compare_algorithms(
+    topology: Topology,
+    workload: Workload,
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Replay the same workload against several algorithms (default: all)."""
+    names = list(algorithms) if algorithms is not None else registry.names()
+    return [
+        run_experiment(name, topology, workload, latency=ConstantLatency(1.0))
+        for name in names
+    ]

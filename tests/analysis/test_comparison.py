@@ -1,0 +1,54 @@
+"""Unit tests for paper-vs-measured comparison rows."""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import (
+    compare_exact,
+    compare_measured_to_theory,
+    compare_upper_bound,
+)
+from repro.topology import star
+from repro.workload import Workload
+from repro.workload.scenarios import compare_algorithms
+
+
+def test_compare_exact_within_tolerance():
+    row = compare_exact("avg", paper_value=2.5, measured_value=2.5, unit="msgs")
+    assert row.within_bound
+    row = compare_exact("avg", 2.5, 2.6, unit="msgs", tolerance=0.05)
+    assert not row.within_bound
+    row = compare_exact("avg", 2.5, 2.52, unit="msgs", tolerance=0.05)
+    assert row.within_bound
+
+
+def test_compare_upper_bound():
+    assert compare_upper_bound("x", bound=3.0, measured_value=2.9, unit="msgs").within_bound
+    assert not compare_upper_bound("x", bound=3.0, measured_value=3.5, unit="msgs").within_bound
+    assert compare_upper_bound("x", bound=3.0, measured_value=3.0, unit="msgs").within_bound
+
+
+def test_as_row_rendering():
+    row = compare_exact("avg messages", 2.5, 2.5, unit="msgs").as_row()
+    assert row["experiment"] == "avg messages"
+    assert row["ok"] == "yes"
+    assert row["unit"] == "msgs"
+
+
+def test_measured_results_respect_section_6_1_bounds_on_the_star():
+    """Single-request runs on the star stay within every paper upper bound."""
+    topology = star(9, token_holder=2)
+    results = compare_algorithms(topology, Workload.single(7))
+    rows = compare_measured_to_theory(results, n=9, diameter=2)
+    assert len(rows) == len(results)
+    assert all(row.within_bound for row in rows), [
+        (row.label, row.paper_value, row.measured_value) for row in rows
+    ]
+
+
+def test_dag_row_uses_diameter_plus_one():
+    topology = star(9, token_holder=2)
+    results = compare_algorithms(topology, Workload.single(7), algorithms=["dag"])
+    row = compare_measured_to_theory(results, n=9, diameter=2)[0]
+    assert row.paper_value == 3
+    assert row.measured_value == 3
+    assert row.within_bound

@@ -1,0 +1,67 @@
+"""Unit tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series, format_table
+
+
+def test_format_table_alignment_and_content():
+    rows = [
+        {"algorithm": "dag", "messages": 3},
+        {"algorithm": "raymond", "messages": 4},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("algorithm")
+    assert "-+-" in lines[1]
+    assert "dag" in lines[2]
+    assert "raymond" in lines[3]
+    # All rows have identical width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_with_title_and_column_order():
+    rows = [{"b": 2, "a": 1}]
+    text = format_table(rows, columns=["a", "b"], title="My table")
+    lines = text.splitlines()
+    assert lines[0] == "My table"
+    assert set(lines[1]) == {"="}
+    assert lines[2].index("a") < lines[2].index("b")
+
+
+def test_format_table_missing_keys_render_empty():
+    rows = [{"a": 1, "b": 2}, {"a": 3}]
+    text = format_table(rows)
+    assert text.count("\n") == 3
+
+
+def test_format_table_empty_rows():
+    assert format_table([]) == "(no rows)"
+    assert format_table([], title="Nothing") == "Nothing"
+
+
+def test_float_rendering_strips_trailing_zeros():
+    text = format_table([{"x": 2.500, "y": 3.0}])
+    assert "2.5" in text
+    assert "2.500" not in text
+    assert " 3 " in text or text.rstrip().endswith("3")
+
+
+def test_format_series():
+    text = format_series(
+        {"dag": [1.0, 2.0], "raymond": [2.0, 4.0]},
+        x_label="N",
+        x_values=[4, 8],
+        title="messages vs N",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "messages vs N"
+    assert "N" in lines[2]
+    assert "dag" in lines[2]
+    assert "raymond" in lines[2]
+    assert "4" in lines[4]
+
+
+def test_format_series_handles_short_series():
+    text = format_series({"a": [1.0]}, x_label="N", x_values=[2, 4])
+    assert text.splitlines()[-1].strip().startswith("4")

@@ -1,0 +1,96 @@
+"""Unit tests for result summarisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import (
+    confidence_interval,
+    summarize_by_algorithm,
+    summarize_results,
+)
+from repro.workload.driver import ExperimentResult
+
+
+def make_result(algorithm="dag", messages=6, entries=2, delays=(1.0,), waiting=2.0):
+    return ExperimentResult(
+        algorithm=algorithm,
+        topology="t",
+        workload="w",
+        completed_entries=entries,
+        total_messages=messages,
+        messages_per_entry=messages / entries,
+        messages_by_type={"REQUEST": messages},
+        mean_waiting_time=waiting,
+        sync_delays=list(delays),
+        max_sync_delay=max(delays) if delays else None,
+        entry_order=[1] * entries,
+        finished_at=10.0,
+    )
+
+
+def test_summarize_single_result():
+    summary = summarize_results([make_result()])
+    assert summary.algorithm == "dag"
+    assert summary.runs == 1
+    assert summary.total_entries == 2
+    assert summary.mean_messages_per_entry == 3.0
+    assert summary.mean_sync_delay == 1.0
+    assert summary.max_sync_delay == 1.0
+
+
+def test_summarize_multiple_results_aggregates():
+    results = [
+        make_result(messages=6, entries=2, delays=(1.0,)),
+        make_result(messages=12, entries=2, delays=(2.0, 4.0)),
+    ]
+    summary = summarize_results(results)
+    assert summary.runs == 2
+    assert summary.total_entries == 4
+    assert summary.mean_messages_per_entry == pytest.approx((3.0 + 6.0) / 2)
+    assert summary.min_messages_per_entry == 3.0
+    assert summary.max_messages_per_entry == 6.0
+    assert summary.mean_sync_delay == pytest.approx((1.0 + 3.0) / 2)
+    assert summary.max_sync_delay == 4.0
+
+
+def test_summarize_handles_runs_without_sync_delays():
+    summary = summarize_results([make_result(delays=())])
+    assert summary.mean_sync_delay is None
+    assert summary.max_sync_delay is None
+
+
+def test_summarize_rejects_empty_and_mixed_input():
+    with pytest.raises(ValueError):
+        summarize_results([])
+    with pytest.raises(ValueError):
+        summarize_results([make_result(algorithm="dag"), make_result(algorithm="raymond")])
+
+
+def test_summarize_by_algorithm_groups():
+    grouped = summarize_by_algorithm(
+        [make_result("dag"), make_result("raymond"), make_result("dag")]
+    )
+    assert set(grouped) == {"dag", "raymond"}
+    assert grouped["dag"].runs == 2
+    assert grouped["raymond"].runs == 1
+
+
+def test_as_row_has_table_friendly_values():
+    row = summarize_results([make_result(delays=())]).as_row()
+    assert row["algorithm"] == "dag"
+    assert row["sync delay (mean)"] == "-"
+    assert isinstance(row["msgs/entry (mean)"], float)
+
+
+def test_confidence_interval_basics():
+    mean, half_width = confidence_interval([2.0, 2.0, 2.0, 2.0])
+    assert mean == 2.0
+    assert half_width == 0.0
+    mean, half_width = confidence_interval([1.0, 3.0])
+    assert mean == 2.0
+    assert half_width > 0.0
+    mean, half_width = confidence_interval([5.0])
+    assert (mean, half_width) == (5.0, 0.0)
+    with pytest.raises(ValueError):
+        confidence_interval([])

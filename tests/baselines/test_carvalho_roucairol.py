@@ -1,0 +1,142 @@
+"""Unit tests for the Carvalho–Roucairol optimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.carvalho_roucairol import CarvalhoRoucairolSystem
+from repro.topology import star
+
+
+@pytest.fixture
+def system():
+    return CarvalhoRoucairolSystem(star(5))
+
+
+def test_first_entry_costs_like_ricart_agrawala(system):
+    system.request(2)
+    system.run_until_quiescent()
+    system.release(2)
+    system.run_until_quiescent()
+    assert system.metrics.total_messages == 2 * 4
+
+
+def test_repeated_entry_by_same_node_is_free(system):
+    system.request(2)
+    system.run_until_quiescent()
+    system.release(2)
+    system.run_until_quiescent()
+    first_total = system.metrics.total_messages
+    # Node 2 still holds everyone's cached permission: re-entry needs nothing.
+    system.request(2)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+    assert system.metrics.total_messages == first_total
+    system.release(2)
+    system.run_until_quiescent()
+    assert system.metrics.total_messages == first_total
+
+
+def test_permission_lost_only_toward_requesting_peer(system):
+    system.request(2)
+    system.run_until_quiescent()
+    system.release(2)
+    system.run_until_quiescent()
+    # Node 3 now requests: node 2 must answer and lose node 3's permission,
+    # but keeps the others.
+    system.request(3)
+    system.run_until_quiescent()
+    assert system.in_critical_section(3)
+    assert 3 not in system.node(2).authorized
+    assert {1, 4, 5} <= system.node(2).authorized
+    system.release(3)
+    system.run_until_quiescent()
+    # Node 2's next entry only needs to ask node 3 (2 messages), not everyone.
+    before = system.metrics.total_messages
+    system.request(2)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+    assert system.metrics.total_messages - before == 2
+    system.release(2)
+
+
+def test_mutual_exclusion_under_simultaneous_requests(system):
+    for node in system.node_ids:
+        system.request(node)
+    system.run_until_quiescent()
+    assert len(system.nodes_in_critical_section()) == 1
+
+
+def test_full_cache_wins_any_race_without_messages(system):
+    """A node holding every cached permission re-enters immediately, so a
+    racing request from another node simply gets deferred."""
+    system.request(2)
+    system.run_until_quiescent()
+    system.release(2)
+    system.run_until_quiescent()
+    before = system.metrics.total_messages
+    system.request(2)   # full cache: enters with no messages at all
+    system.request(1)
+    assert system.in_critical_section(2)
+    system.run_until_quiescent()
+    assert not system.in_critical_section(1)
+    system.release(2)
+    system.run_until_quiescent()
+    assert system.in_critical_section(1)
+    system.release(1)
+    system.run_until_quiescent()
+    # Node 2 spent nothing; node 1 spent its broadcast and the replies.
+    assert system.metrics.total_messages - before == 2 * 4
+
+
+def test_requesting_node_rerequests_after_surrendering_permission(system):
+    # Round 1: node 2 acquires and releases, caching everyone's permission.
+    system.request(2)
+    system.run_until_quiescent()
+    system.release(2)
+    system.run_until_quiescent()
+    # Round 2: node 3 acquires and releases, which costs node 2 its cached
+    # permission from node 3 (node 2 had to reply to node 3's request).
+    system.request(3)
+    system.run_until_quiescent()
+    system.release(3)
+    system.run_until_quiescent()
+    assert 3 not in system.node(2).authorized
+    assert 1 in system.node(2).authorized
+    # Round 3: nodes 2 and 1 race.  Node 2 only needs node 3's permission and
+    # does not ask node 1 (still cached); node 1's request carries an equal
+    # clock but a smaller node id, so it has priority.  Node 2 must surrender
+    # node 1's cached permission *and* re-issue its own request to node 1.
+    system.request(2)
+    system.request(1)
+    system.run_until_quiescent()
+    winner = system.nodes_in_critical_section()
+    assert winner == [1]
+    assert 1 not in system.node(2).authorized
+    system.release(1)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+    system.release(2)
+    system.run_until_quiescent()
+    assert system.nodes_in_critical_section() == []
+
+
+def test_all_requests_eventually_served_under_contention(system):
+    served = []
+    for node in system.node_ids:
+        system.request(node)
+    for _ in range(len(system.node_ids)):
+        system.run_until_quiescent()
+        current = system.nodes_in_critical_section()
+        if not current:
+            break
+        served.append(current[0])
+        system.release(current[0])
+    assert sorted(served) == system.node_ids
+
+
+def test_single_node_enters_immediately():
+    system = CarvalhoRoucairolSystem(star(1))
+    system.request(1)
+    assert system.in_critical_section(1)
+    assert system.metrics.total_messages == 0

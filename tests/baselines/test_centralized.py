@@ -1,0 +1,104 @@
+"""Unit tests for the centralized coordinator baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.centralized import CentralizedSystem
+from repro.exceptions import ProtocolError
+from repro.topology import star
+
+
+@pytest.fixture
+def system():
+    # Coordinator at node 1 (the topology's token holder).
+    return CentralizedSystem(star(6))
+
+
+def test_non_coordinator_entry_costs_three_messages(system):
+    system.request(4)
+    system.run_until_quiescent()
+    assert system.in_critical_section(4)
+    system.release(4)
+    system.run_until_quiescent()
+    assert system.metrics.total_messages == 3
+    assert system.metrics.messages_by_type == {"REQUEST": 1, "GRANT": 1, "RELEASE": 1}
+
+
+def test_coordinator_entry_costs_no_messages(system):
+    system.request(1)
+    assert system.in_critical_section(1)
+    system.release(1)
+    system.run_until_quiescent()
+    assert system.metrics.total_messages == 0
+
+
+def test_requests_are_served_in_arrival_order_at_coordinator(system):
+    for node in (3, 5, 2):
+        system.request(node)
+    system.run_until_quiescent()
+    served = []
+    while system.nodes_in_critical_section():
+        current = system.nodes_in_critical_section()[0]
+        served.append(current)
+        system.release(current)
+        system.run_until_quiescent()
+    assert served == [3, 5, 2]
+
+
+def test_mutual_exclusion_under_contention(system):
+    for node in (2, 3, 4, 5, 6):
+        system.request(node)
+    system.run_until_quiescent()
+    assert len(system.nodes_in_critical_section()) == 1
+
+
+def test_coordinator_queues_while_itself_executing(system):
+    system.request(1)
+    system.request(5)
+    system.run_until_quiescent()
+    assert system.in_critical_section(1)
+    assert not system.in_critical_section(5)
+    system.release(1)
+    system.run_until_quiescent()
+    assert system.in_critical_section(5)
+
+
+def test_sync_delay_is_two_messages(system):
+    """RELEASE to the coordinator plus GRANT to the next node."""
+    system.request(4)
+    system.run_until_quiescent()
+    system.request(5)
+    system.run_until_quiescent()
+    exit_time = None
+    system.release(4)
+    exit_time = system.engine.now
+    system.run_until_quiescent()
+    assert system.in_critical_section(5)
+    assert system.engine.now - exit_time == pytest.approx(2.0)
+
+
+def test_non_coordinator_rejects_coordinator_messages():
+    system = CentralizedSystem(star(4))
+    from repro.baselines.centralized import CentralRequest
+
+    with pytest.raises(ProtocolError):
+        system.node(2).on_message(3, CentralRequest(origin=3))
+
+
+def test_release_from_wrong_node_detected():
+    system = CentralizedSystem(star(4))
+    from repro.baselines.centralized import CentralRelease
+
+    system.request(2)
+    system.run_until_quiescent()
+    with pytest.raises(ProtocolError):
+        system.node(1).on_message(3, CentralRelease(origin=3))
+
+
+def test_unexpected_grant_detected():
+    system = CentralizedSystem(star(4))
+    from repro.baselines.centralized import CentralGrant
+
+    with pytest.raises(ProtocolError):
+        system.node(3).on_message(1, CentralGrant())

@@ -1,0 +1,93 @@
+"""Unit tests for Lamport's algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lamport import LamportSystem
+from repro.exceptions import ProtocolError
+from repro.topology import star
+
+
+@pytest.fixture
+def system():
+    return LamportSystem(star(5))
+
+
+def test_isolated_entry_costs_three_n_minus_one_messages(system):
+    system.request(3)
+    system.run_until_quiescent()
+    assert system.in_critical_section(3)
+    system.release(3)
+    system.run_until_quiescent()
+    # (N-1) REQUEST + (N-1) ACKNOWLEDGE + (N-1) RELEASE = 12 for N = 5.
+    assert system.metrics.total_messages == 3 * 4
+    assert system.metrics.messages_by_type == {
+        "REQUEST": 4,
+        "ACKNOWLEDGE": 4,
+        "RELEASE": 4,
+    }
+
+
+def test_mutual_exclusion_under_simultaneous_requests(system):
+    for node in (1, 2, 3, 4, 5):
+        system.request(node)
+    system.run_until_quiescent()
+    assert len(system.nodes_in_critical_section()) == 1
+
+
+def test_requests_granted_in_timestamp_order(system):
+    # All requests are issued at time 0 with clock 1, so ties are broken by
+    # node id: 1 < 2 < ... < 5.
+    for node in (4, 2, 5, 1, 3):
+        system.request(node)
+    order = []
+    for _ in range(5):
+        system.run_until_quiescent()
+        current = system.nodes_in_critical_section()[0]
+        order.append(current)
+        system.release(current)
+    assert order == [1, 2, 3, 4, 5]
+
+
+def test_later_request_waits_for_earlier_one(system):
+    system.request(5)
+    system.run_until_quiescent()
+    assert system.in_critical_section(5)
+    system.request(2)
+    system.run_until_quiescent()
+    assert not system.in_critical_section(2)
+    system.release(5)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+
+
+def test_logical_clocks_strictly_increase_on_receipt(system):
+    system.request(3)
+    system.run_until_quiescent()
+    requester_clock = system.node(3).clock
+    # Every other node advanced past the request's timestamp.
+    for node_id in (1, 2, 4, 5):
+        assert system.node(node_id).clock > 0
+    assert requester_clock >= 1
+
+
+def test_queue_entries_removed_on_release(system):
+    system.request(3)
+    system.run_until_quiescent()
+    assert all(3 in system.node(node_id).queue for node_id in system.node_ids)
+    system.release(3)
+    system.run_until_quiescent()
+    assert all(3 not in system.node(node_id).queue for node_id in system.node_ids)
+
+
+def test_unexpected_message_rejected(system):
+    with pytest.raises(ProtocolError):
+        system.node(1).on_message(2, "garbage")
+
+
+def test_single_node_system_enters_without_messages():
+    system = LamportSystem(star(1))
+    system.request(1)
+    assert system.in_critical_section(1)
+    assert system.metrics.total_messages == 0

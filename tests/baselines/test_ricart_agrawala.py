@@ -1,0 +1,98 @@
+"""Unit tests for the Ricart–Agrawala algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ricart_agrawala import RAReply, RARequest, RicartAgrawalaSystem
+from repro.exceptions import ProtocolError
+from repro.topology import star
+
+
+@pytest.fixture
+def system():
+    return RicartAgrawalaSystem(star(5))
+
+
+def test_isolated_entry_costs_two_n_minus_one_messages(system):
+    system.request(2)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+    system.release(2)
+    system.run_until_quiescent()
+    assert system.metrics.total_messages == 2 * 4
+    assert system.metrics.messages_by_type == {"REQUEST": 4, "REPLY": 4}
+
+
+def test_mutual_exclusion_under_simultaneous_requests(system):
+    for node in system.node_ids:
+        system.request(node)
+    system.run_until_quiescent()
+    assert len(system.nodes_in_critical_section()) == 1
+
+
+def test_replies_deferred_while_in_critical_section(system):
+    system.request(4)
+    system.run_until_quiescent()
+    system.request(2)
+    system.run_until_quiescent()
+    # Node 4 is executing, so node 2's request is deferred there.
+    assert 2 in system.node(4).deferred
+    assert not system.in_critical_section(2)
+    system.release(4)
+    system.run_until_quiescent()
+    assert system.in_critical_section(2)
+    assert system.node(4).deferred == set()
+
+
+def test_priority_by_timestamp_then_node_id(system):
+    for node in (5, 3, 1):
+        system.request(node)
+    order = []
+    for _ in range(3):
+        system.run_until_quiescent()
+        current = system.nodes_in_critical_section()[0]
+        order.append(current)
+        system.release(current)
+    assert order == [1, 3, 5]
+
+
+def test_priority_follows_logical_clocks_not_program_order(system):
+    system.request(3)
+    system.run_until_quiescent()
+    system.release(3)
+    system.run_until_quiescent()
+    # Node 1 heard node 3's first request, so its clock is ahead of node 3's.
+    # When both now request concurrently, node 3's *smaller* timestamp wins
+    # even though node 1's request_cs() call happened first in program order.
+    system.request(1)
+    system.request(3)
+    system.run_until_quiescent()
+    assert system.in_critical_section(3)
+    assert not system.in_critical_section(1)
+    system.release(3)
+    system.run_until_quiescent()
+    assert system.in_critical_section(1)
+
+
+def test_unexpected_reply_detected(system):
+    with pytest.raises(ProtocolError):
+        system.node(1).on_message(2, RAReply(origin=2))
+
+
+def test_unexpected_message_type_rejected(system):
+    with pytest.raises(ProtocolError):
+        system.node(1).on_message(2, object())
+
+
+def test_single_node_enters_immediately():
+    system = RicartAgrawalaSystem(star(1))
+    system.request(1)
+    assert system.in_critical_section(1)
+    assert system.metrics.total_messages == 0
+
+
+def test_request_message_carries_clock_and_origin():
+    message = RARequest(clock=7, origin=3)
+    assert message.payload_size() == 2
+    assert "7" in message.describe() and "3" in message.describe()

@@ -1,0 +1,44 @@
+"""Unit tests for the core protocol messages."""
+
+from __future__ import annotations
+
+from repro.core.messages import Initialize, Privilege, Request
+
+
+def test_request_fields_and_metadata():
+    message = Request(sender=4, origin=3)
+    assert message.sender == 4
+    assert message.origin == 3
+    assert message.type_name == "REQUEST"
+    assert message.payload_size() == 2
+    assert message.describe() == "REQUEST(4,3)"
+
+
+def test_privilege_carries_no_payload():
+    message = Privilege()
+    assert message.type_name == "PRIVILEGE"
+    assert message.payload_size() == 0
+    assert message.describe() == "PRIVILEGE"
+
+
+def test_initialize_fields():
+    message = Initialize(origin=7)
+    assert message.origin == 7
+    assert message.type_name == "INITIALIZE"
+    assert message.payload_size() == 1
+    assert "7" in message.describe()
+
+
+def test_messages_are_immutable_and_hashable():
+    first = Request(sender=1, origin=2)
+    second = Request(sender=1, origin=2)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert Privilege() == Privilege()
+    assert len({first, second, Privilege(), Privilege()}) == 2
+
+
+def test_storage_overhead_claim_of_section_6_4():
+    """The paper's storage claim: REQUEST carries two integers, PRIVILEGE none."""
+    assert Request(sender=1, origin=1).payload_size() == 2
+    assert Privilege().payload_size() == 0

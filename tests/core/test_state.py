@@ -1,0 +1,68 @@
+"""Unit tests for the Figure 4 state classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import NodeStateName, classify_state
+
+
+def classify(**kwargs):
+    defaults = {
+        "holding": False,
+        "in_critical_section": False,
+        "requesting": False,
+        "follow": None,
+    }
+    defaults.update(kwargs)
+    return classify_state(**defaults)
+
+
+def test_state_n_not_requesting_not_holding():
+    assert classify() is NodeStateName.NOT_REQUESTING
+
+
+def test_state_r_requesting_without_follow():
+    assert classify(requesting=True) is NodeStateName.REQUESTING
+
+
+def test_state_rf_requesting_with_follow():
+    assert classify(requesting=True, follow=4) is NodeStateName.REQUESTING_FOLLOW
+
+
+def test_state_e_executing_without_follow():
+    assert classify(in_critical_section=True) is NodeStateName.EXECUTING
+
+
+def test_state_ef_executing_with_follow():
+    assert classify(in_critical_section=True, follow=2) is NodeStateName.EXECUTING_FOLLOW
+
+
+def test_state_h_idle_holder():
+    assert classify(holding=True) is NodeStateName.HOLDING_IDLE
+
+
+def test_state_values_match_paper_labels():
+    assert NodeStateName.NOT_REQUESTING.value == "N"
+    assert NodeStateName.REQUESTING.value == "R"
+    assert NodeStateName.REQUESTING_FOLLOW.value == "RF"
+    assert NodeStateName.EXECUTING.value == "E"
+    assert NodeStateName.EXECUTING_FOLLOW.value == "EF"
+    assert NodeStateName.HOLDING_IDLE.value == "H"
+
+
+def test_unreachable_combinations_are_rejected():
+    # In the critical section while idle-holding or still requesting.
+    with pytest.raises(ValueError):
+        classify(in_critical_section=True, holding=True)
+    with pytest.raises(ValueError):
+        classify(in_critical_section=True, requesting=True)
+    # Idle holder that is also requesting, or with a captured FOLLOW
+    # (transition 8 would have passed the token immediately).
+    with pytest.raises(ValueError):
+        classify(holding=True, requesting=True)
+    with pytest.raises(ValueError):
+        classify(holding=True, follow=3)
+    # A FOLLOW pointer on a node that is neither waiting nor executing.
+    with pytest.raises(ValueError):
+        classify(follow=2)

@@ -1,0 +1,93 @@
+"""Property-based safety/liveness tests for every algorithm in the registry.
+
+Each algorithm is driven with randomized workloads on randomized trees.  Two
+properties are asserted for all of them: no two nodes are ever inside their
+critical sections at the same time (checked after every event), and every
+request is eventually granted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import registry
+from repro.baselines.base import MutexSystem
+from repro.topology.builders import random_tree
+from repro.workload.driver import ExperimentDriver
+from repro.workload.requests import CSRequest, Workload
+
+
+def checked_system(system_class, topology):
+    """Wrap a system class so its run() asserts mutual exclusion per event."""
+
+    class Checked(system_class):  # type: ignore[misc, valid-type]
+        def run(self, *, max_events=None, until=None):
+            processed = 0
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                stepped = self.engine.run(max_events=1, until=until)
+                if stepped == 0:
+                    break
+                processed += stepped
+                executing = self.nodes_in_critical_section()
+                assert len(executing) <= 1, (
+                    f"{self.algorithm_name}: nodes {executing} are all in their "
+                    "critical sections"
+                )
+            return processed
+
+    return Checked(topology)
+
+
+workload_spec = st.tuples(
+    st.integers(min_value=2, max_value=9),         # nodes
+    st.integers(min_value=0, max_value=300),       # topology seed
+    st.lists(                                      # (node index, gap, duration)
+        st.tuples(
+            st.integers(min_value=0, max_value=8),
+            st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+)
+
+
+def build(topology, request_spec):
+    requests = []
+    time = 0.0
+    for node_index, gap, duration in request_spec:
+        time += gap
+        requests.append(
+            CSRequest(
+                node=topology.nodes[node_index % topology.size],
+                arrival_time=time,
+                cs_duration=duration,
+            )
+        )
+    return Workload(requests=tuple(requests))
+
+
+# One hypothesis test per algorithm keeps failures attributable and lets the
+# budget-conscious example count stay modest per algorithm.
+def _make_property(algorithm_name: str, system_class: type):
+    @given(workload_spec)
+    @settings(max_examples=25, deadline=None)
+    def property_test(spec):
+        n, seed, request_spec = spec
+        topology = random_tree(n, seed=seed)
+        workload = build(topology, request_spec)
+        system = checked_system(system_class, topology)
+        result = ExperimentDriver(system, workload).run()
+        assert result.completed_entries == len(workload)
+
+    property_test.__name__ = f"test_{algorithm_name.replace('-', '_')}_safety_and_liveness"
+    return property_test
+
+
+for _name, _system_class in registry.items():
+    _test = _make_property(_name, _system_class)
+    globals()[_test.__name__] = _test
+del _test

@@ -1,0 +1,86 @@
+"""Property-based checks of the paper's quantitative claims (Chapter 6)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.theory import (
+    average_messages_dag_star,
+    upper_bound_messages,
+)
+from repro.topology.builders import random_tree, star
+from repro.topology.metrics import diameter, path_between
+from repro.workload.driver import run_experiment
+from repro.workload.requests import Workload
+from repro.workload.scenarios import average_messages_over_placements
+
+
+@given(
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=400),
+    st.integers(min_value=0, max_value=13),
+    st.integers(min_value=0, max_value=13),
+)
+@settings(max_examples=60, deadline=None)
+def test_isolated_dag_request_costs_path_length_plus_one(n, seed, holder_pick, requester_pick):
+    """An isolated entry costs exactly dist(requester, holder) + 1 messages
+    (or zero if the requester already holds the token) — the mechanism behind
+    both the upper bound and the average bound of Chapter 6."""
+    topology = random_tree(n, seed=seed)
+    holder = topology.nodes[holder_pick % n]
+    requester = topology.nodes[requester_pick % n]
+    rooted = topology.with_token_holder(holder)
+    result = run_experiment("dag", rooted, Workload.single(requester))
+    distance = len(path_between(topology, requester, holder)) - 1
+    expected = 0 if requester == holder else distance + 1
+    assert result.total_messages == expected
+    assert result.total_messages <= diameter(topology) + 1
+
+
+@given(
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=400),
+    st.integers(min_value=0, max_value=13),
+    st.integers(min_value=0, max_value=13),
+)
+@settings(max_examples=40, deadline=None)
+def test_raymond_isolated_request_within_twice_distance(n, seed, holder_pick, requester_pick):
+    """Raymond's bound (2 * distance) holds; with the DAG bound from the test
+    above this reproduces the paper's head-to-head comparison."""
+    topology = random_tree(n, seed=seed)
+    holder = topology.nodes[holder_pick % n]
+    requester = topology.nodes[requester_pick % n]
+    rooted = topology.with_token_holder(holder)
+    result = run_experiment("raymond", rooted, Workload.single(requester))
+    distance = len(path_between(topology, requester, holder)) - 1
+    expected = 0 if requester == holder else 2 * distance
+    assert result.total_messages == expected
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=9, deadline=None)
+def test_average_bound_formula_is_exact_on_the_star(n):
+    """Section 6.2's 3 - 5/N + 2/N² is not just a bound: the measured average
+    over all (holder, requester) pairs matches it exactly."""
+    measured = average_messages_over_placements("dag", star(n))
+    assert math.isclose(measured, average_messages_dag_star(n), rel_tol=1e-12)
+
+
+@given(
+    st.sampled_from(
+        ["lamport", "ricart-agrawala", "carvalho-roucairol", "suzuki-kasami", "singhal"]
+    ),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_broadcast_algorithms_respect_their_upper_bounds_for_isolated_requests(
+    algorithm, n, seed
+):
+    topology = random_tree(n, seed=seed)
+    requester = topology.nodes[seed % n]
+    result = run_experiment(algorithm, topology, Workload.single(requester))
+    bound = upper_bound_messages(algorithm, n=n, diameter=diameter(topology))
+    assert result.total_messages <= bound + 1e-9

@@ -1,0 +1,158 @@
+"""Integration tests for the asyncio cluster and the DistributedLock API."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import LockError
+from repro.runtime import DistributedLock, LocalCluster
+from repro.topology import line, star
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_cluster_lifecycle_and_lock_basics():
+    async def scenario():
+        async with LocalCluster(star(4)) as cluster:
+            assert cluster.node_ids == [1, 2, 3, 4]
+            assert cluster.token_location() == 1
+            lock = cluster.lock(3)
+            assert not lock.held
+            await lock.acquire()
+            assert lock.held
+            assert cluster.token_location() == 3
+            await lock.release()
+            assert not lock.held
+            assert cluster.token_location() == 3  # token stays where last used
+
+    run(scenario())
+
+
+def test_lock_requires_started_cluster():
+    cluster = LocalCluster(star(3))
+    with pytest.raises(LockError):
+        cluster.lock(2)
+
+
+def test_unknown_node_rejected():
+    async def scenario():
+        async with LocalCluster(star(3)) as cluster:
+            with pytest.raises(LockError):
+                cluster.lock(99)
+
+    run(scenario())
+
+
+def test_double_acquire_and_release_misuse_rejected():
+    async def scenario():
+        async with LocalCluster(star(3)) as cluster:
+            lock = cluster.lock(2)
+            await lock.acquire()
+            with pytest.raises(LockError):
+                await lock.acquire()
+            await lock.release()
+            with pytest.raises(LockError):
+                await lock.release()
+
+    run(scenario())
+
+
+def test_context_manager_form():
+    async def scenario():
+        async with LocalCluster(line(5, token_holder=5)) as cluster:
+            async with cluster.lock(1) as lock:
+                assert lock.held
+                assert cluster.node(1).in_critical_section
+            assert not cluster.node(1).in_critical_section
+
+    run(scenario())
+
+
+def test_mutual_exclusion_across_concurrent_workers():
+    """The classic read-modify-write race disappears under the lock."""
+
+    async def scenario():
+        counter = {"value": 0}
+        async with LocalCluster(star(5)) as cluster:
+            async def worker(node_id, iterations):
+                for _ in range(iterations):
+                    async with cluster.lock(node_id):
+                        current = counter["value"]
+                        await asyncio.sleep(0)  # force an interleaving point
+                        counter["value"] = current + 1
+
+            await asyncio.gather(*(worker(node_id, 10) for node_id in cluster.node_ids))
+        assert counter["value"] == 5 * 10
+
+    run(scenario())
+
+
+def test_no_two_nodes_in_cs_simultaneously():
+    async def scenario():
+        active = 0
+        max_active = 0
+
+        async with LocalCluster(line(6, token_holder=3)) as cluster:
+            async def worker(node_id):
+                nonlocal active, max_active
+                for _ in range(5):
+                    async with cluster.lock(node_id):
+                        active += 1
+                        max_active = max(max_active, active)
+                        await asyncio.sleep(0)
+                        active -= 1
+
+            await asyncio.gather(*(worker(node_id) for node_id in cluster.node_ids))
+        assert max_active == 1
+
+    run(scenario())
+
+
+def test_lock_acquire_with_timeout_succeeds_quickly():
+    async def scenario():
+        async with LocalCluster(star(4)) as cluster:
+            lock = cluster.lock(2)
+            await lock.acquire(timeout=1.0)
+            await lock.release()
+
+    run(scenario())
+
+
+def test_fairness_all_nodes_eventually_enter():
+    async def scenario():
+        entries = []
+        async with LocalCluster(star(6, token_holder=6)) as cluster:
+            async def worker(node_id):
+                async with cluster.lock(node_id):
+                    entries.append(node_id)
+
+            await asyncio.gather(*(worker(node_id) for node_id in cluster.node_ids))
+        assert sorted(entries) == [1, 2, 3, 4, 5, 6]
+
+    run(scenario())
+
+
+def test_message_overhead_is_small_on_star():
+    """One acquire by a leaf with the token at another leaf costs 3 messages."""
+
+    async def scenario():
+        async with LocalCluster(star(5, token_holder=2)) as cluster:
+            async with cluster.lock(4):
+                pass
+            assert cluster.transport.messages_sent == 3
+
+    run(scenario())
+
+
+def test_distributed_lock_exposes_node_id():
+    async def scenario():
+        async with LocalCluster(star(3)) as cluster:
+            lock = cluster.lock(2)
+            assert lock.node_id == 2
+            assert isinstance(lock, DistributedLock)
+
+    run(scenario())

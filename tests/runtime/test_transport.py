@@ -1,0 +1,99 @@
+"""Unit tests for the asyncio in-memory transport."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import RuntimeTransportError
+from repro.runtime.transport import Envelope, InMemoryTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_register_and_send_immediate_delivery():
+    async def scenario():
+        transport = InMemoryTransport()
+        inbox_a = transport.register(1)
+        inbox_b = transport.register(2)
+        transport.send(1, 2, "hello")
+        envelope = await asyncio.wait_for(inbox_b.get(), timeout=1.0)
+        assert envelope == Envelope(sender=1, receiver=2, message="hello")
+        assert inbox_a.empty()
+        assert transport.messages_sent == 1
+
+    run(scenario())
+
+
+def test_duplicate_registration_rejected():
+    async def scenario():
+        transport = InMemoryTransport()
+        transport.register(1)
+        with pytest.raises(RuntimeTransportError):
+            transport.register(1)
+
+    run(scenario())
+
+
+def test_unknown_endpoints_rejected():
+    async def scenario():
+        transport = InMemoryTransport()
+        transport.register(1)
+        with pytest.raises(RuntimeTransportError):
+            transport.send(1, 9, "x")
+        with pytest.raises(RuntimeTransportError):
+            transport.send(9, 1, "x")
+
+    run(scenario())
+
+
+def test_fifo_order_without_delay():
+    async def scenario():
+        transport = InMemoryTransport()
+        transport.register(1)
+        inbox = transport.register(2)
+        for index in range(20):
+            transport.send(1, 2, index)
+        received = [await inbox.get() for _ in range(20)]
+        assert [envelope.message for envelope in received] == list(range(20))
+
+    run(scenario())
+
+
+def test_fifo_order_with_delay():
+    async def scenario():
+        transport = InMemoryTransport(delay=lambda sender, receiver: 0.001)
+        transport.register(1)
+        inbox = transport.register(2)
+        for index in range(10):
+            transport.send(1, 2, index)
+        received = [await asyncio.wait_for(inbox.get(), timeout=2.0) for _ in range(10)]
+        assert [envelope.message for envelope in received] == list(range(10))
+        await transport.close()
+
+    run(scenario())
+
+
+def test_closed_transport_rejects_sends():
+    async def scenario():
+        transport = InMemoryTransport()
+        transport.register(1)
+        transport.register(2)
+        await transport.close()
+        with pytest.raises(RuntimeTransportError):
+            transport.send(1, 2, "late")
+
+    run(scenario())
+
+
+def test_node_ids_listed():
+    async def scenario():
+        transport = InMemoryTransport()
+        transport.register(3)
+        transport.register(7)
+        assert transport.node_ids == [3, 7]
+
+    run(scenario())

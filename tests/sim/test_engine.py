@@ -1,0 +1,187 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulingError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+
+
+def test_initial_state():
+    engine = SimulationEngine()
+    assert engine.now == 0.0
+    assert engine.processed_events == 0
+    assert engine.pending_events == 0
+
+
+def test_custom_start_time():
+    engine = SimulationEngine(start_time=10.0)
+    assert engine.now == 10.0
+
+
+def test_events_run_in_time_order():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(5.0, lambda e: fired.append("late"))
+    engine.schedule(1.0, lambda e: fired.append("early"))
+    engine.schedule(3.0, lambda e: fired.append("middle"))
+    engine.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_clock_advances_to_event_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(2.5, lambda e: seen.append(engine.now))
+    engine.schedule(7.0, lambda e: seen.append(engine.now))
+    engine.run()
+    assert seen == [2.5, 7.0]
+    assert engine.now == 7.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    engine = SimulationEngine()
+    fired = []
+    for label in ["a", "b", "c"]:
+        engine.schedule(1.0, lambda e, label=label: fired.append(label))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_priority_breaks_ties():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda e: fired.append("low"), priority=5)
+    engine.schedule(1.0, lambda e: fired.append("high"), priority=-5)
+    engine.run()
+    assert fired == ["high", "low"]
+
+
+def test_schedule_in_past_rejected():
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda e: None)
+    engine.run()
+    with pytest.raises(SchedulingError):
+        engine.schedule(1.0, lambda e: None)
+
+
+def test_schedule_after_negative_delay_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(SchedulingError):
+        engine.schedule_after(-1.0, lambda e: None)
+
+
+def test_schedule_after_uses_relative_delay():
+    engine = SimulationEngine()
+    times = []
+    engine.schedule(4.0, lambda e: engine.schedule_after(2.0, lambda e2: times.append(engine.now)))
+    engine.run()
+    assert times == [6.0]
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = SimulationEngine()
+    fired = []
+
+    def chain(event):
+        fired.append(engine.now)
+        if len(fired) < 5:
+            engine.schedule_after(1.0, chain)
+
+    engine.schedule(0.0, chain)
+    engine.run()
+    assert fired == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_cancelled_event_is_skipped():
+    engine = SimulationEngine()
+    fired = []
+    event = engine.schedule(1.0, lambda e: fired.append("cancelled"))
+    engine.schedule(2.0, lambda e: fired.append("kept"))
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda e: fired.append(1))
+    engine.schedule(10.0, lambda e: fired.append(10))
+    engine.run(until=5.0)
+    assert fired == [1]
+    assert engine.now == 5.0
+    assert engine.pending_events == 1
+    engine.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events_limit():
+    engine = SimulationEngine()
+    fired = []
+    for index in range(10):
+        engine.schedule(float(index), lambda e, index=index: fired.append(index))
+    processed = engine.run(max_events=3)
+    assert processed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_step_processes_single_event():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda e: fired.append("a"))
+    engine.schedule(2.0, lambda e: fired.append("b"))
+    assert engine.step() is True
+    assert fired == ["a"]
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_stop_inside_callback():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda e: (fired.append(1), engine.stop()))
+    engine.schedule(2.0, lambda e: fired.append(2))
+    engine.run()
+    assert fired == [1]
+    assert engine.pending_events == 1
+
+
+def test_run_is_not_reentrant():
+    engine = SimulationEngine()
+    errors = []
+
+    def reenter(event):
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_processed_and_pending_counters():
+    engine = SimulationEngine()
+    for index in range(4):
+        engine.schedule(float(index), lambda e: None)
+    assert engine.pending_events == 4
+    engine.run(max_events=2)
+    assert engine.processed_events == 2
+    assert engine.pending_events == 2
+
+
+def test_event_kind_and_payload_are_preserved():
+    engine = SimulationEngine()
+    captured = []
+    engine.schedule(
+        1.0,
+        lambda e: captured.append((e.kind, e.payload)),
+        kind=EventKind.WORKLOAD_ARRIVAL,
+        payload={"node": 3},
+    )
+    engine.run()
+    assert captured == [(EventKind.WORKLOAD_ARRIVAL, {"node": 3})]

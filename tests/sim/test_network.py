@@ -1,0 +1,168 @@
+"""Unit tests for the reliable FIFO network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.sim.engine import SimulationEngine
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.rng import SeededRNG
+from repro.sim.trace import TraceRecorder
+
+
+class Recorder:
+    """Message handler that records (sender, message) pairs."""
+
+    def __init__(self):
+        self.received = []
+
+    def __call__(self, sender, message):
+        self.received.append((sender, message))
+
+
+def build_network(latency=None, metrics=None, trace=None):
+    engine = SimulationEngine()
+    network = Network(engine, latency=latency, metrics=metrics, trace=trace)
+    handlers = {}
+    for node_id in (1, 2, 3):
+        handlers[node_id] = Recorder()
+        network.register(node_id, handlers[node_id])
+    return engine, network, handlers
+
+
+def test_basic_delivery():
+    engine, network, handlers = build_network()
+    network.send(1, 2, "hello")
+    engine.run()
+    assert handlers[2].received == [(1, "hello")]
+    assert network.messages_sent == 1
+    assert network.messages_delivered == 1
+    assert network.messages_in_flight == 0
+
+
+def test_default_latency_is_one_time_unit():
+    engine, network, handlers = build_network()
+    network.send(1, 2, "ping")
+    engine.run()
+    assert engine.now == 1.0
+
+
+def test_unknown_sender_and_receiver_rejected():
+    engine, network, handlers = build_network()
+    with pytest.raises(NetworkError):
+        network.send(99, 1, "x")
+    with pytest.raises(NetworkError):
+        network.send(1, 99, "x")
+
+
+def test_self_send_rejected_by_default():
+    engine, network, handlers = build_network()
+    with pytest.raises(NetworkError):
+        network.send(1, 1, "loop")
+
+
+def test_self_send_allowed_when_enabled():
+    engine = SimulationEngine()
+    network = Network(engine, allow_self_send=True)
+    recorder = Recorder()
+    network.register(1, recorder)
+    network.send(1, 1, "loop")
+    engine.run()
+    assert recorder.received == [(1, "loop")]
+
+
+def test_duplicate_registration_rejected():
+    engine, network, handlers = build_network()
+    with pytest.raises(NetworkError):
+        network.register(1, lambda s, m: None)
+
+
+def test_unregister_then_send_to_it_fails():
+    engine, network, handlers = build_network()
+    network.unregister(3)
+    with pytest.raises(NetworkError):
+        network.send(1, 3, "gone")
+    with pytest.raises(NetworkError):
+        network.unregister(3)
+
+
+def test_fifo_order_with_constant_latency():
+    engine, network, handlers = build_network(latency=ConstantLatency(2.0))
+    for index in range(5):
+        network.send(1, 2, index)
+    engine.run()
+    assert [message for _, message in handlers[2].received] == [0, 1, 2, 3, 4]
+
+
+def test_fifo_order_preserved_with_random_latency():
+    """Random delays must never reorder messages on one channel."""
+    rng = SeededRNG(123, label="latency-test")
+    engine, network, handlers = build_network(latency=UniformLatency(0.1, 10.0, rng=rng))
+    for index in range(50):
+        network.send(1, 2, index)
+    engine.run()
+    assert [message for _, message in handlers[2].received] == list(range(50))
+
+
+def test_independent_channels_can_interleave():
+    engine, network, handlers = build_network(
+        latency=UniformLatency(0.1, 5.0, rng=SeededRNG(5))
+    )
+    network.send(1, 3, "from-1")
+    network.send(2, 3, "from-2")
+    engine.run()
+    senders = {sender for sender, _ in handlers[3].received}
+    assert senders == {1, 2}
+
+
+def test_metrics_observe_sends():
+    metrics = MetricsCollector()
+    engine, network, handlers = build_network(metrics=metrics)
+    network.send(1, 2, "a")
+    network.send(2, 3, "b")
+    engine.run()
+    assert metrics.total_messages == 2
+
+
+def test_trace_records_send_and_receive():
+    trace = TraceRecorder()
+    engine, network, handlers = build_network(trace=trace)
+    network.send(1, 2, "a")
+    engine.run()
+    assert trace.count("send") == 1
+    assert trace.count("receive") == 1
+
+
+def test_partition_drops_messages_silently():
+    engine, network, handlers = build_network()
+    network.partition(1, 2)
+    network.send(1, 2, "lost")
+    engine.run()
+    assert handlers[2].received == []
+    assert network.messages_in_flight == 0
+
+
+def test_heal_restores_delivery():
+    engine, network, handlers = build_network()
+    network.partition(1, 2)
+    network.send(1, 2, "lost")
+    network.heal(1, 2)
+    network.send(1, 2, "found")
+    engine.run()
+    assert [message for _, message in handlers[2].received] == ["found"]
+
+
+def test_partition_is_directional():
+    engine, network, handlers = build_network()
+    network.partition(1, 2)
+    network.send(2, 1, "reverse")
+    engine.run()
+    assert handlers[1].received == [(2, "reverse")]
+
+
+def test_node_ids_lists_registered_nodes():
+    engine, network, handlers = build_network()
+    assert network.node_ids == [1, 2, 3]

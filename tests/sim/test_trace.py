@@ -1,0 +1,90 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+def test_record_and_read_back():
+    trace = TraceRecorder()
+    trace.record(1.0, "send", 1, to=2, message="REQUEST")
+    trace.record(2.0, "receive", 2, sender=1, message="REQUEST")
+    assert len(trace) == 2
+    assert trace.events[0].category == "send"
+    assert trace.events[1].detail["sender"] == 1
+
+
+def test_disabled_recorder_is_a_noop():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "send", 1)
+    assert len(trace) == 0
+
+
+def test_capacity_limits_recording():
+    trace = TraceRecorder(capacity=2)
+    for index in range(5):
+        trace.record(float(index), "send", index)
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_clear_resets_everything():
+    trace = TraceRecorder(capacity=1)
+    trace.record(0.0, "send", 1)
+    trace.record(0.0, "send", 2)
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped == 0
+
+
+def test_filter_by_category_and_node():
+    trace = TraceRecorder()
+    trace.record(0.0, "send", 1)
+    trace.record(1.0, "receive", 2)
+    trace.record(2.0, "send", 2)
+    assert len(trace.filter(category="send")) == 2
+    assert len(trace.filter(node=2)) == 2
+    assert len(trace.filter(category="send", node=2)) == 1
+
+
+def test_filter_with_predicate():
+    trace = TraceRecorder()
+    trace.record(0.0, "send", 1)
+    trace.record(5.0, "send", 1)
+    late = trace.filter(predicate=lambda event: event.time > 2.0)
+    assert len(late) == 1
+
+
+def test_count_by_category():
+    trace = TraceRecorder()
+    trace.record(0.0, "cs_enter", 1)
+    trace.record(1.0, "cs_enter", 2)
+    trace.record(2.0, "cs_exit", 1)
+    assert trace.count("cs_enter") == 2
+    assert trace.count("cs_exit") == 1
+    assert trace.count("missing") == 0
+
+
+def test_iteration_yields_events_in_order():
+    trace = TraceRecorder()
+    trace.record(0.0, "a", 1)
+    trace.record(1.0, "b", 2)
+    assert [event.category for event in trace] == ["a", "b"]
+
+
+def test_describe_mentions_time_node_and_details():
+    event = TraceEvent(time=1.5, category="send", node=3, detail={"to": 4})
+    text = event.describe()
+    assert "1.5" in text
+    assert "3" in text
+    assert "send" in text
+    assert "to=4" in text
+
+
+def test_format_truncates_at_limit():
+    trace = TraceRecorder()
+    for index in range(10):
+        trace.record(float(index), "send", index)
+    text = trace.format(limit=3)
+    assert "7 more events" in text
+    assert len(text.splitlines()) == 4

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, build_topology, main
+from repro.exceptions import TopologyError
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_build_topology_kinds():
+    assert build_topology("line", 5).size == 5
+    assert build_topology("star", 6).size == 6
+    assert build_topology("random", 8, seed=3).size == 8
+    assert build_topology("balanced-tree", 7).size >= 3
+    assert build_topology("radiating-star", 9).size >= 5
+    with pytest.raises(ValueError):
+        build_topology("hypercube", 8)
+
+
+def test_build_topology_token_holder_override():
+    assert build_topology("line", 5, token_holder=3).token_holder == 3
+    assert build_topology("random", 6, token_holder=2, seed=1).token_holder == 2
+
+
+def test_parser_requires_a_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_figure2_command(capsys):
+    code, out = run_cli(capsys, "figure2")
+    assert code == 0
+    assert "2 REQUEST, 1 PRIVILEGE" in out
+    assert "HOLDING_I" in out
+
+
+def test_figure6_command(capsys):
+    code, out = run_cli(capsys, "figure6")
+    assert code == 0
+    assert "[2, 1, 5]" in out
+    assert "Figure 6k" in out
+
+
+def test_bounds_command(capsys):
+    code, out = run_cli(capsys, "bounds", "--n", "17")
+    assert code == 0
+    assert "dag" in out
+    assert "D + 1" in out or "0 .. D + 1" in out
+    assert "lamport" in out
+
+
+def test_compare_command_with_subset(capsys):
+    code, out = run_cli(
+        capsys,
+        "compare",
+        "--n", "7",
+        "--requests", "10",
+        "--algorithms", "dag", "raymond",
+        "--seed", "1",
+    )
+    assert code == 0
+    assert "dag" in out
+    assert "raymond" in out
+    assert "lamport" not in out.split("Measured")[0]  # subset respected in run table
+
+
+def test_average_command(capsys):
+    code, out = run_cli(capsys, "average", "--sizes", "5", "9")
+    assert code == 0
+    assert "dag measured" in out
+    assert "centralized paper" in out
+
+
+def test_topology_command(capsys):
+    code, out = run_cli(capsys, "topology", "--kind", "star", "--n", "6")
+    assert code == 0
+    assert "(sink)" in out
+    assert "worst case D + 1 = 3" in out
+
+
+def test_algorithms_command(capsys):
+    code, out = run_cli(capsys, "algorithms")
+    assert code == 0
+    for name in ("dag", "raymond", "maekawa", "singhal"):
+        assert name in out

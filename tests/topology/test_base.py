@@ -1,0 +1,129 @@
+"""Unit tests for the Topology value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+
+def make_path():
+    """1 - 2 - 3 - 4 with the token at 4."""
+    return Topology(nodes=(1, 2, 3, 4), edges=((1, 2), (2, 3), (3, 4)), token_holder=4)
+
+
+def test_basic_properties():
+    topology = make_path()
+    assert topology.size == 4
+    assert topology.token_holder == 4
+    assert topology.neighbors(2) == (1, 3)
+    assert topology.degree(1) == 1
+    assert topology.degree(2) == 2
+    assert set(topology.leaves()) == {1, 4}
+
+
+def test_edges_are_normalised_and_sorted():
+    topology = Topology(nodes=(1, 2, 3), edges=((3, 2), (2, 1)), token_holder=1)
+    assert topology.edges == ((1, 2), (2, 3))
+
+
+def test_single_node_topology():
+    topology = Topology(nodes=(1,), edges=(), token_holder=1)
+    assert topology.size == 1
+    assert topology.leaves() == (1,)
+    assert topology.next_pointers() == {1: None}
+
+
+def test_duplicate_nodes_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 1, 2), edges=((1, 2),), token_holder=1)
+
+
+def test_duplicate_edges_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2, 3), edges=((1, 2), (2, 1), (2, 3)), token_holder=1)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2), edges=((1, 1),), token_holder=1)
+
+
+def test_unknown_token_holder_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2), edges=((1, 2),), token_holder=9)
+
+
+def test_cycle_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2, 3), edges=((1, 2), (2, 3), (1, 3)), token_holder=1)
+
+
+def test_disconnected_graph_rejected():
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2, 3, 4), edges=((1, 2), (3, 4), (2, 3), (1, 4)), token_holder=1)
+    with pytest.raises(TopologyError):
+        Topology(nodes=(1, 2, 3), edges=((1, 2),), token_holder=1)
+
+
+def test_unknown_node_in_neighbors_query():
+    with pytest.raises(TopologyError):
+        make_path().neighbors(99)
+
+
+def test_next_pointers_point_toward_token_holder():
+    topology = make_path()
+    assert topology.next_pointers() == {1: 2, 2: 3, 3: 4, 4: None}
+
+
+def test_next_pointers_toward_other_node():
+    topology = make_path()
+    assert topology.next_pointers(toward=1) == {1: None, 2: 1, 3: 2, 4: 3}
+
+
+def test_next_pointers_unknown_target():
+    with pytest.raises(TopologyError):
+        make_path().next_pointers(toward=42)
+
+
+def test_with_token_holder_rebases_orientation():
+    topology = make_path().with_token_holder(1)
+    assert topology.token_holder == 1
+    assert topology.next_pointers()[4] == 3
+    assert topology.next_pointers()[1] is None
+
+
+def test_with_token_holder_unknown_node():
+    with pytest.raises(TopologyError):
+        make_path().with_token_holder(123)
+
+
+def test_as_adjacency_is_a_copy():
+    topology = make_path()
+    adjacency = topology.as_adjacency()
+    adjacency[1] = ()
+    assert topology.neighbors(1) == (2,)
+
+
+def test_from_edges_infers_nodes():
+    topology = Topology.from_edges([(1, 2), (2, 3)], token_holder=3)
+    assert topology.nodes == (1, 2, 3)
+    assert topology.token_holder == 3
+
+
+def test_from_edges_with_extra_isolated_node_fails_validation():
+    # Extra nodes must still be connected; an isolated one breaks the tree.
+    with pytest.raises(TopologyError):
+        Topology.from_edges([(1, 2)], token_holder=1, extra_nodes=[5])
+
+
+def test_from_edges_single_node():
+    topology = Topology.from_edges([], token_holder=9, extra_nodes=[9])
+    assert topology.size == 1
+
+
+def test_describe_mentions_size_and_holder():
+    text = make_path().describe()
+    assert "n=4" in text
+    assert "token_holder=4" in text

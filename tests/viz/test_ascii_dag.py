@@ -1,0 +1,51 @@
+"""Unit tests for ASCII topology rendering."""
+
+from __future__ import annotations
+
+from repro.topology import line, star
+from repro.viz.ascii_dag import render_orientation, render_topology
+
+
+def test_render_topology_lists_every_node_once():
+    text = render_topology(star(5))
+    lines = [line.strip() for line in text.splitlines()]
+    rendered_nodes = {line.split()[0] for line in lines if line}
+    assert rendered_nodes == {"1", "2", "3", "4", "5"}
+
+
+def test_render_topology_marks_token_holder():
+    text = render_topology(star(5, token_holder=3))
+    marked = [line for line in text.splitlines() if "[*]" in line]
+    assert len(marked) == 1
+    assert marked[0].strip().startswith("3")
+
+
+def test_render_topology_with_label():
+    text = render_topology(line(3), label="my topology")
+    assert text.splitlines()[0] == "my topology"
+
+
+def test_render_topology_indents_by_depth():
+    text = render_topology(line(4, token_holder=1))
+    lines = text.splitlines()
+    # Node 1 is the root (no indent); node 4 is three hops away (6 spaces).
+    root_line = next(line for line in lines if line.lstrip().startswith("1"))
+    deep_line = next(line for line in lines if line.lstrip().startswith("4"))
+    assert len(root_line) - len(root_line.lstrip()) == 0
+    assert len(deep_line) - len(deep_line.lstrip()) == 6
+
+
+def test_render_orientation_arrows_and_sink():
+    text = render_orientation({1: 2, 2: 3, 3: None})
+    lines = text.splitlines()
+    assert any("1 -> 2" in line for line in lines)
+    assert any("2 -> 3" in line for line in lines)
+    assert any("(sink)" in line for line in lines)
+
+
+def test_render_orientation_with_label_and_width_alignment():
+    text = render_orientation({10: 2, 2: None}, label="NEXT pointers")
+    lines = text.splitlines()
+    assert lines[0] == "NEXT pointers"
+    # Node ids are right-justified to the widest id.
+    assert lines[1].startswith(" 2") or lines[1].startswith("10")

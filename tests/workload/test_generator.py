@@ -1,0 +1,99 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.generator import WorkloadGenerator
+
+NODES = (1, 2, 3, 4, 5)
+
+
+def test_generator_requires_nodes():
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator([])
+
+
+def test_poisson_counts_nodes_and_monotone_arrivals():
+    generator = WorkloadGenerator(NODES, seed=1)
+    workload = generator.poisson(total_requests=50, mean_interarrival=2.0)
+    assert len(workload) == 50
+    assert set(workload.nodes) <= set(NODES)
+    times = [request.arrival_time for request in workload]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+def test_poisson_is_deterministic_per_seed():
+    first = WorkloadGenerator(NODES, seed=9).poisson(total_requests=20, mean_interarrival=1.0)
+    second = WorkloadGenerator(NODES, seed=9).poisson(total_requests=20, mean_interarrival=1.0)
+    assert first.requests == second.requests
+    third = WorkloadGenerator(NODES, seed=10).poisson(total_requests=20, mean_interarrival=1.0)
+    assert first.requests != third.requests
+
+
+def test_poisson_restricted_to_subset_of_nodes():
+    generator = WorkloadGenerator(NODES, seed=2)
+    workload = generator.poisson(total_requests=30, mean_interarrival=1.0, nodes=[2, 3])
+    assert set(workload.nodes) <= {2, 3}
+
+
+def test_poisson_mean_interarrival_controls_density():
+    generator = WorkloadGenerator(NODES, seed=3)
+    dense = generator.poisson(total_requests=100, mean_interarrival=1.0)
+    sparse = WorkloadGenerator(NODES, seed=3).poisson(
+        total_requests=100, mean_interarrival=10.0
+    )
+    assert dense.horizon < sparse.horizon
+
+
+def test_poisson_rejects_negative_count():
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(NODES).poisson(total_requests=-1, mean_interarrival=1.0)
+
+
+def test_uniform_single_requests_one_per_node():
+    generator = WorkloadGenerator(NODES, seed=4)
+    workload = generator.uniform_single_requests(spacing=100.0)
+    assert len(workload) == len(NODES)
+    assert workload.per_node_counts() == {node: 1 for node in NODES}
+    times = [request.arrival_time for request in workload]
+    assert all(b - a == 100.0 for a, b in zip(times, times[1:]))
+
+
+def test_heavy_demand_every_node_every_round():
+    generator = WorkloadGenerator(NODES, seed=5)
+    workload = generator.heavy_demand(rounds=3)
+    assert len(workload) == 3 * len(NODES)
+    assert workload.per_node_counts() == {node: 3 for node in NODES}
+    with pytest.raises(WorkloadError):
+        generator.heavy_demand(rounds=0)
+
+
+def test_hotspot_bias_toward_hot_nodes():
+    generator = WorkloadGenerator(NODES, seed=6)
+    workload = generator.hotspot(
+        total_requests=300, hot_nodes=[1], hot_fraction=0.9, mean_interarrival=1.0
+    )
+    counts = workload.per_node_counts()
+    hot = counts.get(1, 0)
+    assert hot > 0.8 * len(workload)
+
+
+def test_hotspot_validates_arguments():
+    generator = WorkloadGenerator(NODES, seed=6)
+    with pytest.raises(WorkloadError):
+        generator.hotspot(total_requests=10, hot_nodes=[99])
+    with pytest.raises(WorkloadError):
+        generator.hotspot(total_requests=10, hot_nodes=[1], hot_fraction=1.5)
+
+
+def test_round_robin_orders_nodes_in_turn():
+    generator = WorkloadGenerator(NODES, seed=7)
+    workload = generator.round_robin(rounds=2, spacing=10.0)
+    assert len(workload) == 10
+    nodes_in_order = [request.node for request in workload]
+    assert nodes_in_order == list(NODES) + list(NODES)
+    with pytest.raises(WorkloadError):
+        generator.round_robin(rounds=0)

@@ -1,0 +1,68 @@
+"""Unit tests for workload data types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.requests import CSRequest, Workload
+
+
+def test_request_fields_and_validation():
+    request = CSRequest(node=3, arrival_time=1.5, cs_duration=2.0)
+    assert request.node == 3
+    assert request.arrival_time == 1.5
+    assert request.cs_duration == 2.0
+    with pytest.raises(WorkloadError):
+        CSRequest(node=1, arrival_time=-1.0)
+    with pytest.raises(WorkloadError):
+        CSRequest(node=1, arrival_time=0.0, cs_duration=-2.0)
+
+
+def test_workload_sorts_requests_by_time_then_node():
+    workload = Workload(
+        requests=(
+            CSRequest(node=5, arrival_time=3.0),
+            CSRequest(node=2, arrival_time=1.0),
+            CSRequest(node=1, arrival_time=3.0),
+        )
+    )
+    assert [(r.node, r.arrival_time) for r in workload] == [(2, 1.0), (1, 3.0), (5, 3.0)]
+
+
+def test_workload_len_nodes_horizon():
+    workload = Workload(
+        requests=(
+            CSRequest(node=2, arrival_time=0.0),
+            CSRequest(node=2, arrival_time=5.0),
+            CSRequest(node=4, arrival_time=2.0),
+        )
+    )
+    assert len(workload) == 3
+    assert workload.nodes == [2, 4]
+    assert workload.horizon == 5.0
+    assert workload.per_node_counts() == {2: 2, 4: 1}
+
+
+def test_empty_workload():
+    workload = Workload(requests=())
+    assert len(workload) == 0
+    assert workload.nodes == []
+    assert workload.horizon == 0.0
+    assert workload.per_node_counts() == {}
+
+
+def test_single_factory():
+    workload = Workload.single(7, cs_duration=3.0)
+    assert len(workload) == 1
+    assert workload.requests[0].node == 7
+    assert workload.requests[0].arrival_time == 0.0
+    assert workload.requests[0].cs_duration == 3.0
+    assert "7" in workload.description
+
+
+def test_simultaneous_factory():
+    workload = Workload.simultaneous([1, 2, 3], arrival_time=4.0)
+    assert len(workload) == 3
+    assert {r.arrival_time for r in workload} == {4.0}
+    assert workload.nodes == [1, 2, 3]
