@@ -1,0 +1,66 @@
+"""E-throughput — simulation-core events/sec over the standard matrix.
+
+Unlike the paper-figure benches (which reproduce tables from the paper),
+this bench measures the reproduction's own engine: end-to-end events per
+wall-clock second on the DAG algorithm, driven through the unobserved
+network fast path.  The committed reference numbers live in
+``BENCH_throughput.json`` (regenerate with ``repro bench --output
+BENCH_throughput.json``); the seed engine's numbers are frozen in
+``benchmarks/seed_baseline.json``.
+
+Run with ``pytest benchmarks/bench_throughput.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import (
+    ACCEPTANCE_SCENARIO,
+    ScenarioSpec,
+    determinism_fingerprint,
+    run_scenario,
+    smoke_matrix,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _seed_baseline():
+    with open(_REPO_ROOT / "benchmarks" / "seed_baseline.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_throughput_smoke(benchmark):
+    """Best-of-N events/sec on the acceptance scenario, via pytest-benchmark."""
+    spec = next(s for s in smoke_matrix() if s.name == ACCEPTANCE_SCENARIO)
+    result = benchmark(run_scenario, spec, repeat=1)
+    benchmark.extra_info["scenario"] = result.scenario
+    benchmark.extra_info["events_per_sec"] = result.events_per_sec
+    benchmark.extra_info["messages_per_entry"] = result.messages_per_entry
+    assert result.messages_per_entry <= result.bound_messages_per_entry + 1e-9
+
+    seed = _seed_baseline()
+    seed_rate = seed["acceptance_events_per_sec"]
+    speedup = result.events_per_sec / seed_rate
+    print()
+    print(
+        f"throughput — {result.scenario}: {result.events_per_sec:,.0f} ev/s "
+        f"(seed {seed_rate:,.0f} ev/s, {speedup:.2f}x)"
+    )
+
+
+def test_scenario_counts_match_seed_engine():
+    """Virtual-time outcomes (events/messages/entries) must equal the seed's."""
+    seed_rows = {row["scenario"]: row for row in _seed_baseline()["throughput"]}
+    for spec in [ScenarioSpec("star", 1000, "heavy"), ScenarioSpec("line", 1000, "heavy")]:
+        reference = seed_rows[spec.name]
+        measured = run_scenario(spec, repeat=1)
+        assert measured.events == reference["events"], spec.name
+        assert measured.messages == reference["messages"], spec.name
+        assert measured.entries == reference["entries"], spec.name
+
+
+def test_determinism_fingerprint_matches_seed_engine():
+    assert determinism_fingerprint() == _seed_baseline()["fingerprint"]

@@ -18,7 +18,7 @@ and the DAG algorithm) also use the edges.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.exceptions import ExperimentError, ProtocolError
 from repro.sim.engine import SimulationEngine
@@ -35,11 +35,21 @@ EnterCallback = Callable[[int, float], None]
 class MutexNodeBase(SimProcess):
     """Base class for one participant of any mutual exclusion algorithm.
 
-    Subclasses implement :meth:`request_cs`, :meth:`release_cs` and
-    :meth:`on_message`, and call :meth:`_enter_critical_section` when the
-    algorithm's entry condition becomes true.  The shared bookkeeping here
-    keeps metrics consistent across algorithms.
+    Subclasses implement :meth:`request_cs`, :meth:`release_cs` and the
+    message handlers named in :attr:`_MESSAGE_HANDLERS`, and call
+    :meth:`_enter_critical_section` when the algorithm's entry condition
+    becomes true.  The shared bookkeeping here keeps metrics consistent
+    across algorithms.
+
+    Message dispatch is type-keyed: subclasses declare a class-level
+    ``_MESSAGE_HANDLERS`` mapping message types to handler method names, and
+    the shared :meth:`on_message` resolves the incoming message's exact type
+    with one dict lookup instead of walking an ``isinstance`` chain.  Every
+    handler receives ``(sender, message)``.
     """
+
+    #: Map of message type -> handler method name, filled in by subclasses.
+    _MESSAGE_HANDLERS: Dict[type, str] = {}
 
     def __init__(
         self,
@@ -57,6 +67,10 @@ class MutexNodeBase(SimProcess):
         self._metrics = metrics
         self._trace = trace
         self._on_enter = on_enter
+        self._dispatch = {
+            message_type: getattr(self, handler_name)
+            for message_type, handler_name in self._MESSAGE_HANDLERS.items()
+        }
 
     # ------------------------------------------------------------------ #
     # interface
@@ -68,6 +82,15 @@ class MutexNodeBase(SimProcess):
     def release_cs(self) -> None:
         """Leave the critical section."""
         raise NotImplementedError
+
+    def on_message(self, sender: int, message: Any) -> None:
+        """Dispatch ``message`` to the handler registered for its type."""
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            raise ProtocolError(
+                f"node {self.node_id} received unexpected message {message!r}"
+            )
+        handler(sender, message)
 
     # ------------------------------------------------------------------ #
     # shared bookkeeping for subclasses
@@ -127,11 +150,17 @@ class MutexSystem(abc.ABC):
         *,
         latency: Optional[LatencyModel] = None,
         record_trace: bool = False,
+        collect_metrics: bool = True,
         on_enter: Optional[EnterCallback] = None,
     ) -> None:
         self.topology = topology
         self.engine = SimulationEngine()
-        self.metrics = MetricsCollector()
+        # ``collect_metrics=False`` leaves the network unobserved, enabling
+        # its zero-overhead delivery fast path — the throughput benchmarks
+        # run this way and read counts off the network and the nodes instead.
+        self.metrics: Optional[MetricsCollector] = (
+            MetricsCollector() if collect_metrics else None
+        )
         self.trace = TraceRecorder(enabled=record_trace)
         self.network = Network(
             self.engine,

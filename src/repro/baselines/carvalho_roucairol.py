@@ -14,17 +14,18 @@ its original broadcast never included it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
 from repro.baselines.ricart_agrawala import RARequest, RAReply
-from repro.exceptions import ProtocolError
 
 Timestamp = Tuple[int, int]
 
 
 class CarvalhoRoucairolNode(MutexNodeBase):
     """One participant of the Carvalho–Roucairol algorithm."""
+
+    _MESSAGE_HANDLERS = {RARequest: "_on_request", RAReply: "_on_reply"}
 
     def __init__(self, node_id: int, network, *, all_nodes, **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
@@ -65,18 +66,8 @@ class CarvalhoRoucairolNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, RARequest):
-            self.clock = max(self.clock, message.clock) + 1
-            self._handle_request(message)
-        elif isinstance(message, RAReply):
-            self._handle_reply(message)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
-
-    def _handle_request(self, message: RARequest) -> None:
+    def _on_request(self, sender: int, message: RARequest) -> None:
+        self.clock = max(self.clock, message.clock) + 1
         their_request = (message.clock, message.origin)
         if self.in_critical_section:
             self.deferred.add(message.origin)
@@ -105,7 +96,7 @@ class CarvalhoRoucairolNode(MutexNodeBase):
         self.authorized.discard(message.origin)
         self.send(message.origin, RAReply(origin=self.node_id))
 
-    def _handle_reply(self, message: RAReply) -> None:
+    def _on_reply(self, sender: int, message: RAReply) -> None:
         self.authorized.add(message.origin)
         self.awaiting_reply.discard(message.origin)
         if self.requesting and not self.awaiting_reply:

@@ -68,6 +68,12 @@ class CentralizedNode(MutexNodeBase):
     handled locally without messages.
     """
 
+    _MESSAGE_HANDLERS = {
+        CentralRequest: "_on_request",
+        CentralRelease: "_on_release",
+        CentralGrant: "_on_grant",
+    }
+
     def __init__(self, node_id: int, network, *, coordinator: int, **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
         self.coordinator = coordinator
@@ -94,23 +100,20 @@ class CentralizedNode(MutexNodeBase):
         else:
             self.send(self.coordinator, CentralRelease(origin=self.node_id))
 
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, CentralRequest):
-            self._require_coordinator(message)
-            self._coordinator_handle_request(message.origin)
-        elif isinstance(message, CentralRelease):
-            self._require_coordinator(message)
-            self._coordinator_handle_release(message.origin)
-        elif isinstance(message, CentralGrant):
-            if not self.requesting:
-                raise ProtocolError(
-                    f"node {self.node_id} received a GRANT without an outstanding request"
-                )
-            self._enter_critical_section()
-        else:
+    def _on_request(self, sender: int, message: CentralRequest) -> None:
+        self._require_coordinator(message)
+        self._coordinator_handle_request(message.origin)
+
+    def _on_release(self, sender: int, message: CentralRelease) -> None:
+        self._require_coordinator(message)
+        self._coordinator_handle_release(message.origin)
+
+    def _on_grant(self, sender: int, message: CentralGrant) -> None:
+        if not self.requesting:
             raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
+                f"node {self.node_id} received a GRANT without an outstanding request"
             )
+        self._enter_critical_section()
 
     # ------------------------------------------------------------------ #
     # coordinator behaviour

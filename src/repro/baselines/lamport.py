@@ -11,10 +11,9 @@ critical-section entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
-from repro.exceptions import ProtocolError
 
 Timestamp = Tuple[int, int]  # (logical clock value, node id) — totally ordered
 
@@ -70,6 +69,12 @@ class LamportRelease:
 class LamportNode(MutexNodeBase):
     """One participant of Lamport's algorithm."""
 
+    _MESSAGE_HANDLERS = {
+        LamportRequest: "_on_request",
+        LamportAck: "_on_ack",
+        LamportRelease: "_on_release",
+    }
+
     def __init__(self, node_id: int, network, *, all_nodes, **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
         self.all_nodes = tuple(all_nodes)
@@ -104,24 +109,23 @@ class LamportNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, LamportRequest):
-            self._advance_clock(message.clock)
-            self.queue[message.origin] = (message.clock, message.origin)
-            self._heard(message.origin, message.clock)
-            self.clock += 1
-            self.send(message.origin, LamportAck(clock=self.clock, origin=self.node_id))
-        elif isinstance(message, LamportAck):
-            self._advance_clock(message.clock)
-            self._heard(message.origin, message.clock)
-        elif isinstance(message, LamportRelease):
-            self._advance_clock(message.clock)
-            self.queue.pop(message.origin, None)
-            self._heard(message.origin, message.clock)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
+    def _on_request(self, sender: int, message: LamportRequest) -> None:
+        self._advance_clock(message.clock)
+        self.queue[message.origin] = (message.clock, message.origin)
+        self._heard(message.origin, message.clock)
+        self.clock += 1
+        self.send(message.origin, LamportAck(clock=self.clock, origin=self.node_id))
+        self._try_enter()
+
+    def _on_ack(self, sender: int, message: LamportAck) -> None:
+        self._advance_clock(message.clock)
+        self._heard(message.origin, message.clock)
+        self._try_enter()
+
+    def _on_release(self, sender: int, message: LamportRelease) -> None:
+        self._advance_clock(message.clock)
+        self.queue.pop(message.origin, None)
+        self._heard(message.origin, message.clock)
         self._try_enter()
 
     # ------------------------------------------------------------------ #

@@ -156,6 +156,15 @@ class MaekawaFail:
 class MaekawaNode(MutexNodeBase):
     """One participant, acting both as requester and as committee member."""
 
+    _MESSAGE_HANDLERS = {
+        MaekawaRequest: "_on_request",
+        MaekawaLocked: "_on_locked",
+        MaekawaRelease: "_on_release",
+        MaekawaInquire: "_on_inquire",
+        MaekawaRelinquish: "_on_relinquish",
+        MaekawaFail: "_on_fail",
+    }
+
     def __init__(self, node_id: int, network, *, quorum: Sequence[int], **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
         self.quorum = tuple(quorum)
@@ -202,24 +211,24 @@ class MaekawaNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, MaekawaRequest):
-            self.clock = max(self.clock, message.clock) + 1
-            self._member_handle_request((message.clock, message.origin))
-        elif isinstance(message, MaekawaLocked):
-            self._requester_handle_locked(message.origin)
-        elif isinstance(message, MaekawaRelease):
-            self._member_handle_release(message.origin)
-        elif isinstance(message, MaekawaInquire):
-            self._requester_handle_inquire(message.origin)
-        elif isinstance(message, MaekawaRelinquish):
-            self._member_handle_relinquish(message.origin)
-        elif isinstance(message, MaekawaFail):
-            self._requester_handle_fail(message.origin)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
+    def _on_request(self, sender: int, message: MaekawaRequest) -> None:
+        self.clock = max(self.clock, message.clock) + 1
+        self._member_handle_request((message.clock, message.origin))
+
+    def _on_locked(self, sender: int, message: MaekawaLocked) -> None:
+        self._requester_handle_locked(message.origin)
+
+    def _on_release(self, sender: int, message: MaekawaRelease) -> None:
+        self._member_handle_release(message.origin)
+
+    def _on_inquire(self, sender: int, message: MaekawaInquire) -> None:
+        self._requester_handle_inquire(message.origin)
+
+    def _on_relinquish(self, sender: int, message: MaekawaRelinquish) -> None:
+        self._member_handle_relinquish(message.origin)
+
+    def _on_fail(self, sender: int, message: MaekawaFail) -> None:
+        self._requester_handle_fail(message.origin)
 
     # ------------------------------------------------------------------ #
     # member-side behaviour

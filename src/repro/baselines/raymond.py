@@ -18,10 +18,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional
+from typing import Deque, Dict, Optional
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
-from repro.exceptions import ProtocolError
 
 
 @dataclass(frozen=True)
@@ -54,6 +53,11 @@ class RaymondPrivilege:
 
 class RaymondNode(MutexNodeBase):
     """One participant of Raymond's algorithm."""
+
+    _MESSAGE_HANDLERS = {
+        RaymondRequest: "_on_request",
+        RaymondPrivilege: "_on_privilege",
+    }
 
     def __init__(
         self,
@@ -89,20 +93,16 @@ class RaymondNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, RaymondRequest):
-            self.request_queue.append(sender)
-            self._assign_privilege()
-            self._make_request()
-        elif isinstance(message, RaymondPrivilege):
-            self.holder = None  # the token is here now
-            self.asked = False
-            self._assign_privilege()
-            self._make_request()
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
+    def _on_request(self, sender: int, message: RaymondRequest) -> None:
+        self.request_queue.append(sender)
+        self._assign_privilege()
+        self._make_request()
+
+    def _on_privilege(self, sender: int, message: RaymondPrivilege) -> None:
+        self.holder = None  # the token is here now
+        self.asked = False
+        self._assign_privilege()
+        self._make_request()
 
     # ------------------------------------------------------------------ #
     # the two procedures of Raymond's paper

@@ -11,7 +11,7 @@ enters once it has collected replies from everyone else, giving the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
 from repro.exceptions import ProtocolError
@@ -53,6 +53,8 @@ class RAReply:
 class RicartAgrawalaNode(MutexNodeBase):
     """One participant of the Ricart–Agrawala algorithm."""
 
+    _MESSAGE_HANDLERS = {RARequest: "_on_request", RAReply: "_on_reply"}
+
     def __init__(self, node_id: int, network, *, all_nodes, **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
         self.all_nodes = tuple(all_nodes)
@@ -80,18 +82,8 @@ class RicartAgrawalaNode(MutexNodeBase):
         for other in sorted(deferred):
             self.send(other, RAReply(origin=self.node_id))
 
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, RARequest):
-            self.clock = max(self.clock, message.clock) + 1
-            self._handle_request(message)
-        elif isinstance(message, RAReply):
-            self._handle_reply(message)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
-
-    def _handle_request(self, message: RARequest) -> None:
+    def _on_request(self, sender: int, message: RARequest) -> None:
+        self.clock = max(self.clock, message.clock) + 1
         their_request = (message.clock, message.origin)
         defer = False
         if self.in_critical_section:
@@ -104,7 +96,7 @@ class RicartAgrawalaNode(MutexNodeBase):
         else:
             self.send(message.origin, RAReply(origin=self.node_id))
 
-    def _handle_reply(self, message: RAReply) -> None:
+    def _on_reply(self, sender: int, message: RAReply) -> None:
         if message.origin not in self.awaiting_reply:
             raise ProtocolError(
                 f"node {self.node_id} received an unexpected REPLY from {message.origin}"

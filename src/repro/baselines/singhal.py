@@ -17,7 +17,7 @@ guarantees liveness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Dict, Tuple
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
 from repro.exceptions import ProtocolError
@@ -76,6 +76,11 @@ class SinghalPrivilege:
 
 class SinghalNode(MutexNodeBase):
     """One participant of Singhal's algorithm."""
+
+    _MESSAGE_HANDLERS = {
+        SinghalRequest: "_on_request",
+        SinghalPrivilege: "_on_privilege",
+    }
 
     def __init__(
         self,
@@ -148,17 +153,7 @@ class SinghalNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, SinghalRequest):
-            self._handle_request(message)
-        elif isinstance(message, SinghalPrivilege):
-            self._handle_privilege(message)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
-
-    def _handle_request(self, message: SinghalRequest) -> None:
+    def _on_request(self, sender: int, message: SinghalRequest) -> None:
         origin, sequence = message.origin, message.sequence
         if sequence <= self.sequence_vector[origin]:
             # Outdated request: the token already satisfied it.
@@ -191,7 +186,7 @@ class SinghalNode(MutexNodeBase):
             return
         raise ProtocolError(f"node {self.node_id} has invalid state {my_state!r}")
 
-    def _handle_privilege(self, message: SinghalPrivilege) -> None:
+    def _on_privilege(self, sender: int, message: SinghalPrivilege) -> None:
         if self.has_token:
             raise ProtocolError(f"node {self.node_id} received a duplicate token")
         if not self.requesting:

@@ -11,7 +11,7 @@ are needed per entry — the paper's quoted bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import MutexNodeBase, MutexSystem, registry
 from repro.exceptions import ProtocolError
@@ -56,6 +56,8 @@ class SKPrivilege:
 
 class SuzukiKasamiNode(MutexNodeBase):
     """One participant of the Suzuki–Kasami algorithm."""
+
+    _MESSAGE_HANDLERS = {SKRequest: "_on_request", SKPrivilege: "_on_privilege"}
 
     def __init__(
         self,
@@ -108,17 +110,7 @@ class SuzukiKasamiNode(MutexNodeBase):
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def on_message(self, sender: int, message: Any) -> None:
-        if isinstance(message, SKRequest):
-            self._handle_request(message)
-        elif isinstance(message, SKPrivilege):
-            self._handle_privilege(message)
-        else:
-            raise ProtocolError(
-                f"node {self.node_id} received unexpected message {message!r}"
-            )
-
-    def _handle_request(self, message: SKRequest) -> None:
+    def _on_request(self, sender: int, message: SKRequest) -> None:
         current = self.request_numbers[message.origin]
         self.request_numbers[message.origin] = max(current, message.sequence)
         # An idle token holder hands the token over immediately if the request
@@ -132,7 +124,7 @@ class SuzukiKasamiNode(MutexNodeBase):
         ):
             self._pass_token(message.origin)
 
-    def _handle_privilege(self, message: SKPrivilege) -> None:
+    def _on_privilege(self, sender: int, message: SKPrivilege) -> None:
         if self.has_token:
             raise ProtocolError(f"node {self.node_id} received a duplicate token")
         self.has_token = True

@@ -1,0 +1,35 @@
+"""Throughput benchmark harness for the simulation core.
+
+This package measures end-to-end simulation throughput (engine events per
+wall-clock second) over a standard scenario matrix, writes the
+``BENCH_throughput.json`` regression record, and checks that the optimized
+core still replays the seed engine's event order exactly.  See
+``benchmarks/README.md`` for the file format and the CLI entry point
+(``repro bench``).
+"""
+
+from repro.bench.throughput import (
+    ACCEPTANCE_SCENARIO,
+    ScenarioResult,
+    ScenarioSpec,
+    check_against_baseline,
+    default_matrix,
+    determinism_fingerprint,
+    fast_path_consistent,
+    run_benchmark,
+    run_scenario,
+    smoke_matrix,
+)
+
+__all__ = [
+    "ACCEPTANCE_SCENARIO",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "check_against_baseline",
+    "default_matrix",
+    "determinism_fingerprint",
+    "fast_path_consistent",
+    "run_benchmark",
+    "run_scenario",
+    "smoke_matrix",
+]

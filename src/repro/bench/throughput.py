@@ -1,0 +1,365 @@
+"""End-to-end throughput benchmark for the simulation hot path.
+
+The events-per-second number measured here gates everything the evaluation
+produces: every paper metric comes out of replaying workloads through
+``SimulationEngine`` → ``Network`` → node callbacks.  The benchmark drives a
+standard scenario matrix (topology family × node count × demand level)
+through the *unobserved* fast path (no metrics collector attached), exactly
+how large-scale sweeps run, and records:
+
+* events/sec, messages/sec, wall time and process peak RSS per scenario;
+* a correctness assertion that the DAG algorithm stays within the paper's
+  worst-case message bound (``D + 1`` messages per entry, Section 6.1);
+* a determinism fingerprint — a fixed-seed 50-node run whose entry order,
+  message counts and finish time must be byte-identical to the values
+  recorded from the seed (pre-optimization) engine;
+* the recorded seed baseline, so the speedup and later regressions are
+  computed against a committed reference.
+
+Scenario definitions are frozen: changing them silently would invalidate the
+committed baseline in ``benchmarks/seed_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.dag_adapter import DagSystem
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.rng import SeededRNG
+from repro.topology import balanced_tree, line, star
+from repro.topology.base import Topology
+from repro.topology.metrics import diameter
+from repro.workload.driver import ExperimentDriver, run_experiment
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import Workload
+
+#: The scenario the acceptance criterion (>= 3x over seed) is judged on.
+ACCEPTANCE_SCENARIO = "star-n1000-heavy"
+
+_TOPOLOGY_KINDS = ("line", "star", "tree")
+_SIZES = (100, 1000, 5000)
+_DEMANDS = ("light", "heavy")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the benchmark matrix."""
+
+    kind: str
+    n: int
+    demand: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}-n{self.n}-{self.demand}"
+
+
+@dataclass
+class ScenarioResult:
+    """Measured outcome of one scenario run."""
+
+    scenario: str
+    kind: str
+    n: int
+    demand: str
+    events: int
+    messages: int
+    entries: int
+    wall_seconds: float
+    events_per_sec: float
+    messages_per_sec: float
+    messages_per_entry: float
+    bound_messages_per_entry: float
+    #: Process-lifetime peak RSS sampled after this scenario (a running
+    #: maximum across the benchmark run, not a per-scenario measurement).
+    peak_rss_kb: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def default_matrix() -> List[ScenarioSpec]:
+    """The full committed matrix: 3 topologies x 3 sizes x 2 demand levels."""
+    return [
+        ScenarioSpec(kind, n, demand)
+        for kind in _TOPOLOGY_KINDS
+        for n in _SIZES
+        for demand in _DEMANDS
+    ]
+
+
+def smoke_matrix() -> List[ScenarioSpec]:
+    """A ~30-second subset for CI: every topology, heavy demand, n <= 1000."""
+    return [
+        ScenarioSpec(kind, n, "heavy") for kind in _TOPOLOGY_KINDS for n in (100, 1000)
+    ]
+
+
+def build_topology(kind: str, n: int) -> Topology:
+    """Frozen scenario topologies (matches the recorded seed baseline)."""
+    if kind == "line":
+        return line(n)
+    if kind == "star":
+        return star(n)
+    if kind == "tree":
+        depth = max(1, (n - 1).bit_length() - 1)
+        return balanced_tree(2, depth)
+    raise ValueError(f"unknown benchmark topology kind {kind!r}")
+
+
+def build_workload(topology: Topology, demand: str, *, seed: int = 0) -> Workload:
+    """Frozen scenario workloads (matches the recorded seed baseline)."""
+    generator = WorkloadGenerator(topology.nodes, seed=seed)
+    if demand == "light":
+        return generator.poisson(
+            total_requests=2 * len(topology.nodes), mean_interarrival=5.0
+        )
+    if demand == "heavy":
+        return generator.heavy_demand(rounds=10)
+    raise ValueError(f"unknown demand level {demand!r}")
+
+
+def run_scenario(spec: ScenarioSpec, *, repeat: int = 3) -> ScenarioResult:
+    """Run one scenario ``repeat`` times and keep the fastest measurement.
+
+    Each repetition rebuilds the whole system, so the virtual-time outcome is
+    identical every time — only the wall clock varies, and best-of-N damps
+    scheduler noise.
+    """
+    topology = build_topology(spec.kind, spec.n)
+    workload = build_workload(topology, spec.demand)
+    bound = float(diameter(topology) + 1)
+    best: Optional[ScenarioResult] = None
+    for _ in range(max(1, repeat)):
+        system = DagSystem(topology, collect_metrics=False)
+        driver = ExperimentDriver(system, workload)
+        start = time.perf_counter()
+        result = driver.run(max_events=50_000_000)
+        wall = time.perf_counter() - start
+        events = system.engine.processed_events
+        messages = system.network.messages_sent
+        if result.messages_per_entry > bound + 1e-9:
+            raise AssertionError(
+                f"{spec.name}: {result.messages_per_entry:.3f} messages/entry exceeds "
+                f"the paper's D+1 bound of {bound:.0f}"
+            )
+        measured = ScenarioResult(
+            scenario=spec.name,
+            kind=spec.kind,
+            n=spec.n,
+            demand=spec.demand,
+            events=events,
+            messages=messages,
+            entries=result.completed_entries,
+            wall_seconds=round(wall, 4),
+            events_per_sec=round(events / wall, 1),
+            messages_per_sec=round(messages / wall, 1),
+            messages_per_entry=round(result.messages_per_entry, 4),
+            bound_messages_per_entry=bound,
+            peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        )
+        if best is None or measured.events_per_sec > best.events_per_sec:
+            best = measured
+    return best
+
+
+def determinism_fingerprint() -> Dict[str, Dict[str, Any]]:
+    """Fixed-seed 50-node runs whose metrics must replay byte-identically.
+
+    Two latency models are exercised, both on the observed (metrics-attached)
+    network path the seed recording used: constant latency and seeded
+    uniform-random latency (the per-channel FIFO clamp).  The returned
+    structure is compared against the values recorded from the seed engine;
+    :func:`fast_path_consistent` separately pins the unobserved fast path to
+    the same replay.
+    """
+    topology = star(50)
+    workload = WorkloadGenerator(topology.nodes, seed=42).poisson(
+        total_requests=200, mean_interarrival=2.0
+    )
+    out: Dict[str, Dict[str, Any]] = {}
+    for label, latency in (
+        ("constant", ConstantLatency(1.0)),
+        (
+            "uniform",
+            UniformLatency(0.1, 2.0, rng=SeededRNG(7, label="bench-latency")),
+        ),
+    ):
+        result = run_experiment("dag", topology, workload, latency=latency)
+        out[label] = {
+            "entry_order": result.entry_order,
+            "total_messages": result.total_messages,
+            "messages_by_type": result.messages_by_type,
+            "finished_at": round(result.finished_at, 9),
+            "mean_waiting_time": round(result.mean_waiting_time, 9),
+        }
+    return out
+
+
+def fast_path_consistent() -> bool:
+    """Whether the unobserved fast path replays the observed path exactly.
+
+    The recorded seed fingerprint is produced with a metrics collector
+    attached (the observed path).  This check closes the remaining gap: the
+    same fixed-seed run driven with ``collect_metrics=False`` — lite events,
+    ``_deliver_fast``, no ``MessageDelivery`` — must yield the identical
+    entry order, message count and finish time.  Together with the seed
+    fingerprint this pins the fast path to the seed engine transitively.
+    """
+    topology = star(50)
+    workload = WorkloadGenerator(topology.nodes, seed=42).poisson(
+        total_requests=200, mean_interarrival=2.0
+    )
+    for latency_factory in (
+        lambda: ConstantLatency(1.0),
+        lambda: UniformLatency(0.1, 2.0, rng=SeededRNG(7, label="bench-latency")),
+    ):
+        observed = run_experiment("dag", topology, workload, latency=latency_factory())
+        fast = run_experiment(
+            "dag", topology, workload, latency=latency_factory(), collect_metrics=False
+        )
+        if (
+            fast.entry_order != observed.entry_order
+            or fast.total_messages != observed.total_messages
+            or round(fast.finished_at, 9) != round(observed.finished_at, 9)
+        ):
+            return False
+    return True
+
+
+def run_benchmark(
+    *,
+    matrix: Optional[Sequence[ScenarioSpec]] = None,
+    repeat: int = 3,
+    seed_baseline: Optional[Dict[str, Any]] = None,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the matrix and assemble the ``BENCH_throughput.json`` document."""
+    specs = list(matrix) if matrix is not None else default_matrix()
+    scenarios: List[Dict[str, Any]] = []
+    for spec in specs:
+        measured = run_scenario(spec, repeat=repeat)
+        scenarios.append(measured.as_dict())
+        if verbose:
+            print(
+                f"{measured.scenario:<22} {measured.events_per_sec:>12,.0f} ev/s  "
+                f"{measured.messages_per_sec:>12,.0f} msg/s  "
+                f"wall {measured.wall_seconds:.3f}s"
+            )
+
+    document: Dict[str, Any] = {
+        "schema": "bench-throughput/v1",
+        "generated_by": "repro bench",
+        "repeat": repeat,
+        "scenarios": scenarios,
+    }
+
+    fingerprint = determinism_fingerprint()
+    document["determinism"] = {
+        "fingerprint": fingerprint,
+        "fast_path_matches_observed": fast_path_consistent(),
+    }
+
+    if seed_baseline is not None:
+        document["seed_baseline"] = seed_baseline
+        recorded = seed_baseline.get("fingerprint")
+        document["determinism"]["matches_seed"] = recorded == fingerprint
+        acceptance = _acceptance_summary(scenarios, seed_baseline)
+        if acceptance is not None:
+            document["acceptance"] = acceptance
+        counts = _counts_match(scenarios, seed_baseline)
+        document["determinism"]["scenario_counts_match_seed"] = counts
+    return document
+
+
+def check_against_baseline(
+    current: Iterable[Dict[str, Any]],
+    committed: Dict[str, Any],
+    *,
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Compare fresh scenario measurements against a committed document.
+
+    Returns a list of human-readable regression descriptions; empty means the
+    run is within ``tolerance`` (relative events/sec drop) everywhere.
+    """
+    committed_by_name = {
+        row["scenario"]: row for row in committed.get("scenarios", [])
+    }
+    problems: List[str] = []
+    for row in current:
+        reference = committed_by_name.get(row["scenario"])
+        if reference is None:
+            continue
+        floor = reference["events_per_sec"] * (1.0 - tolerance)
+        if row["events_per_sec"] < floor:
+            problems.append(
+                f"{row['scenario']}: {row['events_per_sec']:,.0f} ev/s is below "
+                f"{floor:,.0f} (committed {reference['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+        for field in ("events", "messages", "entries"):
+            if row[field] != reference[field]:
+                problems.append(
+                    f"{row['scenario']}: {field} {row[field]} != committed "
+                    f"{reference[field]} (simulation no longer deterministic?)"
+                )
+    return problems
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Small helper so CLI and CI share one loader."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _acceptance_summary(
+    scenarios: List[Dict[str, Any]], seed_baseline: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    current = next(
+        (row for row in scenarios if row["scenario"] == ACCEPTANCE_SCENARIO), None
+    )
+    seed_row = next(
+        (
+            row
+            for row in seed_baseline.get("throughput", [])
+            if row["scenario"] == ACCEPTANCE_SCENARIO
+        ),
+        None,
+    )
+    if current is None or seed_row is None:
+        return None
+    seed_rate = seed_baseline.get("acceptance_events_per_sec", seed_row["events_per_sec"])
+    speedup = current["events_per_sec"] / seed_rate
+    return {
+        "scenario": ACCEPTANCE_SCENARIO,
+        "seed_events_per_sec": seed_rate,
+        "events_per_sec": current["events_per_sec"],
+        "speedup": round(speedup, 2),
+        "target_speedup": 3.0,
+        "meets_target": speedup >= 3.0,
+    }
+
+
+def _counts_match(
+    scenarios: List[Dict[str, Any]], seed_baseline: Dict[str, Any]
+) -> bool:
+    seed_rows = {
+        row["scenario"]: row for row in seed_baseline.get("throughput", [])
+    }
+    for row in scenarios:
+        reference = seed_rows.get(row["scenario"])
+        if reference is None:
+            continue
+        if (
+            row["events"] != reference["events"]
+            or row["messages"] != reference["messages"]
+            or row["entries"] != reference["entries"]
+        ):
+            return False
+    return True

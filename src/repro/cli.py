@@ -183,6 +183,87 @@ def cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the throughput benchmark matrix (see benchmarks/README.md)."""
+    import json
+    import os
+
+    from repro.bench import (
+        check_against_baseline,
+        default_matrix,
+        run_benchmark,
+        smoke_matrix,
+    )
+    from repro.bench.throughput import load_json
+
+    matrix = smoke_matrix() if args.smoke else default_matrix()
+    if args.check and not os.path.exists(args.check):
+        print(f"error: --check file {args.check!r} does not exist", file=sys.stderr)
+        return 2
+    seed_baseline = None
+    if args.seed_baseline and os.path.exists(args.seed_baseline):
+        seed_baseline = load_json(args.seed_baseline)
+    elif args.seed_baseline:
+        print(
+            f"note: seed baseline {args.seed_baseline!r} not found; "
+            "skipping the speedup and determinism-vs-seed checks",
+            file=sys.stderr,
+        )
+
+    document = run_benchmark(
+        matrix=matrix,
+        repeat=args.repeat,
+        seed_baseline=seed_baseline,
+        verbose=True,
+    )
+
+    status = 0
+    determinism = document["determinism"]
+    if not determinism.get("fast_path_matches_observed", True):
+        print("DETERMINISM: the unobserved fast path no longer replays the "
+              "observed path's event order!")
+        status = 1
+    if seed_baseline is not None:
+        if not determinism.get("matches_seed", False):
+            print("DETERMINISM: fingerprint DIFFERS from the seed engine — "
+                  "the optimized core no longer replays the same event order!")
+            status = 1
+        else:
+            print("Determinism: fingerprint matches the seed engine exactly.")
+        if not determinism.get("scenario_counts_match_seed", True):
+            print("DETERMINISM: scenario event/message/entry counts differ from seed!")
+            status = 1
+        acceptance = document.get("acceptance")
+        if acceptance is not None:
+            print(
+                f"Acceptance ({acceptance['scenario']}): "
+                f"{acceptance['events_per_sec']:,.0f} ev/s vs seed "
+                f"{acceptance['seed_events_per_sec']:,.0f} ev/s -> "
+                f"{acceptance['speedup']:.2f}x (target {acceptance['target_speedup']:.1f}x)"
+            )
+
+    if args.check:
+        committed = load_json(args.check)
+        problems = check_against_baseline(
+            document["scenarios"], committed, tolerance=args.tolerance
+        )
+        if problems:
+            print(f"Regression check against {args.check} FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print(f"Regression check against {args.check} passed "
+                  f"(tolerance {args.tolerance:.0%}).")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {args.output}")
+    return status
+
+
 def cmd_algorithms(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -251,6 +332,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     algorithms = subparsers.add_parser("algorithms", help="list implemented algorithms")
     algorithms.set_defaults(func=cmd_algorithms)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the simulation-core throughput benchmark matrix"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the ~30s CI subset instead of the full matrix",
+    )
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="repetitions per scenario; the fastest is kept")
+    bench.add_argument("--output", default=None,
+                       help="write the benchmark document to this JSON file")
+    bench.add_argument(
+        "--seed-baseline",
+        default="benchmarks/seed_baseline.json",
+        help="recorded seed-engine baseline for speedup + determinism checks",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        help="compare against a committed BENCH_throughput.json; non-zero exit on regression",
+    )
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed relative events/sec drop for --check")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -11,14 +11,17 @@ The paper uses exactly two messages during normal operation:
 
 ``INITIALIZE(I)`` is the bootstrap message of Figure 5 used only by the
 initialisation procedure.
+
+The classes are hand-rolled ``__slots__`` value objects rather than frozen
+dataclasses: a REQUEST is allocated on every forwarding hop, so construction
+cost sits directly on the simulation's hot path (``object.__setattr__`` in a
+frozen dataclass's ``__init__`` is several times slower than a plain slot
+store).  They keep value equality and hashability.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class Request:
     """``REQUEST(X, Y)``: forwarded hop-by-hop toward the current sink.
 
@@ -29,10 +32,13 @@ class Request:
             paper's ``Y``).
     """
 
-    sender: int
-    origin: int
+    __slots__ = ("sender", "origin")
 
     type_name = "REQUEST"
+
+    def __init__(self, sender: int, origin: int) -> None:
+        self.sender = sender
+        self.origin = origin
 
     def payload_size(self) -> int:
         """Number of integer fields carried: two (Section 6.4)."""
@@ -41,10 +47,22 @@ class Request:
     def describe(self) -> str:
         return f"REQUEST({self.sender},{self.origin})"
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Request):
+            return self.sender == other.sender and self.origin == other.origin
+        return NotImplemented
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash((Request, self.sender, self.origin))
+
+    def __repr__(self) -> str:
+        return f"Request(sender={self.sender!r}, origin={self.origin!r})"
+
+
 class Privilege:
     """``PRIVILEGE``: the token.  Carries no data structure (Section 6.4)."""
+
+    __slots__ = ()
 
     type_name = "PRIVILEGE"
 
@@ -55,8 +73,18 @@ class Privilege:
     def describe(self) -> str:
         return "PRIVILEGE"
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Privilege):
+            return True
+        return NotImplemented
 
-@dataclass(frozen=True)
+    def __hash__(self) -> int:
+        return hash(Privilege)
+
+    def __repr__(self) -> str:
+        return "Privilege()"
+
+
 class Initialize:
     """``INITIALIZE(I)``: bootstrap flood identifying the path to the token.
 
@@ -65,9 +93,12 @@ class Initialize:
             variable to it (Figure 5).
     """
 
-    origin: int
+    __slots__ = ("origin",)
 
     type_name = "INITIALIZE"
+
+    def __init__(self, origin: int) -> None:
+        self.origin = origin
 
     def payload_size(self) -> int:
         """Number of integer fields carried: one."""
@@ -75,3 +106,14 @@ class Initialize:
 
     def describe(self) -> str:
         return f"INITIALIZE({self.origin})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Initialize):
+            return self.origin == other.origin
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Initialize, self.origin))
+
+    def __repr__(self) -> str:
+        return f"Initialize(origin={self.origin!r})"

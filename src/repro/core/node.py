@@ -29,6 +29,10 @@ from repro.sim.trace import TraceRecorder
 
 EnterCallback = Callable[[int, float], None]
 
+# PRIVILEGE carries no payload and compares by type, so a single shared
+# instance serves every token pass without per-send allocation.
+_PRIVILEGE = Privilege()
+
 
 class DagMutexNode(SimProcess):
     """A protocol participant holding the three paper variables.
@@ -77,6 +81,12 @@ class DagMutexNode(SimProcess):
         self._metrics = metrics
         self._trace = trace
         self._on_enter = on_enter
+        # Type-keyed dispatch: one dict lookup per message instead of an
+        # isinstance chain.
+        self._dispatch = {
+            Request: self._handle_request,
+            Privilege: self._handle_privilege,
+        }
 
     # ------------------------------------------------------------------ #
     # public protocol actions
@@ -101,7 +111,8 @@ class DagMutexNode(SimProcess):
 
         if self._metrics is not None:
             self._metrics.cs_requested(self.node_id, self.now)
-        self._record("cs_request")
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_request", self.node_id)
 
         if self.holding:
             # The node is an idle token holder: P1 skips the request entirely.
@@ -119,8 +130,10 @@ class DagMutexNode(SimProcess):
             )
         target = self.next_node
         self.next_node = None
-        self.send(target, Request(sender=self.node_id, origin=self.node_id))
-        self._record("state_change", reason="sent own request", next=None)
+        self.send(target, Request(self.node_id, self.node_id))
+        if self._trace is not None:
+            self._trace.record(self.now, "state_change", self.node_id,
+                               reason="sent own request", next=None)
 
     def release_cs(self) -> None:
         """Leave the critical section (second half of procedure P1).
@@ -136,32 +149,35 @@ class DagMutexNode(SimProcess):
         self.in_critical_section = False
         if self._metrics is not None:
             self._metrics.cs_exited(self.node_id, self.now)
-        self._record("cs_exit")
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_exit", self.node_id)
 
         if self.follow is not None:
             successor = self.follow
             self.follow = None
-            self.send(successor, Privilege())
-            self._record("state_change", reason="passed token", to=successor)
+            self.send(successor, _PRIVILEGE)
+            if self._trace is not None:
+                self._trace.record(self.now, "state_change", self.node_id,
+                                   reason="passed token", to=successor)
         else:
             self.holding = True
-            self._record("state_change", reason="kept token (HOLDING)")
+            if self._trace is not None:
+                self._trace.record(self.now, "state_change", self.node_id,
+                                   reason="kept token (HOLDING)")
 
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
     def on_message(self, sender: int, message: Any) -> None:
         """Dispatch REQUEST to procedure P2 and PRIVILEGE to the P1 wait point."""
-        if isinstance(message, Request):
-            self._handle_request(message)
-        elif isinstance(message, Privilege):
-            self._handle_privilege()
-        else:
+        handler = self._dispatch.get(type(message))
+        if handler is None:
             raise ProtocolError(
                 f"node {self.node_id} received unexpected message {message!r} from {sender}"
             )
+        handler(sender, message)
 
-    def _handle_request(self, message: Request) -> None:
+    def _handle_request(self, sender: int, message: Request) -> None:
         """Procedure P2 of Figure 3 for ``REQUEST(X, Y)``."""
         adjacent = message.sender
         origin = message.origin
@@ -172,22 +188,26 @@ class DagMutexNode(SimProcess):
                 # Transition 8 (state H): hand the idle token straight to the
                 # request's originator.
                 self.holding = False
-                self.send(origin, Privilege())
-                self._record("state_change", reason="idle holder granted token", to=origin)
+                self.send(origin, _PRIVILEGE)
+                if self._trace is not None:
+                    self._trace.record(self.now, "state_change", self.node_id,
+                                       reason="idle holder granted token", to=origin)
             else:
                 # The sink is requesting or executing: capture the requester as
                 # our successor in the implicit queue.
                 self.follow = origin
-                self._record("state_change", reason="captured FOLLOW", follow=origin)
+                if self._trace is not None:
+                    self._trace.record(self.now, "state_change", self.node_id,
+                                       reason="captured FOLLOW", follow=origin)
         else:
             # Intermediate node: forward the request toward the sink on the
             # originator's behalf.
-            self.send(self.next_node, Request(sender=self.node_id, origin=origin))
+            self.send(self.next_node, Request(self.node_id, origin))
         # In every case the edge to the adjacent sender is reversed so later
         # requests travel toward the new sink.
         self.next_node = adjacent
 
-    def _handle_privilege(self) -> None:
+    def _handle_privilege(self, sender: int, message: Privilege) -> None:
         """The P1 wait point: the token arrived, enter the critical section."""
         if not self.requesting:
             raise ProtocolError(
@@ -241,13 +261,10 @@ class DagMutexNode(SimProcess):
         self.cs_entries += 1
         if self._metrics is not None:
             self._metrics.cs_entered(self.node_id, self.now)
-        self._record("cs_enter")
+        if self._trace is not None:
+            self._trace.record(self.now, "cs_enter", self.node_id)
         if self._on_enter is not None:
             self._on_enter(self.node_id, self.now)
-
-    def _record(self, category: str, **detail: Any) -> None:
-        if self._trace is not None:
-            self._trace.record(self.now, category, self.node_id, **detail)
 
     def __repr__(self) -> str:
         return (

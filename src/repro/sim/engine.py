@@ -1,19 +1,32 @@
 """Deterministic discrete-event simulation engine.
 
-The engine keeps a heap of :class:`~repro.sim.events.Event` objects ordered by
-``(time, priority, sequence)`` and advances a virtual clock as it pops them.
-It is intentionally minimal: processes, networks, and metrics are layered on
-top rather than baked in, so the same engine drives every algorithm in the
+The engine keeps a heap of ``(time, priority, sequence, event)`` tuples and
+advances a virtual clock as it pops them.  Storing plain tuples keeps every
+heap comparison in C — the :class:`~repro.sim.events.Event` object itself is
+never compared on the hot path.  The hottest callers
+(:meth:`SimulationEngine.schedule_lite`) skip the event object entirely: the
+heap entry is a ``(time, priority, sequence, callback, payload)`` 5-tuple and
+``callback(payload)`` fires with no per-event allocation at all.  It is
+intentionally minimal: processes, networks, and metrics are layered on top
+rather than baked in, so the same engine drives every algorithm in the
 library.
+
+Determinism contract: events fire in ``(time, priority, sequence)`` order,
+with the sequence number allocated monotonically at scheduling time.  Both
+:meth:`SimulationEngine.schedule` and the hot-path
+:meth:`SimulationEngine.schedule_fast` draw from the same sequence counter,
+so mixing the two never changes the replay order.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.exceptions import SchedulingError, SimulationError
 from repro.sim.events import Event, EventKind
+
+_CALLBACK = EventKind.CALLBACK
 
 
 class SimulationEngine:
@@ -30,9 +43,10 @@ class SimulationEngine:
 
     def __init__(self, *, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._processed = 0
+        self._pending = 0
         self._running = False
         self._stopped = False
 
@@ -48,8 +62,12 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still scheduled (including cancelled ones)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of non-cancelled events still scheduled.
+
+        Maintained incrementally (O(1)): scheduling increments it, processing
+        or cancelling an event decrements it — the heap is never rescanned.
+        """
+        return self._pending
 
     def schedule(
         self,
@@ -79,16 +97,56 @@ class SimulationEngine:
             raise SchedulingError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = Event(
-            time=float(time),
-            priority=priority,
-            sequence=self._next_sequence(),
-            kind=kind,
-            callback=callback,
-            payload=payload,
-        )
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        event = Event(time, priority, sequence, kind, callback, payload)
+        event.owner = self
+        self._pending += 1
+        heappush(self._heap, (time, priority, sequence, event))
         return event
+
+    def schedule_fast(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        kind: EventKind = _CALLBACK,
+    ) -> Event:
+        """Minimal-overhead :meth:`schedule` for hot paths (positional args).
+
+        Skips the past-time validation — callers must pass ``now + delta``
+        with a non-negative delta (the network's latency models guarantee a
+        positive delay).  Priority is fixed at 0.  Shares the sequence counter
+        with :meth:`schedule`, so determinism is unaffected.
+        """
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        event = Event(time, 0, sequence, kind, callback, payload)
+        event.owner = self
+        self._pending += 1
+        heappush(self._heap, (time, 0, sequence, event))
+        return event
+
+    def schedule_lite(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule a fire-and-forget callback with no :class:`Event` object.
+
+        The heap entry *is* the event: ``callback(payload)`` runs at ``time``
+        with no per-event allocation at all.  Lite events cannot be cancelled
+        and carry no kind — they exist for the network's unobserved delivery
+        fast path and the workload driver, where neither feature is used and
+        the allocation would be pure overhead.  Ordering shares the engine's
+        sequence counter, so mixing lite and regular events is deterministic.
+        """
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        self._pending += 1
+        heappush(self._heap, (time, 0, sequence, callback, payload))
 
     def schedule_after(
         self,
@@ -132,30 +190,70 @@ class SimulationEngine:
         """
         if self._running:
             raise SimulationError("SimulationEngine.run() is not re-entrant")
+        if max_events is not None and max_events <= 0:
+            # Zero (or negative) budget: process nothing, matching the
+            # historical `processed >= max_events` behavior.
+            return 0
         self._running = True
         self._stopped = False
         processed_in_call = 0
+        # Bind hot attributes to locals: the loop below touches them once per
+        # event, and LOAD_FAST is measurably cheaper than attribute lookups.
+        heap = self._heap
+        pop = heappop
+        budget = max_events if max_events is not None else -1
         try:
-            while self._heap:
-                if self._stopped:
-                    break
-                if max_events is not None and processed_in_call >= max_events:
-                    break
-                event = self._heap[0]
-                if until is not None and event.time > until:
-                    self._now = max(self._now, until)
-                    break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.callback(event)
-                self._processed += 1
-                processed_in_call += 1
+            if until is None:
+                # Common case: no time horizon, so the head entry never has
+                # to be peeked before committing to it.
+                while heap:
+                    if self._stopped or processed_in_call == budget:
+                        break
+                    entry = pop(heap)
+                    if len(entry) == 5:
+                        # Lite entry: (time, priority, seq, callback, payload).
+                        self._pending -= 1
+                        self._now = entry[0]
+                        entry[3](entry[4])
+                        processed_in_call += 1
+                        continue
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    event.owner = None  # fired: a late cancel() must be a no-op
+                    self._pending -= 1
+                    self._now = entry[0]
+                    event.callback(event)
+                    processed_in_call += 1
             else:
-                if until is not None:
-                    self._now = max(self._now, until)
+                while heap:
+                    if self._stopped or processed_in_call == budget:
+                        break
+                    entry = heap[0]
+                    if entry[0] > until:
+                        if until > self._now:
+                            self._now = until
+                        break
+                    pop(heap)
+                    if len(entry) == 5:
+                        self._pending -= 1
+                        self._now = entry[0]
+                        entry[3](entry[4])
+                        processed_in_call += 1
+                        continue
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    event.owner = None
+                    self._pending -= 1
+                    self._now = entry[0]
+                    event.callback(event)
+                    processed_in_call += 1
+                else:
+                    if until > self._now:
+                        self._now = until
         finally:
+            self._processed += processed_in_call
             self._running = False
         return processed_in_call
 
@@ -172,6 +270,6 @@ class SimulationEngine:
         currently executing event finishes."""
         self._stopped = True
 
-    def _next_sequence(self) -> int:
-        self._sequence += 1
-        return self._sequence
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` to keep the pending counter exact."""
+        self._pending -= 1

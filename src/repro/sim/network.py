@@ -6,6 +6,24 @@ do not overtake each other in transit.  FIFO order is enforced per directed
 ``(sender, receiver)`` channel regardless of the latency model: if a random
 latency draw would deliver a message before an earlier one on the same
 channel, its delivery is pushed back to just after the earlier delivery.
+
+Two delivery paths exist:
+
+* **fast path** — taken when no metrics collector and no trace recorder are
+  attached (and the class is not subclassed): the send schedules a bare
+  ``(sender, receiver, message)`` tuple, skipping the
+  :class:`~repro.sim.events.MessageDelivery` allocation, the message
+  description, and every observer branch.  With a
+  :class:`~repro.sim.latency.ConstantLatency` model the per-channel FIFO
+  clamp is skipped too: a constant delay added to a non-decreasing clock can
+  never reorder a channel, so no per-channel state is touched at all.
+* **observed path** — taken when a collector/recorder is attached or the
+  network is subclassed (fault injectors override ``_deliver``): identical to
+  the historical behaviour, building a full :class:`MessageDelivery` payload.
+
+Both paths allocate engine sequence numbers in the same order (one event per
+send), so a run's ``(time, priority, sequence)`` event order is identical
+whichever path is active.
 """
 
 from __future__ import annotations
@@ -23,6 +41,21 @@ MessageHandler = Callable[[int, Any], None]
 # Minimal spacing inserted between two deliveries on the same channel when the
 # latency draw would otherwise reorder them.
 _FIFO_EPSILON = 1e-9
+
+class _ChannelState:
+    """Per-directed-channel bookkeeping, collapsed into one record.
+
+    Replaces the three historical dicts (sequence, last delivery time,
+    partitioned set) so a send touches at most one hash lookup for all of
+    its channel state.
+    """
+
+    __slots__ = ("sequence", "last_delivery_time", "partitioned")
+
+    def __init__(self) -> None:
+        self.sequence = 0
+        self.last_delivery_time = -1.0
+        self.partitioned = False
 
 
 class Network:
@@ -54,12 +87,25 @@ class Network:
         self._trace = trace
         self._allow_self_send = allow_self_send
         self._handlers: Dict[int, MessageHandler] = {}
-        self._channel_sequence: Dict[Tuple[int, int], int] = {}
-        self._last_delivery_time: Dict[Tuple[int, int], float] = {}
+        self._node_ids: List[int] = []
+        self._channels: Dict[Tuple[int, int], _ChannelState] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
-        self._partitioned: set[Tuple[int, int]] = set()
+        self._partition_count = 0
         self._dropped = 0
+        # Constant latency cannot reorder a FIFO channel (a fixed delay added
+        # to a non-decreasing clock is monotone), so the clamp is skipped.
+        self._constant_delay: Optional[float] = (
+            self._latency.value if type(self._latency) is ConstantLatency else None
+        )
+        # Subclasses (fault injectors) intercept ``_deliver``; the fast path
+        # would route around them, so it is enabled only for Network itself.
+        self._fast_path = metrics is None and trace is None and type(self) is Network
+        # Hottest configuration, resolved once: fast path + constant latency.
+        self._fast_delay: Optional[float] = (
+            self._constant_delay if self._fast_path else None
+        )
+        self._schedule_lite = engine.schedule_lite
 
     @property
     def engine(self) -> SimulationEngine:
@@ -73,8 +119,12 @@ class Network:
 
     @property
     def node_ids(self) -> List[int]:
-        """Identifiers of all registered nodes, in registration order."""
-        return list(self._handlers)
+        """Identifiers of all registered nodes, in registration order.
+
+        Served from a list maintained by :meth:`register`/:meth:`unregister`
+        rather than rebuilt from the handler table on every access.
+        """
+        return list(self._node_ids)
 
     @property
     def messages_sent(self) -> int:
@@ -87,6 +137,11 @@ class Network:
         return self._messages_delivered
 
     @property
+    def messages_dropped(self) -> int:
+        """Messages silently dropped by partitioned channels."""
+        return self._dropped
+
+    @property
     def messages_in_flight(self) -> int:
         """Messages sent but not yet delivered (and not dropped)."""
         return self._messages_sent - self._messages_delivered - self._dropped
@@ -96,12 +151,14 @@ class Network:
         if node_id in self._handlers:
             raise NetworkError(f"node {node_id} is already registered")
         self._handlers[node_id] = handler
+        self._node_ids.append(node_id)
 
     def unregister(self, node_id: int) -> None:
         """Remove a node; in-flight messages to it will raise on delivery."""
         if node_id not in self._handlers:
             raise NetworkError(f"node {node_id} is not registered")
         del self._handlers[node_id]
+        self._node_ids.remove(node_id)
 
     def send(self, sender: int, receiver: int, message: Any) -> None:
         """Send ``message`` from ``sender`` to ``receiver``.
@@ -113,48 +170,86 @@ class Network:
             NetworkError: if either endpoint is unknown, or on self-send when
                 that is disallowed.
         """
-        if sender not in self._handlers:
-            raise NetworkError(f"unknown sender node {sender}")
-        if receiver not in self._handlers:
-            raise NetworkError(f"unknown receiver node {receiver}")
+        handlers = self._handlers
+        if sender not in handlers or receiver not in handlers:
+            missing = sender if sender not in handlers else receiver
+            role = "sender" if sender not in handlers else "receiver"
+            raise NetworkError(f"unknown {role} node {missing}")
         if sender == receiver and not self._allow_self_send:
             raise NetworkError(f"node {sender} attempted to send a message to itself")
 
-        channel = (sender, receiver)
-        sequence = self._channel_sequence.get(channel, 0) + 1
-        self._channel_sequence[channel] = sequence
         self._messages_sent += 1
+        engine = self._engine
+
+        delay = self._fast_delay
+        if delay is not None:
+            # Hottest configuration: unobserved + constant latency.  No
+            # channel state is touched at all unless a partition is active.
+            if self._partition_count:
+                state = self._channels.get((sender, receiver))
+                if state is not None and state.partitioned:
+                    self._dropped += 1
+                    return
+            self._schedule_lite(
+                engine._now + delay,
+                self._deliver_fast,
+                (sender, receiver, message),
+            )
+            return
+
+        if self._fast_path:
+            # Unobserved but random latency: the per-channel clamp is still
+            # required, but the rich payload is not.
+            if self._partition_count:
+                state = self._channels.get((sender, receiver))
+                if state is not None and state.partitioned:
+                    self._dropped += 1
+                    return
+            state = self._channel_state(sender, receiver)
+            delivery_time = engine._now + self._latency.delay(sender, receiver)
+            if delivery_time <= state.last_delivery_time:
+                delivery_time = state.last_delivery_time + _FIFO_EPSILON
+            state.last_delivery_time = delivery_time
+            self._schedule_lite(
+                delivery_time,
+                self._deliver_fast,
+                (sender, receiver, message),
+            )
+            return
+
+        # Observed path: metrics/trace attached, or a subclass intercepts
+        # delivery.  Mirrors the historical behaviour exactly.
+        now = engine.now
+        state = self._channel_state(sender, receiver)
+        sequence = state.sequence + 1
+        state.sequence = sequence
 
         if self._metrics is not None:
-            self._metrics.message_sent(sender, receiver, message, self._engine.now)
+            self._metrics.message_sent(sender, receiver, message, now)
         if self._trace is not None:
             self._trace.record(
-                self._engine.now,
+                now,
                 "send",
                 sender,
                 to=receiver,
                 message=_describe_message(message),
             )
 
-        if channel in self._partitioned:
+        if state.partitioned:
             self._dropped += 1
             return
 
-        delay = self._latency.delay(sender, receiver)
-        delivery_time = self._engine.now + delay
-        earliest = self._last_delivery_time.get(channel)
-        if earliest is not None and delivery_time <= earliest:
-            delivery_time = earliest + _FIFO_EPSILON
-        self._last_delivery_time[channel] = delivery_time
+        delay = self._constant_delay
+        if delay is not None:
+            delivery_time = now + delay
+        else:
+            delivery_time = now + self._latency.delay(sender, receiver)
+            if delivery_time <= state.last_delivery_time:
+                delivery_time = state.last_delivery_time + _FIFO_EPSILON
+            state.last_delivery_time = delivery_time
 
-        payload = MessageDelivery(
-            sender=sender,
-            receiver=receiver,
-            message=message,
-            send_time=self._engine.now,
-            channel_sequence=sequence,
-        )
-        self._engine.schedule(
+        payload = MessageDelivery(sender, receiver, message, now, sequence)
+        engine.schedule(
             delivery_time,
             self._deliver,
             kind=EventKind.MESSAGE_DELIVERY,
@@ -168,11 +263,36 @@ class Network:
         can demonstrate which assumptions the proofs rely on (a partitioned
         channel makes requests starve, which the liveness tests then detect).
         """
-        self._partitioned.add((sender, receiver))
+        state = self._channel_state(sender, receiver)
+        if not state.partitioned:
+            state.partitioned = True
+            self._partition_count += 1
 
     def heal(self, sender: int, receiver: int) -> None:
         """Stop dropping messages on the directed channel."""
-        self._partitioned.discard((sender, receiver))
+        state = self._channels.get((sender, receiver))
+        if state is not None and state.partitioned:
+            state.partitioned = False
+            self._partition_count -= 1
+
+    def _channel_state(self, sender: int, receiver: int) -> _ChannelState:
+        channel = (sender, receiver)
+        state = self._channels.get(channel)
+        if state is None:
+            state = _ChannelState()
+            self._channels[channel] = state
+        return state
+
+    def _deliver_fast(self, payload: Tuple[int, int, Any]) -> None:
+        """Fast-path delivery: lite event, bare tuple payload, no trace branch."""
+        sender, receiver, message = payload
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            raise NetworkError(
+                f"message from {sender} addressed to unregistered node {receiver}"
+            )
+        self._messages_delivered += 1
+        handler(sender, message)
 
     def _deliver(self, event: Event) -> None:
         payload: MessageDelivery = event.payload

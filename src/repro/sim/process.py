@@ -9,8 +9,10 @@ directly comparable.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from functools import partial
+from typing import Any, Callable, Optional
 
+from repro.exceptions import SchedulingError
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event, EventKind, TimerFired
 from repro.sim.network import Network
@@ -28,7 +30,14 @@ class SimProcess:
         self.node_id = int(node_id)
         self.network = network
         self.engine: SimulationEngine = network.engine
-        network.register(self.node_id, self._receive)
+        # Register the handler directly: one bound-method call per delivery
+        # instead of two.  The bound method is resolved here, so subclass
+        # overrides of ``on_message`` are picked up as usual.
+        network.register(self.node_id, self.on_message)
+        # Shadow the ``send`` method with a partial bound to this node's id:
+        # calls skip one Python frame, which matters on the messaging hot
+        # path.  The signature callers see is unchanged.
+        self.send = partial(network.send, self.node_id)
 
     # ------------------------------------------------------------------ #
     # actions available to subclasses
@@ -38,9 +47,11 @@ class SimProcess:
         """Current virtual time."""
         return self.engine.now
 
-    def send(self, receiver: int, message: Any) -> None:
-        """Send ``message`` to ``receiver`` over the reliable FIFO network."""
-        self.network.send(self.node_id, receiver, message)
+    # ``send(receiver, message)`` sends over the reliable FIFO network.  It
+    # is installed per instance in ``__init__`` as a partial of
+    # ``network.send`` bound to this node's id (one Python frame cheaper
+    # than a wrapper method on the messaging hot path).
+    send: Callable[[int, Any], None]
 
     def set_timer(
         self,
@@ -53,12 +64,17 @@ class SimProcess:
 
         Returns the event so the caller can cancel the timer.
         """
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
         payload = TimerFired(owner=self.node_id, name=name, context=context)
-        return self.engine.schedule_after(
-            delay,
+        engine = self.engine
+        # Timers need a cancellable Event, so the lean ``schedule_fast``
+        # (rather than ``schedule_lite``) is the right hot-path entry point.
+        return engine.schedule_fast(
+            engine.now + delay,
             self._timer_fired,
-            kind=EventKind.TIMER_FIRED,
-            payload=payload,
+            payload,
+            EventKind.TIMER_FIRED,
         )
 
     # ------------------------------------------------------------------ #
@@ -74,9 +90,6 @@ class SimProcess:
     # ------------------------------------------------------------------ #
     # internal plumbing
     # ------------------------------------------------------------------ #
-    def _receive(self, sender: int, message: Any) -> None:
-        self.on_message(sender, message)
-
     def _timer_fired(self, event: Event) -> None:
         payload: TimerFired = event.payload
         self.on_timer(payload)

@@ -33,7 +33,8 @@ class ExperimentResult:
         total_messages: protocol messages sent.
         messages_per_entry: ``total_messages / completed_entries``.
         messages_by_type: per-message-type send counts.
-        mean_waiting_time: average request-to-entry time.
+        mean_waiting_time: average request-to-entry time, or ``None`` on
+            metrics-free (fast path) runs where it is not measured.
         sync_delays: observed synchronization delays (time units).
         max_sync_delay: largest synchronization delay observed.
         entry_order: nodes in the order they entered the critical section.
@@ -47,7 +48,7 @@ class ExperimentResult:
     total_messages: int
     messages_per_entry: float
     messages_by_type: Dict[str, int]
-    mean_waiting_time: float
+    mean_waiting_time: Optional[float]
     sync_delays: List[float]
     max_sync_delay: Optional[float]
     entry_order: List[int]
@@ -71,7 +72,11 @@ class ExperimentResult:
                 round(self.mean_sync_delay, 3) if self.mean_sync_delay is not None else None
             ),
             "max_sync_delay": self.max_sync_delay,
-            "mean_waiting_time": round(self.mean_waiting_time, 3),
+            "mean_waiting_time": (
+                round(self.mean_waiting_time, 3)
+                if self.mean_waiting_time is not None
+                else None
+            ),
         }
 
 
@@ -86,6 +91,7 @@ class ExperimentDriver:
         self.system = system
         self.workload = workload
         self.entry_order: List[int] = []
+        self._nodes = system.nodes  # direct map: skip system.node() per event
         # Requests waiting because their node is still busy with an earlier one.
         self._backlog: Dict[int, Deque[CSRequest]] = {}
         # The request currently being served (or waited on) per node.
@@ -106,11 +112,19 @@ class ExperimentDriver:
                 exhausted.
         """
         engine = self.system.engine
+        # One shared callback with the request as the event payload: no
+        # per-request closure allocation, and the lean scheduling entry point
+        # (arrival times are validated by the workload, not re-checked here).
+        arrival = self._issue_or_queue
+        schedule = engine.schedule_lite
+        now = engine.now
         for request in self.workload:
-            engine.schedule(
-                request.arrival_time,
-                self._make_arrival(request),
-            )
+            if request.arrival_time < now:
+                raise ExperimentError(
+                    f"request at {request.arrival_time} is in the past "
+                    f"(engine time {now})"
+                )
+            schedule(request.arrival_time, arrival, request)
         # Drive through the system's run() (not the engine directly) so that
         # systems which interleave invariant checking with event processing
         # keep doing so under the driver.
@@ -122,17 +136,36 @@ class ExperimentDriver:
             )
         self._verify_completion()
         metrics = self.system.metrics
+        if metrics is not None:
+            return ExperimentResult(
+                algorithm=self.system.algorithm_name,
+                topology=self.system.topology.describe(),
+                workload=self.workload.description,
+                completed_entries=metrics.completed_entries,
+                total_messages=metrics.total_messages,
+                messages_per_entry=metrics.messages_per_entry,
+                messages_by_type=metrics.messages_by_type,
+                mean_waiting_time=metrics.mean_waiting_time(),
+                sync_delays=metrics.sync_delays,
+                max_sync_delay=metrics.max_sync_delay,
+                entry_order=list(self.entry_order),
+                finished_at=engine.now,
+            )
+        # Metrics-free (fast path) run: derive the counts the substrate still
+        # tracks for free; per-entry timing statistics are unavailable.
+        network = self.system.network
+        entries = sum(node.cs_entries for node in self.system.nodes.values())
         return ExperimentResult(
             algorithm=self.system.algorithm_name,
             topology=self.system.topology.describe(),
             workload=self.workload.description,
-            completed_entries=metrics.completed_entries,
-            total_messages=metrics.total_messages,
-            messages_per_entry=metrics.messages_per_entry,
-            messages_by_type=metrics.messages_by_type,
-            mean_waiting_time=metrics.mean_waiting_time(),
-            sync_delays=metrics.sync_delays,
-            max_sync_delay=metrics.max_sync_delay,
+            completed_entries=entries,
+            total_messages=network.messages_sent,
+            messages_per_entry=(network.messages_sent / entries) if entries else 0.0,
+            messages_by_type={},
+            mean_waiting_time=None,  # not measured without a collector
+            sync_delays=[],
+            max_sync_delay=None,
             entry_order=list(self.entry_order),
             finished_at=engine.now,
         )
@@ -141,13 +174,15 @@ class ExperimentDriver:
     # event plumbing
     # ------------------------------------------------------------------ #
     def _make_arrival(self, request: CSRequest):
+        """Closure form of :meth:`_arrival` for callers scheduling by hand."""
+
         def arrival(_event) -> None:
             self._issue_or_queue(request)
 
         return arrival
 
     def _issue_or_queue(self, request: CSRequest) -> None:
-        node = self.system.node(request.node)
+        node = self._nodes[request.node]
         if request.node in self._active or node.requesting or node.in_critical_section:
             self._backlog.setdefault(request.node, deque()).append(request)
             return
@@ -158,17 +193,15 @@ class ExperimentDriver:
         self.entry_order.append(node_id)
         request = self._active.get(node_id)
         duration = request.cs_duration if request is not None else 1.0
-        self.system.engine.schedule_after(duration, self._make_release(node_id))
+        engine = self.system.engine
+        engine.schedule_lite(engine.now + duration, self._release, node_id)
 
-    def _make_release(self, node_id: int):
-        def release(_event) -> None:
-            self.system.node(node_id).release_cs()
-            self._active.pop(node_id, None)
-            backlog = self._backlog.get(node_id)
-            if backlog:
-                self._issue_or_queue(backlog.popleft())
-
-        return release
+    def _release(self, node_id: int) -> None:
+        self._nodes[node_id].release_cs()
+        self._active.pop(node_id, None)
+        backlog = self._backlog.get(node_id)
+        if backlog:
+            self._issue_or_queue(backlog.popleft())
 
     def _verify_completion(self) -> None:
         unserved = [
@@ -191,6 +224,7 @@ def run_experiment(
     *,
     latency: Optional[LatencyModel] = None,
     record_trace: bool = False,
+    collect_metrics: bool = True,
 ) -> ExperimentResult:
     """Convenience wrapper: build the system, replay the workload, return results.
 
@@ -206,6 +240,11 @@ def run_experiment(
             directly when the trace itself is needed).
     """
     system_class = registry.get(algorithm) if isinstance(algorithm, str) else algorithm
-    system = system_class(topology, latency=latency, record_trace=record_trace)
+    system = system_class(
+        topology,
+        latency=latency,
+        record_trace=record_trace,
+        collect_metrics=collect_metrics,
+    )
     driver = ExperimentDriver(system, workload)
     return driver.run()

@@ -1,0 +1,120 @@
+"""Tests for the throughput benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import json
+
+
+from repro.bench import (
+    ACCEPTANCE_SCENARIO,
+    ScenarioSpec,
+    check_against_baseline,
+    default_matrix,
+    determinism_fingerprint,
+    run_benchmark,
+    run_scenario,
+    smoke_matrix,
+)
+from repro.bench.throughput import build_topology, build_workload
+
+
+def test_matrix_shapes():
+    full = default_matrix()
+    assert len(full) == 18
+    assert {spec.kind for spec in full} == {"line", "star", "tree"}
+    assert any(spec.n == 5000 for spec in full)
+    smoke = smoke_matrix()
+    assert all(spec.demand == "heavy" and spec.n <= 1000 for spec in smoke)
+    assert ACCEPTANCE_SCENARIO in {spec.name for spec in default_matrix()}
+
+
+def test_scenario_workloads_are_deterministic():
+    topology = build_topology("star", 20)
+    first = build_workload(topology, "light")
+    second = build_workload(topology, "light")
+    assert [(r.node, r.arrival_time) for r in first] == [
+        (r.node, r.arrival_time) for r in second
+    ]
+
+
+def test_run_scenario_produces_counts_and_respects_bound():
+    result = run_scenario(ScenarioSpec("star", 20, "heavy"), repeat=1)
+    assert result.scenario == "star-n20-heavy"
+    assert result.entries == 200  # 10 rounds x 20 nodes
+    assert result.events > 0
+    assert result.events_per_sec > 0
+    assert result.messages_per_entry <= result.bound_messages_per_entry + 1e-9
+
+
+def test_repeated_runs_have_identical_virtual_outcome():
+    spec = ScenarioSpec("line", 15, "heavy")
+    first = run_scenario(spec, repeat=1)
+    second = run_scenario(spec, repeat=1)
+    assert (first.events, first.messages, first.entries) == (
+        second.events,
+        second.messages,
+        second.entries,
+    )
+
+
+def test_determinism_fingerprint_is_stable():
+    assert determinism_fingerprint() == determinism_fingerprint()
+
+
+def test_fast_path_replays_observed_path():
+    from repro.bench import fast_path_consistent
+
+    assert fast_path_consistent() is True
+
+
+def test_benchmark_document_structure(tmp_path):
+    seed_baseline = {
+        "throughput": [],
+        "fingerprint": determinism_fingerprint(),
+    }
+    document = run_benchmark(
+        matrix=[ScenarioSpec("star", 10, "heavy")], repeat=1, seed_baseline=seed_baseline
+    )
+    assert document["schema"] == "bench-throughput/v1"
+    assert len(document["scenarios"]) == 1
+    assert document["determinism"]["matches_seed"] is True
+    json.dumps(document)  # must be serialisable
+
+
+def test_check_against_baseline_flags_regressions():
+    committed = {
+        "scenarios": [
+            {
+                "scenario": "star-n10-heavy",
+                "events_per_sec": 1000.0,
+                "events": 100,
+                "messages": 50,
+                "entries": 10,
+            }
+        ]
+    }
+    ok = [{"scenario": "star-n10-heavy", "events_per_sec": 900.0,
+           "events": 100, "messages": 50, "entries": 10}]
+    slow = [{"scenario": "star-n10-heavy", "events_per_sec": 700.0,
+             "events": 100, "messages": 50, "entries": 10}]
+    drifted = [{"scenario": "star-n10-heavy", "events_per_sec": 1000.0,
+                "events": 101, "messages": 50, "entries": 10}]
+    assert check_against_baseline(ok, committed, tolerance=0.2) == []
+    assert len(check_against_baseline(slow, committed, tolerance=0.2)) == 1
+    problems = check_against_baseline(drifted, committed, tolerance=0.2)
+    assert any("deterministic" in p for p in problems)
+
+
+def test_committed_bench_fingerprint_still_replays():
+    """The committed seed fingerprint must replay on the current engine.
+
+    This is the determinism acceptance check: the optimized core produces
+    the exact metrics the seed (pre-optimization) engine produced on the
+    fixed-seed 50-node run.
+    """
+    from pathlib import Path
+
+    baseline = Path(__file__).resolve().parents[1] / "benchmarks" / "seed_baseline.json"
+    with open(baseline, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    assert determinism_fingerprint() == recorded["fingerprint"]
