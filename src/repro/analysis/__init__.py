@@ -12,6 +12,12 @@ from repro.analysis.theory import (
 from repro.analysis.summary import RunSummary, summarize_results
 from repro.analysis.comparison import ComparisonRow, compare_measured_to_theory
 from repro.analysis.report import format_table
+from repro.analysis.sweep import (
+    condition_rows,
+    format_sweep_tables,
+    sweep_conditions,
+    sweep_summary_row,
+)
 
 __all__ = [
     "AlgorithmBounds",
@@ -26,4 +32,8 @@ __all__ = [
     "ComparisonRow",
     "compare_measured_to_theory",
     "format_table",
+    "condition_rows",
+    "format_sweep_tables",
+    "sweep_conditions",
+    "sweep_summary_row",
 ]

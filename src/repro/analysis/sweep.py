@@ -1,0 +1,105 @@
+"""Comparison tables over merged sweep results.
+
+A sweep document (``repro sweep``, schema ``sweep/v1``) holds one row per
+(algorithm, topology, size, workload-tier) cell.  The paper's comparison reads
+*across algorithms with everything else held fixed*, so these helpers group
+rows by experimental condition and render one table per condition, algorithms
+ranked by messages per entry — the measured counterpart of the paper's
+Chapter 6 comparison, at sweep scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.report import format_table
+
+ConditionKey = Tuple[str, int, str]
+
+
+def sweep_conditions(document: Dict[str, Any]) -> List[ConditionKey]:
+    """All (topology kind, n, workload tier) conditions present, sorted."""
+    seen = {
+        (row["kind"], row["n"], row["workload"])
+        for row in document.get("scenarios", [])
+    }
+    return sorted(seen)
+
+
+def condition_rows(
+    document: Dict[str, Any], condition: ConditionKey
+) -> List[Dict[str, Any]]:
+    """Table rows for one condition: algorithms ranked by messages/entry.
+
+    Failed scenarios (crashed / error / timeout) keep a row so a comparison
+    table can never silently drop an algorithm.
+    """
+    rows: List[Dict[str, Any]] = []
+    for scenario in document.get("scenarios", []):
+        if (scenario["kind"], scenario["n"], scenario["workload"]) != condition:
+            continue
+        if scenario["status"] != "ok":
+            rows.append(
+                {
+                    "algorithm": scenario["algorithm"],
+                    "entries": "-",
+                    "messages": "-",
+                    "messages_per_entry": "-",
+                    "mean_waiting_time": "-",
+                    "status": scenario["status"].upper(),
+                }
+            )
+            continue
+        waiting = scenario.get("mean_waiting_time")
+        rows.append(
+            {
+                "algorithm": scenario["algorithm"],
+                "entries": scenario["entries"],
+                "messages": scenario["messages"],
+                "messages_per_entry": scenario["messages_per_entry"],
+                "mean_waiting_time": round(waiting, 3) if waiting is not None else "-",
+                "status": "ok",
+            }
+        )
+    rows.sort(
+        key=lambda row: (
+            isinstance(row["messages_per_entry"], str),  # failures last
+            row["messages_per_entry"]
+            if not isinstance(row["messages_per_entry"], str)
+            else 0.0,
+            row["algorithm"],
+        )
+    )
+    return rows
+
+
+def format_sweep_tables(document: Dict[str, Any]) -> str:
+    """One ranked comparison table per experimental condition."""
+    sections: List[str] = []
+    for condition in sweep_conditions(document):
+        kind, n, workload = condition
+        sections.append(
+            format_table(
+                condition_rows(document, condition),
+                title=f"{kind} topology, N={n}, {workload} workload",
+            )
+        )
+    failures = document.get("failures", [])
+    if failures:
+        sections.append(
+            "FAILED scenarios: " + ", ".join(failures)
+        )
+    return "\n\n".join(sections)
+
+
+def sweep_summary_row(document: Dict[str, Any]) -> Dict[str, Any]:
+    """One-line health summary of a sweep document."""
+    scenarios = document.get("scenarios", [])
+    ok = [row for row in scenarios if row["status"] == "ok"]
+    return {
+        "scenarios": len(scenarios),
+        "ok": len(ok),
+        "failed": len(scenarios) - len(ok),
+        "algorithms": len({row["algorithm"] for row in scenarios}),
+        "conditions": len(sweep_conditions(document)),
+    }

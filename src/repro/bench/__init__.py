@@ -8,6 +8,17 @@ core still replays the seed engine's event order exactly.  See
 (``repro bench``).
 """
 
+from repro.bench.baselines import (
+    BASELINE_ALGORITHMS,
+    BaselineScenarioResult,
+    BaselineScenarioSpec,
+    baseline_default_matrix,
+    baseline_smoke_matrix,
+    min_merge_documents,
+    run_baseline_benchmark,
+    run_baseline_scenario,
+    run_calibrated_baseline_benchmark,
+)
 from repro.bench.throughput import (
     ACCEPTANCE_SCENARIO,
     ScenarioResult,
@@ -16,6 +27,7 @@ from repro.bench.throughput import (
     default_matrix,
     determinism_fingerprint,
     fast_path_consistent,
+    large_matrix,
     run_benchmark,
     run_scenario,
     smoke_matrix,
@@ -23,12 +35,22 @@ from repro.bench.throughput import (
 
 __all__ = [
     "ACCEPTANCE_SCENARIO",
+    "BASELINE_ALGORITHMS",
+    "BaselineScenarioResult",
+    "BaselineScenarioSpec",
     "ScenarioResult",
     "ScenarioSpec",
+    "baseline_default_matrix",
+    "baseline_smoke_matrix",
     "check_against_baseline",
     "default_matrix",
     "determinism_fingerprint",
     "fast_path_consistent",
+    "large_matrix",
+    "min_merge_documents",
+    "run_baseline_benchmark",
+    "run_baseline_scenario",
+    "run_calibrated_baseline_benchmark",
     "run_benchmark",
     "run_scenario",
     "smoke_matrix",

@@ -1,0 +1,251 @@
+"""Throughput benchmark matrix over the eight baseline algorithms.
+
+``repro bench`` historically measured only the DAG algorithm; the paper's
+comparison, however, is against eight baselines, and the comparison sweeps
+replay workloads through *their* message machinery too.  This module gives
+every baseline the same regression treatment: a frozen scenario matrix run on
+the unobserved fast path, a committed ``BENCH_baselines.json`` reference, and
+the same CI gate (20% events/sec tolerance, exact virtual-count comparison via
+:func:`repro.bench.throughput.check_against_baseline`).
+
+The matrix is intentionally smaller than the DAG one — the broadcast
+algorithms cost Θ(N) messages per entry, so their interesting size range ends
+far below the DAG's 10k tier.
+"""
+
+from __future__ import annotations
+
+import copy
+import resource
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.theory import upper_bound_messages
+from repro.baselines import build_grid_quorums, registry
+from repro.bench.throughput import build_topology, build_workload, measure_fastest
+from repro.topology.metrics import diameter
+
+#: Every algorithm of the paper's comparison except the DAG itself, which has
+#: its own (larger) matrix in :mod:`repro.bench.throughput`.
+BASELINE_ALGORITHMS = (
+    "centralized",
+    "lamport",
+    "ricart-agrawala",
+    "carvalho-roucairol",
+    "suzuki-kasami",
+    "singhal",
+    "maekawa",
+    "raymond",
+)
+
+_SIZES = (25, 100)
+_DEMANDS = ("light", "heavy")
+
+
+@dataclass(frozen=True)
+class BaselineScenarioSpec:
+    """One cell of the baseline benchmark matrix (star topology throughout)."""
+
+    algorithm: str
+    n: int
+    demand: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.algorithm}-star-n{self.n}-{self.demand}"
+
+
+@dataclass
+class BaselineScenarioResult:
+    """Measured outcome of one baseline scenario run."""
+
+    scenario: str
+    algorithm: str
+    n: int
+    demand: str
+    events: int
+    messages: int
+    entries: int
+    wall_seconds: float
+    events_per_sec: float
+    messages_per_sec: float
+    messages_per_entry: float
+    #: The paper's worst-case messages-per-entry bound for this algorithm.
+    bound_messages_per_entry: float
+    #: Whether the measured average respects the worst-case bound (recorded,
+    #: not asserted: the bound is per entry, the measurement an average).
+    within_bound: bool
+    #: Peak RSS after this scenario (running maximum for in-process runs; use
+    #: ``repro sweep`` for true per-scenario child-process numbers).
+    peak_rss_kb: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def baseline_default_matrix() -> List[BaselineScenarioSpec]:
+    """The full committed matrix: 8 baselines x 2 sizes x 2 demand levels."""
+    return [
+        BaselineScenarioSpec(algorithm, n, demand)
+        for algorithm in BASELINE_ALGORITHMS
+        for n in _SIZES
+        for demand in _DEMANDS
+    ]
+
+
+def baseline_smoke_matrix() -> List[BaselineScenarioSpec]:
+    """The CI subset: every baseline once, n=100, heavy demand.
+
+    n=100 rather than 25 on purpose: more of the 20% events/sec gate's
+    signal comes from a single replay (the broadcast algorithms run for
+    hundreds of milliseconds here), and the cheap algorithms' rates are
+    re-timed over a replay window by ``measure_fastest`` anyway.
+    """
+    return [
+        BaselineScenarioSpec(algorithm, 100, "heavy")
+        for algorithm in BASELINE_ALGORITHMS
+    ]
+
+
+def run_baseline_scenario(
+    spec: BaselineScenarioSpec, *, repeat: int = 3
+) -> BaselineScenarioResult:
+    """Run one baseline scenario ``repeat`` times and keep the fastest.
+
+    Mirrors :func:`repro.bench.throughput.run_scenario`: the system is rebuilt
+    per repetition (identical virtual outcome every time) and runs with no
+    metrics collector so the network's zero-overhead fast path is active.
+    """
+    topology = build_topology("star", spec.n)
+    workload = build_workload(topology, spec.demand)
+    if spec.algorithm == "maekawa":
+        # The paper's 7·sqrt(N) assumes projective-plane committees of size
+        # sqrt(N); this reproduction substitutes grid quorums (size about
+        # 2·sqrt(N) - 1, see repro.baselines.maekawa), so the honest bound
+        # uses the actual committee size.  Exposed by this very benchmark:
+        # at N=100 the measured heavy-demand average (71.9) exceeds the
+        # idealized 7·sqrt(N) = 70 while respecting the grid-quorum bound.
+        largest = max(
+            len(members) for members in build_grid_quorums(topology.nodes).values()
+        )
+        bound = 7.0 * (largest - 1)
+    else:
+        bound = upper_bound_messages(
+            spec.algorithm, n=spec.n, diameter=diameter(topology)
+        )
+    system_class = registry.get(spec.algorithm)
+    wall, result, events, messages = measure_fastest(
+        lambda: system_class(topology, collect_metrics=False), workload, repeat=repeat
+    )
+    return BaselineScenarioResult(
+        scenario=spec.name,
+        algorithm=spec.algorithm,
+        n=spec.n,
+        demand=spec.demand,
+        events=events,
+        messages=messages,
+        entries=result.completed_entries,
+        wall_seconds=round(wall, 4),
+        events_per_sec=round(events / wall, 1),
+        messages_per_sec=round(messages / wall, 1),
+        messages_per_entry=round(result.messages_per_entry, 4),
+        bound_messages_per_entry=round(bound, 4),
+        within_bound=result.messages_per_entry <= bound + 1e-9,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
+
+
+def run_baseline_benchmark(
+    *,
+    matrix: Optional[Sequence[BaselineScenarioSpec]] = None,
+    repeat: int = 3,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the matrix and assemble the ``BENCH_baselines.json`` document."""
+    specs = list(matrix) if matrix is not None else baseline_default_matrix()
+    scenarios: List[Dict[str, Any]] = []
+    for spec in specs:
+        measured = run_baseline_scenario(spec, repeat=repeat)
+        scenarios.append(measured.as_dict())
+        if verbose:
+            print(
+                f"{measured.scenario:<38} {measured.events_per_sec:>12,.0f} ev/s  "
+                f"{measured.messages_per_entry:>8.3f} msg/entry  "
+                f"wall {measured.wall_seconds:.3f}s"
+            )
+    return {
+        "schema": "bench-baselines/v1",
+        "generated_by": "repro bench --baselines",
+        "repeat": repeat,
+        "scenarios": scenarios,
+    }
+
+
+def min_merge_documents(documents: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge benchmark documents into a per-scenario-minimum-rate floor.
+
+    Virtual-time counts (``events``/``messages``/``entries``) must agree
+    across the documents (they are deterministic; disagreement means the
+    simulation drifted between runs and the merge raises).  Wall-clock fields
+    take the slowest run's values, so the merged rates are a conservative
+    floor for the regression gate's tolerance check.
+    """
+    if not documents:
+        raise ValueError("min_merge_documents needs at least one document")
+    merged = copy.deepcopy(documents[0])
+    for document in documents[1:]:
+        if len(document["scenarios"]) != len(merged["scenarios"]):
+            raise ValueError("documents cover different scenario matrices")
+        for row, other in zip(merged["scenarios"], document["scenarios"]):
+            if row["scenario"] != other["scenario"]:
+                raise ValueError(
+                    f"scenario order mismatch: {row['scenario']!r} vs "
+                    f"{other['scenario']!r}"
+                )
+            for field in ("events", "messages", "entries"):
+                if row[field] != other[field]:
+                    raise ValueError(
+                        f"{row['scenario']}: {field} {row[field]} != "
+                        f"{other[field]} (simulation no longer deterministic?)"
+                    )
+            if other["events_per_sec"] < row["events_per_sec"]:
+                for field in (
+                    "events_per_sec",
+                    "messages_per_sec",
+                    "wall_seconds",
+                    "peak_rss_kb",
+                ):
+                    row[field] = other[field]
+    return merged
+
+
+def run_calibrated_baseline_benchmark(
+    *,
+    matrix: Optional[Sequence[BaselineScenarioSpec]] = None,
+    repeat: int = 3,
+    runs: int = 4,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the matrix ``runs`` times and min-merge into a committed floor.
+
+    This is how ``BENCH_baselines.json`` is produced (``repro bench
+    --baselines --calibrate N``): single-run rates on a busy machine are too
+    noisy to gate against, so the committed reference records each scenario's
+    minimum observed rate, annotated in the document's ``calibration`` field.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    documents = []
+    for index in range(runs):
+        if verbose:
+            print(f"calibration run {index + 1}/{runs}:")
+        documents.append(
+            run_baseline_benchmark(matrix=matrix, repeat=repeat, verbose=verbose)
+        )
+    merged = min_merge_documents(documents)
+    merged["calibration"] = (
+        f"per-scenario minimum events/sec across {runs} benchmark runs "
+        f"(repeat={repeat} each), making the committed rates a conservative "
+        "floor for the regression gate"
+    )
+    return merged

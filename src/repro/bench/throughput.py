@@ -100,6 +100,23 @@ def smoke_matrix() -> List[ScenarioSpec]:
     ]
 
 
+def large_matrix() -> List[ScenarioSpec]:
+    """The default matrix plus the 10k-node tier (including bursty demand).
+
+    The 10k scenarios are additive: regression checks compare by scenario
+    name, so documents committed before this tier existed stay valid.  At
+    ~1M ev/s the heaviest cell (``line-n10000-light``, whose isolated
+    requests each cross the 10k-hop diameter) runs in single-digit seconds.
+    """
+    matrix = default_matrix()
+    matrix.extend(
+        ScenarioSpec(kind, 10000, demand)
+        for kind in _TOPOLOGY_KINDS
+        for demand in ("light", "heavy", "bursty")
+    )
+    return matrix
+
+
 def build_topology(kind: str, n: int) -> Topology:
     """Frozen scenario topologies (matches the recorded seed baseline)."""
     if kind == "line":
@@ -121,51 +138,103 @@ def build_workload(topology: Topology, demand: str, *, seed: int = 0) -> Workloa
         )
     if demand == "heavy":
         return generator.heavy_demand(rounds=10)
+    if demand == "bursty":
+        return generator.bursty(
+            total_requests=2 * len(topology.nodes),
+            mean_burst_size=8.0,
+            burst_interarrival=0.5,
+            mean_idle_gap=20.0,
+        )
     raise ValueError(f"unknown demand level {demand!r}")
 
 
-def run_scenario(spec: ScenarioSpec, *, repeat: int = 3) -> ScenarioResult:
-    """Run one scenario ``repeat`` times and keep the fastest measurement.
+#: Minimum timing window for a trustworthy events/sec figure.  A scenario
+#: whose single replay finishes faster than this is re-measured over enough
+#: back-to-back replays to fill the window (scheduler noise on a
+#: few-millisecond run can exceed the regression gate's entire tolerance).
+MIN_MEASUREMENT_WINDOW_SECONDS = 0.05
+
+
+def measure_fastest(system_factory, workload, *, repeat: int = 3):
+    """Replay ``workload`` against fresh systems ``repeat`` times; keep the fastest.
 
     Each repetition rebuilds the whole system, so the virtual-time outcome is
     identical every time — only the wall clock varies, and best-of-N damps
-    scheduler noise.
+    scheduler noise.  Shared by the DAG and baseline benchmark matrices.
+
+    If the fastest repetition is shorter than
+    :data:`MIN_MEASUREMENT_WINDOW_SECONDS`, the scenario is re-timed over
+    enough back-to-back replays to fill the window and the returned wall is
+    the per-replay average — the rate stays comparable to a single-run
+    measurement while the noise drops with the window length.  This is what
+    lets the regression gate apply its rate tolerance to *every* scenario,
+    including the ones that finish in a couple of milliseconds.
+
+    Returns:
+        ``(wall_seconds, experiment_result, events, messages)`` of the
+        fastest repetition (``wall_seconds`` is a per-replay average when the
+        window re-measurement kicked in).
     """
-    topology = build_topology(spec.kind, spec.n)
-    workload = build_workload(topology, spec.demand)
-    bound = float(diameter(topology) + 1)
-    best: Optional[ScenarioResult] = None
+    best = None
     for _ in range(max(1, repeat)):
-        system = DagSystem(topology, collect_metrics=False)
+        system = system_factory()
         driver = ExperimentDriver(system, workload)
         start = time.perf_counter()
         result = driver.run(max_events=50_000_000)
         wall = time.perf_counter() - start
-        events = system.engine.processed_events
-        messages = system.network.messages_sent
-        if result.messages_per_entry > bound + 1e-9:
-            raise AssertionError(
-                f"{spec.name}: {result.messages_per_entry:.3f} messages/entry exceeds "
-                f"the paper's D+1 bound of {bound:.0f}"
+        if best is None or wall < best[0]:
+            best = (
+                wall,
+                result,
+                system.engine.processed_events,
+                system.network.messages_sent,
             )
-        measured = ScenarioResult(
-            scenario=spec.name,
-            kind=spec.kind,
-            n=spec.n,
-            demand=spec.demand,
-            events=events,
-            messages=messages,
-            entries=result.completed_entries,
-            wall_seconds=round(wall, 4),
-            events_per_sec=round(events / wall, 1),
-            messages_per_sec=round(messages / wall, 1),
-            messages_per_entry=round(result.messages_per_entry, 4),
-            bound_messages_per_entry=bound,
-            peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    wall, result, events, messages = best
+    if wall < MIN_MEASUREMENT_WINDOW_SECONDS:
+        replays = min(
+            200, max(2, int(MIN_MEASUREMENT_WINDOW_SECONDS / max(wall, 1e-5)) + 1)
         )
-        if best is None or measured.events_per_sec > best.events_per_sec:
-            best = measured
-    return best
+        # Time only the run, like the single-replay path above: construction
+        # stays outside the clock so both paths measure the same quantity.
+        window = 0.0
+        for _ in range(replays):
+            system = system_factory()
+            driver = ExperimentDriver(system, workload)
+            start = time.perf_counter()
+            driver.run(max_events=50_000_000)
+            window += time.perf_counter() - start
+        wall = window / replays
+    return wall, result, events, messages
+
+
+def run_scenario(spec: ScenarioSpec, *, repeat: int = 3) -> ScenarioResult:
+    """Run one scenario best-of-``repeat`` (see :func:`measure_fastest`)."""
+    topology = build_topology(spec.kind, spec.n)
+    workload = build_workload(topology, spec.demand)
+    bound = float(diameter(topology) + 1)
+    wall, result, events, messages = measure_fastest(
+        lambda: DagSystem(topology, collect_metrics=False), workload, repeat=repeat
+    )
+    if result.messages_per_entry > bound + 1e-9:
+        raise AssertionError(
+            f"{spec.name}: {result.messages_per_entry:.3f} messages/entry exceeds "
+            f"the paper's D+1 bound of {bound:.0f}"
+        )
+    return ScenarioResult(
+        scenario=spec.name,
+        kind=spec.kind,
+        n=spec.n,
+        demand=spec.demand,
+        events=events,
+        messages=messages,
+        entries=result.completed_entries,
+        wall_seconds=round(wall, 4),
+        events_per_sec=round(events / wall, 1),
+        messages_per_sec=round(messages / wall, 1),
+        messages_per_entry=round(result.messages_per_entry, 4),
+        bound_messages_per_entry=bound,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
 
 
 def determinism_fingerprint() -> Dict[str, Dict[str, Any]]:
@@ -286,7 +355,10 @@ def check_against_baseline(
     """Compare fresh scenario measurements against a committed document.
 
     Returns a list of human-readable regression descriptions; empty means the
-    run is within ``tolerance`` (relative events/sec drop) everywhere.
+    run is within ``tolerance`` (relative events/sec drop) everywhere.  Every
+    scenario is rate-gated: millisecond-scale cells are trustworthy because
+    :func:`measure_fastest` re-times them over a
+    :data:`MIN_MEASUREMENT_WINDOW_SECONDS` replay window.
     """
     committed_by_name = {
         row["scenario"]: row for row in committed.get("scenarios", [])

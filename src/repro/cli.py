@@ -185,21 +185,39 @@ def cmd_topology(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the throughput benchmark matrix (see benchmarks/README.md)."""
-    import json
     import os
 
     from repro.bench import (
-        check_against_baseline,
         default_matrix,
+        large_matrix,
         run_benchmark,
         smoke_matrix,
     )
     from repro.bench.throughput import load_json
 
-    matrix = smoke_matrix() if args.smoke else default_matrix()
     if args.check and not os.path.exists(args.check):
         print(f"error: --check file {args.check!r} does not exist", file=sys.stderr)
         return 2
+    if args.calibrate is not None and args.calibrate < 1:
+        print(f"error: --calibrate needs at least 1 run, got {args.calibrate}",
+              file=sys.stderr)
+        return 2
+    if args.baselines:
+        return _bench_baselines(args)
+    if args.calibrate is not None:
+        print(
+            "error: --calibrate currently applies to the --baselines matrix "
+            "only (the DAG document carries determinism/acceptance sections "
+            "that a min-merge would not recompute)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        matrix = smoke_matrix()
+    elif args.large:
+        matrix = large_matrix()
+    else:
+        matrix = default_matrix()
     seed_baseline = None
     if args.seed_baseline and os.path.exists(args.seed_baseline):
         seed_baseline = load_json(args.seed_baseline)
@@ -242,6 +260,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{acceptance['speedup']:.2f}x (target {acceptance['target_speedup']:.1f}x)"
             )
 
+    status = max(status, _check_and_write_bench(document, args))
+    return status
+
+
+def _check_and_write_bench(document, args: argparse.Namespace) -> int:
+    """Shared ``--check`` / ``--output`` handling for both bench matrices."""
+    import json
+
+    from repro.bench import check_against_baseline
+    from repro.bench.throughput import load_json
+
+    status = 0
     if args.check:
         committed = load_json(args.check)
         problems = check_against_baseline(
@@ -262,6 +292,113 @@ def cmd_bench(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"Wrote {args.output}")
     return status
+
+
+def _bench_baselines(args: argparse.Namespace) -> int:
+    """The ``repro bench --baselines`` path: the 8-algorithm matrix."""
+    from repro.bench import (
+        baseline_default_matrix,
+        baseline_smoke_matrix,
+        run_baseline_benchmark,
+        run_calibrated_baseline_benchmark,
+    )
+
+    if args.large:
+        print(
+            "error: --baselines has no large tier; the broadcast algorithms "
+            "cost Theta(N) messages per entry, so their matrix ends at n=100 "
+            "(use `repro sweep --large` for the scalable algorithms at 10k)",
+            file=sys.stderr,
+        )
+        return 2
+    matrix = baseline_smoke_matrix() if args.smoke else baseline_default_matrix()
+    if args.calibrate is not None:
+        document = run_calibrated_baseline_benchmark(
+            matrix=matrix, repeat=args.repeat, runs=args.calibrate, verbose=True
+        )
+    else:
+        document = run_baseline_benchmark(
+            matrix=matrix, repeat=args.repeat, verbose=True
+        )
+
+    outside = [
+        row["scenario"] for row in document["scenarios"] if not row["within_bound"]
+    ]
+    if outside:
+        # Informational: the bounds are worst case per entry, the measurement
+        # an average, so exceeding one flags a suspect implementation.
+        print(f"note: measured average exceeds the paper's worst-case bound: {outside}")
+
+    return _check_and_write_bench(document, args)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the sharded multi-process comparison sweep (see benchmarks/README.md)."""
+    from repro.analysis.sweep import format_sweep_tables, sweep_summary_row
+    from repro.bench.throughput import load_json
+    from repro.sweep import (
+        default_sweep_matrix,
+        deterministic_document,
+        large_sweep_matrix,
+        run_sweep,
+        smoke_sweep_matrix,
+        write_document,
+    )
+
+    if args.report:
+        document = load_json(args.report)
+        print(format_sweep_tables(document))
+        return 1 if document.get("failures") else 0
+
+    if args.workers < 1:
+        print(f"error: --workers needs at least 1 process, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout needs a positive number of seconds, "
+              f"got {args.timeout}", file=sys.stderr)
+        return 2
+    algorithms = args.algorithms if args.algorithms else None
+    if args.smoke:
+        matrix = smoke_sweep_matrix(algorithms=algorithms)
+    elif args.large:
+        matrix = large_sweep_matrix(algorithms=algorithms)
+    else:
+        matrix = default_sweep_matrix(algorithms=algorithms)
+
+    print(
+        f"Sweeping {len(matrix)} scenarios over {args.workers} worker "
+        f"process{'es' if args.workers != 1 else ''}..."
+    )
+    document = run_sweep(
+        matrix,
+        workers=args.workers,
+        timeout=args.timeout,
+        start_method=args.start_method,
+        progress=print,
+    )
+
+    if not args.no_tables:
+        print()
+        print(format_sweep_tables(document))
+    summary = sweep_summary_row(document)
+    print(
+        f"\n{summary['ok']}/{summary['scenarios']} scenarios ok "
+        f"({summary['algorithms']} algorithms x {summary['conditions']} conditions) "
+        f"in {document['run']['wall_seconds']}s"
+    )
+
+    if args.output:
+        write_document(document, args.output)
+        print(f"Wrote {args.output}")
+    if args.deterministic_output:
+        write_document(deterministic_document(document), args.deterministic_output)
+        print(f"Wrote {args.deterministic_output}")
+
+    if document["failures"]:
+        print(f"FAILED scenarios: {', '.join(document['failures'])}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_algorithms(args: argparse.Namespace) -> int:
@@ -336,10 +473,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="run the simulation-core throughput benchmark matrix"
     )
-    bench.add_argument(
+    bench_tier = bench.add_mutually_exclusive_group()
+    bench_tier.add_argument(
         "--smoke",
         action="store_true",
         help="run the ~30s CI subset instead of the full matrix",
+    )
+    bench_tier.add_argument(
+        "--large",
+        action="store_true",
+        help="run the full matrix plus the 10k-node tier (DAG matrix only)",
+    )
+    bench.add_argument(
+        "--baselines",
+        action="store_true",
+        help="benchmark the 8 baseline algorithms instead of the DAG matrix "
+             "(document: BENCH_baselines.json)",
+    )
+    bench.add_argument(
+        "--calibrate",
+        type=int,
+        default=None,
+        metavar="RUNS",
+        help="with --baselines: run the matrix RUNS times and min-merge the "
+             "rates into a conservative committed floor",
     )
     bench.add_argument("--repeat", type=int, default=3,
                        help="repetitions per scenario; the fastest is kept")
@@ -358,6 +515,59 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.2,
                        help="allowed relative events/sec drop for --check")
     bench.set_defaults(func=cmd_bench)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run the sharded multi-process algorithm-comparison sweep",
+    )
+    sweep_tier = sweep.add_mutually_exclusive_group()
+    sweep_tier.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI matrix: every algorithm, star n=9, heavy + bursty",
+    )
+    sweep_tier.add_argument(
+        "--large",
+        action="store_true",
+        help="full matrix plus the 10k-node tier (scalable algorithms only)",
+    )
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="concurrent child processes (default 2)")
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-scenario wall-clock budget in seconds (note: whether a "
+             "scenario times out depends on host speed, so this weakens the "
+             "deterministic-output byte-identity guarantee)",
+    )
+    sweep.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method (default: platform default)",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=registry.names(),
+        help="subset of algorithms (default: all 9)",
+    )
+    sweep.add_argument("--output", default=None,
+                       help="write the merged sweep document to this JSON file")
+    sweep.add_argument(
+        "--deterministic-output",
+        default=None,
+        help="also write the document with host-dependent timing stripped "
+             "(byte-identical for any worker count)",
+    )
+    sweep.add_argument(
+        "--report",
+        default=None,
+        help="print comparison tables from an existing sweep document "
+             "instead of running",
+    )
+    sweep.add_argument("--no-tables", action="store_true",
+                       help="skip the per-condition comparison tables")
+    sweep.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -1,0 +1,176 @@
+"""The sweep scenario matrix: algorithm x topology x size x workload tier.
+
+The paper's headline result is a *comparison*: the DAG algorithm against the
+classical mutual-exclusion baselines under identical workloads.  This module
+defines that comparison as data — one :class:`SweepScenario` per cell of the
+matrix — so the sharded runner can execute cells in any order, in any process,
+and still produce the same merged result.
+
+Determinism is anchored per scenario, not per run: every scenario derives its
+workload seed from its own name (:func:`scenario_seed`), so the virtual-time
+outcome of a cell is independent of which worker executes it, how many workers
+exist, and what ran before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.throughput import build_topology
+from repro.exceptions import WorkloadError
+from repro.topology.base import Topology
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import Workload
+
+#: All nine algorithms of the paper's comparison (eight baselines + the DAG).
+SWEEP_ALGORITHMS = (
+    "centralized",
+    "lamport",
+    "ricart-agrawala",
+    "carvalho-roucairol",
+    "suzuki-kasami",
+    "singhal",
+    "maekawa",
+    "raymond",
+    "dag",
+)
+
+#: Algorithms cheap enough (O(1)/O(D) messages per entry) for the 10k tier.
+LARGE_TIER_ALGORITHMS = ("centralized", "raymond", "dag")
+
+_TOPOLOGY_KINDS = ("line", "star", "tree")
+_SIZES = (10, 50)
+_WORKLOAD_TIERS = ("light", "heavy", "bursty", "hotspot")
+
+
+def scenario_seed(name: str) -> int:
+    """Deterministic per-scenario workload seed derived from the name alone.
+
+    Keeping the seed a pure function of the scenario name makes every cell's
+    virtual-time outcome independent of worker scheduling: a scenario run
+    alone, first, last, or in any child process always replays the same
+    workload.
+    """
+    digest = hashlib.sha256(f"sweep:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class SweepScenario:
+    """One cell of the sweep matrix.
+
+    ``collect_metrics=False`` switches the cell to the network's unobserved
+    fast path (no per-entry timing statistics), which the 10k-node tier uses
+    to stay in the seconds range.
+    """
+
+    algorithm: str
+    kind: str
+    n: int
+    workload: str
+    collect_metrics: bool = True
+
+    @property
+    def name(self) -> str:
+        return f"{self.algorithm}-{self.kind}-n{self.n}-{self.workload}"
+
+    @property
+    def seed(self) -> int:
+        return scenario_seed(self.name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, picklable across process start methods."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SweepScenario":
+        return SweepScenario(**data)
+
+
+def build_sweep_workload(
+    topology: Topology, tier: str, *, seed: int
+) -> Workload:
+    """Construct the workload for one tier on one topology.
+
+    Tier definitions are part of the sweep contract: changing them changes
+    every committed sweep result, so extend with new tiers instead of editing
+    existing ones.
+    """
+    generator = WorkloadGenerator(topology.nodes, seed=seed)
+    n = len(topology.nodes)
+    if tier == "light":
+        return generator.poisson(total_requests=2 * n, mean_interarrival=5.0)
+    if tier == "heavy":
+        return generator.heavy_demand(rounds=5)
+    if tier == "bursty":
+        return generator.bursty(
+            total_requests=2 * n,
+            mean_burst_size=8.0,
+            burst_interarrival=0.5,
+            mean_idle_gap=20.0,
+        )
+    if tier == "hotspot":
+        hot = list(topology.nodes)[: max(1, n // 10)]
+        return generator.hotspot(
+            total_requests=2 * n,
+            hot_nodes=hot,
+            hot_fraction=0.8,
+            mean_interarrival=2.0,
+        )
+    raise WorkloadError(f"unknown sweep workload tier {tier!r}")
+
+
+def build_sweep_topology(kind: str, n: int) -> Topology:
+    """The sweep shares the benchmark's frozen topology families."""
+    return build_topology(kind, n)
+
+
+def default_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None
+) -> List[SweepScenario]:
+    """The full comparison matrix: 9 algorithms x 3 topologies x 2 sizes x 4 tiers."""
+    names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
+    return [
+        SweepScenario(algorithm, kind, n, tier)
+        for algorithm in names
+        for kind in _TOPOLOGY_KINDS
+        for n in _SIZES
+        for tier in _WORKLOAD_TIERS
+    ]
+
+
+def smoke_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None
+) -> List[SweepScenario]:
+    """The CI gate: every algorithm, star topology, n=9, heavy + bursty."""
+    names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
+    return [
+        SweepScenario(algorithm, "star", 9, tier)
+        for algorithm in names
+        for tier in ("heavy", "bursty")
+    ]
+
+
+def large_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None
+) -> List[SweepScenario]:
+    """The default matrix plus the 10k-node tier.
+
+    Only the algorithms whose per-entry message cost does not grow linearly
+    with N (centralized, Raymond, DAG) join the 10k tier; the broadcast
+    algorithms would send ~10^4 messages per entry there, which measures
+    nothing the 50-node cells do not already show.  The 10k cells run on the
+    unobserved fast path (``collect_metrics=False``).
+    """
+    matrix = default_sweep_matrix(algorithms=algorithms)
+    allowed = set(algorithms) if algorithms is not None else None
+    for algorithm in LARGE_TIER_ALGORITHMS:
+        if allowed is not None and algorithm not in allowed:
+            continue
+        for kind in ("star", "tree"):
+            matrix.append(
+                SweepScenario(algorithm, kind, 10000, "heavy", collect_metrics=False)
+            )
+    return matrix

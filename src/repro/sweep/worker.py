@@ -1,0 +1,133 @@
+"""Child-process execution of one sweep scenario.
+
+Every scenario runs in a fresh child process, which buys three things the
+in-process benchmark harness cannot provide:
+
+* **peak-RSS isolation** — ``ru_maxrss`` in a fresh child is a true
+  per-scenario peak, not a running maximum across the whole sweep;
+* **crash isolation** — a scenario that segfaults, OOMs, or trips a protocol
+  assertion takes down only its own process; the parent records the failure
+  and the rest of the matrix completes;
+* **determinism** — each child rebuilds its entire system from the scenario
+  spec and a name-derived seed, so no state leaks between cells.
+
+The module-level entry points are picklable, so the runner works under any
+``multiprocessing`` start method (``fork``, ``spawn``, ``forkserver``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import resource
+import time
+import traceback
+from typing import Any, Dict
+
+from repro.baselines import registry
+from repro.sweep.matrix import SweepScenario, build_sweep_topology, build_sweep_workload
+from repro.topology.metrics import diameter
+from repro.workload.driver import ExperimentDriver
+
+#: Fault-injection hook for the crash-isolation tests: when this environment
+#: variable names a scenario, its child process dies with :data:`CRASH_EXIT_CODE`
+#: before running anything (the sweep-level analogue of ``repro.sim.faults``).
+CRASH_ENV = "REPRO_SWEEP_CRASH_SCENARIO"
+CRASH_EXIT_CODE = 17
+
+#: Event budget per scenario; generous because the 10k-node cells are large.
+MAX_EVENTS_PER_SCENARIO = 50_000_000
+
+
+def _entry_order_digest(entry_order) -> str:
+    """Compact fingerprint of the full critical-section entry order."""
+    joined = ",".join(str(node) for node in entry_order)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
+    """Run one scenario in the *current* process and return its result row.
+
+    The row separates deterministic virtual-time outcomes (counts, per-entry
+    costs, the entry-order digest) from host-dependent measurements, which
+    live under the ``"timing"`` key so the merged document can be compared
+    byte-for-byte across runs and worker counts after stripping timing.
+    """
+    topology = build_sweep_topology(spec.kind, spec.n)
+    workload = build_sweep_workload(topology, spec.workload, seed=spec.seed)
+    system_class = registry.get(spec.algorithm)
+    start = time.perf_counter()
+    system = system_class(topology, collect_metrics=spec.collect_metrics)
+    driver = ExperimentDriver(system, workload)
+    result = driver.run(max_events=MAX_EVENTS_PER_SCENARIO)
+    wall = time.perf_counter() - start
+    events = system.engine.processed_events
+    return {
+        "scenario": spec.name,
+        "algorithm": spec.algorithm,
+        "kind": spec.kind,
+        "n": spec.n,
+        "workload": spec.workload,
+        "seed": spec.seed,
+        "status": "ok",
+        "entries": result.completed_entries,
+        "messages": result.total_messages,
+        "events": events,
+        "messages_per_entry": round(result.messages_per_entry, 4),
+        "messages_by_type": result.messages_by_type,
+        "mean_waiting_time": (
+            round(result.mean_waiting_time, 9)
+            if result.mean_waiting_time is not None
+            else None
+        ),
+        "max_sync_delay": result.max_sync_delay,
+        "entry_order_sha256": _entry_order_digest(result.entry_order),
+        "finished_at": round(result.finished_at, 9),
+        "topology_diameter": diameter(topology),
+        "timing": {
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        },
+    }
+
+
+def error_row(spec: SweepScenario, status: str, **extra: Any) -> Dict[str, Any]:
+    """A result row for a scenario that did not finish normally."""
+    row: Dict[str, Any] = {
+        "scenario": spec.name,
+        "algorithm": spec.algorithm,
+        "kind": spec.kind,
+        "n": spec.n,
+        "workload": spec.workload,
+        "seed": spec.seed,
+        "status": status,
+        "timing": {},
+    }
+    row.update(extra)
+    return row
+
+
+def child_main(spec_dict: Dict[str, Any], connection) -> None:
+    """Entry point of the per-scenario child process.
+
+    Sends exactly one result row back through ``connection``; an uncaught
+    exception becomes an ``"error"`` row, so only a hard process death (the
+    crash-isolation case) leaves the parent without a row.
+    """
+    spec = SweepScenario.from_dict(spec_dict)
+    if os.environ.get(CRASH_ENV) == spec.name:
+        os._exit(CRASH_EXIT_CODE)
+    try:
+        row = execute_scenario(spec)
+    except BaseException as exc:
+        # Truncated: a row larger than the OS pipe buffer would block the
+        # child in send() forever and hang the parent's sentinel wait.
+        row = error_row(
+            spec,
+            "error",
+            error=f"{type(exc).__name__}: {exc}"[:2000],
+            traceback=traceback.format_exc(limit=10)[:8000],
+        )
+    connection.send(row)
+    connection.close()

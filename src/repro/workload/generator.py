@@ -148,6 +148,64 @@ class WorkloadGenerator:
             ),
         )
 
+    def bursty(
+        self,
+        *,
+        total_requests: int,
+        mean_burst_size: float = 8.0,
+        burst_interarrival: float = 0.5,
+        mean_idle_gap: float = 50.0,
+        cs_duration: float = 1.0,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> Workload:
+        """On/off bursts: dense request clusters separated by long idle gaps.
+
+        Arrivals alternate between an *on* phase — a burst whose size is drawn
+        from an exponential of mean ``mean_burst_size`` (at least one request)
+        with exponential ``burst_interarrival`` spacing inside the burst — and
+        an *off* phase, an exponential idle gap of mean ``mean_idle_gap``.
+        With ``mean_idle_gap`` much larger than ``burst_interarrival`` this
+        produces the bursty regime the steady Poisson workloads miss: the
+        system is driven from idle into heavy contention and back every burst.
+        """
+        if total_requests < 0:
+            raise WorkloadError(f"total_requests must be >= 0, got {total_requests}")
+        if mean_burst_size < 1.0:
+            raise WorkloadError(
+                f"mean_burst_size must be >= 1, got {mean_burst_size}"
+            )
+        if burst_interarrival <= 0 or mean_idle_gap <= 0:
+            raise WorkloadError(
+                "burst_interarrival and mean_idle_gap must be positive, got "
+                f"{burst_interarrival} and {mean_idle_gap}"
+            )
+        candidates = tuple(nodes) if nodes is not None else self.node_ids
+        rng = self._rng.child("bursty")
+        requests = []
+        time = 0.0
+        bursts = 0
+        while len(requests) < total_requests:
+            time += rng.exponential(mean_idle_gap)
+            burst_size = max(1, round(rng.exponential(mean_burst_size)))
+            bursts += 1
+            for _ in range(min(burst_size, total_requests - len(requests))):
+                time += rng.exponential(burst_interarrival)
+                requests.append(
+                    CSRequest(
+                        node=rng.choice(candidates),
+                        arrival_time=time,
+                        cs_duration=cs_duration,
+                    )
+                )
+        return Workload(
+            requests=tuple(requests),
+            description=(
+                f"bursty: {total_requests} requests in {bursts} bursts "
+                f"(mean size {mean_burst_size}, in-burst gap {burst_interarrival}, "
+                f"idle gap {mean_idle_gap})"
+            ),
+        )
+
     def round_robin(
         self,
         *,

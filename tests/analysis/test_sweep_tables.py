@@ -1,0 +1,74 @@
+"""Tests for the sweep-result comparison tables."""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import (
+    condition_rows,
+    format_sweep_tables,
+    sweep_conditions,
+    sweep_summary_row,
+)
+
+
+def _row(algorithm, kind="star", n=9, workload="heavy", **overrides):
+    row = {
+        "scenario": f"{algorithm}-{kind}-n{n}-{workload}",
+        "algorithm": algorithm,
+        "kind": kind,
+        "n": n,
+        "workload": workload,
+        "status": "ok",
+        "entries": 45,
+        "messages": 120,
+        "messages_per_entry": 2.6667,
+        "mean_waiting_time": 20.889,
+    }
+    row.update(overrides)
+    return row
+
+
+DOCUMENT = {
+    "schema": "sweep/v1",
+    "scenarios": [
+        _row("dag", messages=130, messages_per_entry=2.889),
+        _row("centralized"),
+        _row("lamport", status="crashed", entries=None),
+        _row("dag", workload="bursty", entries=18, messages=49,
+             messages_per_entry=2.722),
+    ],
+    "failures": ["lamport-star-n9-heavy"],
+}
+
+
+def test_sweep_conditions_are_sorted_and_deduplicated():
+    assert sweep_conditions(DOCUMENT) == [
+        ("star", 9, "bursty"),
+        ("star", 9, "heavy"),
+    ]
+
+
+def test_condition_rows_rank_by_messages_per_entry_with_failures_last():
+    rows = condition_rows(DOCUMENT, ("star", 9, "heavy"))
+    assert [row["algorithm"] for row in rows] == ["centralized", "dag", "lamport"]
+    assert rows[0]["messages_per_entry"] < rows[1]["messages_per_entry"]
+    assert rows[2]["status"] == "CRASHED"
+    assert rows[2]["messages_per_entry"] == "-"
+
+
+def test_format_sweep_tables_renders_every_condition_and_failures():
+    text = format_sweep_tables(DOCUMENT)
+    assert "star topology, N=9, heavy workload" in text
+    assert "star topology, N=9, bursty workload" in text
+    assert "FAILED scenarios: lamport-star-n9-heavy" in text
+    assert "CRASHED" in text
+
+
+def test_sweep_summary_row_counts():
+    summary = sweep_summary_row(DOCUMENT)
+    assert summary == {
+        "scenarios": 4,
+        "ok": 3,
+        "failed": 1,
+        "algorithms": 3,
+        "conditions": 2,
+    }

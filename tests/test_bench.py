@@ -4,13 +4,21 @@ from __future__ import annotations
 
 import json
 
+import pytest
 
 from repro.bench import (
     ACCEPTANCE_SCENARIO,
+    BASELINE_ALGORITHMS,
+    BaselineScenarioSpec,
     ScenarioSpec,
+    baseline_default_matrix,
+    baseline_smoke_matrix,
     check_against_baseline,
     default_matrix,
     determinism_fingerprint,
+    large_matrix,
+    run_baseline_benchmark,
+    run_baseline_scenario,
     run_benchmark,
     run_scenario,
     smoke_matrix,
@@ -26,6 +34,104 @@ def test_matrix_shapes():
     smoke = smoke_matrix()
     assert all(spec.demand == "heavy" and spec.n <= 1000 for spec in smoke)
     assert ACCEPTANCE_SCENARIO in {spec.name for spec in default_matrix()}
+
+
+def test_large_matrix_extends_default_with_10k_tier():
+    large = large_matrix()
+    base = default_matrix()
+    assert large[: len(base)] == base  # additive: committed names unchanged
+    extra = large[len(base):]
+    assert all(spec.n == 10000 for spec in extra)
+    assert {spec.demand for spec in extra} == {"light", "heavy", "bursty"}
+
+
+def test_bursty_demand_tier_is_deterministic():
+    topology = build_topology("star", 20)
+    first = build_workload(topology, "bursty")
+    second = build_workload(topology, "bursty")
+    assert [(r.node, r.arrival_time) for r in first] == [
+        (r.node, r.arrival_time) for r in second
+    ]
+    assert len(first) == 40  # 2n requests, matching the light tier's volume
+
+
+def test_baseline_matrix_covers_all_eight_baselines():
+    assert len(BASELINE_ALGORITHMS) == 8
+    assert "dag" not in BASELINE_ALGORITHMS
+    full = baseline_default_matrix()
+    assert len(full) == 8 * 2 * 2  # algorithms x sizes x demands
+    assert {spec.algorithm for spec in full} == set(BASELINE_ALGORITHMS)
+    smoke = baseline_smoke_matrix()
+    assert {spec.algorithm for spec in smoke} == set(BASELINE_ALGORITHMS)
+    assert all(spec.n == 100 and spec.demand == "heavy" for spec in smoke)
+    names = [spec.name for spec in full]
+    assert len(set(names)) == len(names)
+
+
+def test_run_baseline_scenario_measures_counts_and_bound():
+    result = run_baseline_scenario(
+        BaselineScenarioSpec("lamport", 10, "heavy"), repeat=1
+    )
+    assert result.scenario == "lamport-star-n10-heavy"
+    assert result.entries == 100  # 10 rounds x 10 nodes
+    assert result.messages_per_entry == pytest.approx(27.0)  # 3 (N - 1)
+    assert result.bound_messages_per_entry == 27.0
+    assert result.within_bound
+    assert result.events_per_sec > 0
+
+
+def test_baseline_runs_are_deterministic():
+    spec = BaselineScenarioSpec("suzuki-kasami", 10, "light")
+    first = run_baseline_scenario(spec, repeat=1)
+    second = run_baseline_scenario(spec, repeat=1)
+    assert (first.events, first.messages, first.entries) == (
+        second.events,
+        second.messages,
+        second.entries,
+    )
+
+
+def test_baseline_benchmark_document_checks_like_the_dag_one():
+    matrix = [BaselineScenarioSpec("centralized", 10, "heavy")]
+    document = run_baseline_benchmark(matrix=matrix, repeat=1)
+    assert document["schema"] == "bench-baselines/v1"
+    assert len(document["scenarios"]) == 1
+    json.dumps(document)  # must be serialisable
+    # The committed-document gate reuses check_against_baseline unchanged.
+    assert check_against_baseline(document["scenarios"], document) == []
+    drifted = [dict(document["scenarios"][0], events=1)]
+    problems = check_against_baseline(drifted, document)
+    assert any("deterministic" in problem for problem in problems)
+
+
+def test_min_merge_documents_keeps_slowest_rates_and_checks_counts():
+    from repro.bench import min_merge_documents
+
+    fast = {"scenarios": [{"scenario": "a", "events": 10, "messages": 5,
+                           "entries": 2, "events_per_sec": 1000.0,
+                           "messages_per_sec": 500.0, "wall_seconds": 0.01,
+                           "peak_rss_kb": 100}]}
+    slow = {"scenarios": [dict(fast["scenarios"][0], events_per_sec=700.0,
+                               messages_per_sec=350.0, wall_seconds=0.014,
+                               peak_rss_kb=110)]}
+    merged = min_merge_documents([fast, slow])
+    assert merged["scenarios"][0]["events_per_sec"] == 700.0
+    assert merged["scenarios"][0]["wall_seconds"] == 0.014
+    assert fast["scenarios"][0]["events_per_sec"] == 1000.0  # inputs untouched
+    drifted = {"scenarios": [dict(fast["scenarios"][0], events=11)]}
+    with pytest.raises(ValueError):
+        min_merge_documents([fast, drifted])
+
+
+def test_calibrated_baseline_benchmark_annotates_the_floor():
+    from repro.bench import run_calibrated_baseline_benchmark
+
+    matrix = [BaselineScenarioSpec("centralized", 10, "heavy")]
+    document = run_calibrated_baseline_benchmark(matrix=matrix, repeat=1, runs=2)
+    assert "minimum events/sec across 2 benchmark runs" in document["calibration"]
+    assert len(document["scenarios"]) == 1
+    with pytest.raises(ValueError):
+        run_calibrated_baseline_benchmark(matrix=matrix, repeat=1, runs=0)
 
 
 def test_scenario_workloads_are_deterministic():
@@ -103,6 +209,31 @@ def test_check_against_baseline_flags_regressions():
     assert len(check_against_baseline(slow, committed, tolerance=0.2)) == 1
     problems = check_against_baseline(drifted, committed, tolerance=0.2)
     assert any("deterministic" in p for p in problems)
+
+
+def test_tiny_scenarios_are_timed_over_a_replay_window():
+    from repro.bench.throughput import (
+        MIN_MEASUREMENT_WINDOW_SECONDS,
+        measure_fastest,
+    )
+    from repro.baselines import registry
+
+    topology = build_topology("star", 10)
+    workload = build_workload(topology, "heavy")
+    system_class = registry.get("centralized")
+    calls = 0
+
+    def factory():
+        nonlocal calls
+        calls += 1
+        return system_class(topology, collect_metrics=False)
+
+    wall, result, events, messages = measure_fastest(factory, workload, repeat=1)
+    # A single replay of this cell takes well under the window, so the rate
+    # must have been re-measured over several back-to-back replays.
+    assert calls > 2
+    assert 0 < wall < MIN_MEASUREMENT_WINDOW_SECONDS
+    assert events > 0 and messages > 0 and result.completed_entries == 100
 
 
 def test_committed_bench_fingerprint_still_replays():

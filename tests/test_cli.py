@@ -91,3 +91,87 @@ def test_algorithms_command(capsys):
     assert code == 0
     for name in ("dag", "raymond", "maekawa", "singhal"):
         assert name in out
+
+
+def test_sweep_command_smoke_subset(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    deterministic = tmp_path / "sweep_det.json"
+    code, out = run_cli(
+        capsys,
+        "sweep",
+        "--smoke",
+        "--workers", "2",
+        "--algorithms", "dag", "centralized",
+        "--output", str(output),
+        "--deterministic-output", str(deterministic),
+    )
+    assert code == 0
+    assert "4/4 scenarios ok" in out
+    assert "star topology, N=9, bursty workload" in out
+    assert output.exists() and deterministic.exists()
+    assert "timing" in output.read_text()
+    assert "timing" not in deterministic.read_text()
+
+
+def test_sweep_report_from_existing_document(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    code, _ = run_cli(
+        capsys,
+        "sweep", "--smoke", "--workers", "1", "--no-tables",
+        "--algorithms", "raymond",
+        "--output", str(output),
+    )
+    assert code == 0
+    code, out = run_cli(capsys, "sweep", "--report", str(output))
+    assert code == 0
+    assert "raymond" in out
+    assert "heavy workload" in out
+
+
+def test_conflicting_tier_flags_are_rejected(capsys):
+    for command in ("bench", "sweep"):
+        with pytest.raises(SystemExit):
+            main([command, "--smoke", "--large"])
+        capsys.readouterr()  # discard argparse usage output
+
+
+def test_bench_baselines_rejects_large_and_dag_rejects_calibrate(capsys):
+    assert main(["bench", "--baselines", "--large"]) == 2
+    assert "no large tier" in capsys.readouterr().err
+    assert main(["bench", "--calibrate", "2"]) == 2
+    assert "--baselines" in capsys.readouterr().err
+
+
+def test_invalid_numeric_flags_get_clean_cli_errors(capsys):
+    # Zero must not be silently treated as "no calibration".
+    assert main(["bench", "--baselines", "--calibrate", "0"]) == 2
+    assert "at least 1 run" in capsys.readouterr().err
+    assert main(["sweep", "--smoke", "--workers", "0"]) == 2
+    assert "at least 1 process" in capsys.readouterr().err
+    assert main(["sweep", "--smoke", "--timeout", "0"]) == 2
+    assert "positive number of seconds" in capsys.readouterr().err
+    # `--algorithms` with no values must be a parse error, not "all 9".
+    with pytest.raises(SystemExit):
+        main(["sweep", "--smoke", "--algorithms"])
+    capsys.readouterr()
+
+
+def test_bench_baselines_smoke(capsys, tmp_path):
+    output = tmp_path / "baselines.json"
+    code, out = run_cli(
+        capsys,
+        "bench", "--baselines", "--smoke", "--repeat", "1",
+        "--output", str(output),
+    )
+    assert code == 0
+    for name in ("lamport", "maekawa", "suzuki-kasami", "raymond"):
+        assert name in out
+    assert "dag-" not in out
+    # A fresh run checked against its own document passes the gate.
+    code, out = run_cli(
+        capsys,
+        "bench", "--baselines", "--smoke", "--repeat", "1",
+        "--check", str(output), "--tolerance", "0.9",
+    )
+    assert code == 0
+    assert "passed" in out

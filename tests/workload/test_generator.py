@@ -89,6 +89,66 @@ def test_hotspot_validates_arguments():
         generator.hotspot(total_requests=10, hot_nodes=[1], hot_fraction=1.5)
 
 
+def test_bursty_counts_nodes_and_monotone_arrivals():
+    generator = WorkloadGenerator(NODES, seed=8)
+    workload = generator.bursty(total_requests=60)
+    assert len(workload) == 60
+    assert set(workload.nodes) <= set(NODES)
+    times = [request.arrival_time for request in workload]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_bursty_is_deterministic_per_seed():
+    first = WorkloadGenerator(NODES, seed=11).bursty(total_requests=40)
+    second = WorkloadGenerator(NODES, seed=11).bursty(total_requests=40)
+    assert first.requests == second.requests
+    third = WorkloadGenerator(NODES, seed=12).bursty(total_requests=40)
+    assert first.requests != third.requests
+
+
+def test_bursty_alternates_dense_bursts_and_idle_gaps():
+    generator = WorkloadGenerator(NODES, seed=13)
+    workload = generator.bursty(
+        total_requests=200,
+        mean_burst_size=10.0,
+        burst_interarrival=0.2,
+        mean_idle_gap=100.0,
+    )
+    times = [request.arrival_time for request in workload]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    dense = [gap for gap in gaps if gap < 5.0]
+    idle = [gap for gap in gaps if gap >= 5.0]
+    # Most consecutive gaps are in-burst (short); the rest are long idle
+    # phases separating bursts — both regimes must actually occur.
+    assert len(dense) > 0.6 * len(gaps)
+    assert idle, "expected at least one inter-burst idle gap"
+    assert max(idle) > 10 * max(dense)
+
+
+def test_bursty_restricted_to_subset_of_nodes():
+    generator = WorkloadGenerator(NODES, seed=14)
+    workload = generator.bursty(total_requests=30, nodes=[2, 4])
+    assert set(workload.nodes) <= {2, 4}
+
+
+def test_bursty_validates_arguments():
+    generator = WorkloadGenerator(NODES, seed=15)
+    with pytest.raises(WorkloadError):
+        generator.bursty(total_requests=-1)
+    with pytest.raises(WorkloadError):
+        generator.bursty(total_requests=10, mean_burst_size=0.5)
+    with pytest.raises(WorkloadError):
+        generator.bursty(total_requests=10, burst_interarrival=0.0)
+    with pytest.raises(WorkloadError):
+        generator.bursty(total_requests=10, mean_idle_gap=-1.0)
+
+
+def test_bursty_zero_requests_is_empty():
+    workload = WorkloadGenerator(NODES, seed=16).bursty(total_requests=0)
+    assert len(workload) == 0
+
+
 def test_round_robin_orders_nodes_in_turn():
     generator = WorkloadGenerator(NODES, seed=7)
     workload = generator.round_robin(rounds=2, spacing=10.0)
