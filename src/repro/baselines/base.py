@@ -71,6 +71,9 @@ class MutexNodeBase(SimProcess):
             message_type: getattr(self, handler_name)
             for message_type, handler_name in self._MESSAGE_HANDLERS.items()
         }
+        # Let the network's unobserved fast path dispatch by type directly,
+        # skipping the on_message frame (same table, same error fallback).
+        network.register_dispatch_table(node_id, self._dispatch)
 
     # ------------------------------------------------------------------ #
     # interface
@@ -112,12 +115,13 @@ class MutexNodeBase(SimProcess):
         self.requesting = False
         self.in_critical_section = True
         self.cs_entries += 1
+        now = self.engine._now  # the `now` property frame costs at this rate
         if self._metrics is not None:
-            self._metrics.cs_entered(self.node_id, self.now)
+            self._metrics.cs_entered(self.node_id, now)
         if self._trace is not None:
-            self._trace.record(self.now, "cs_enter", self.node_id)
+            self._trace.record(now, "cs_enter", self.node_id)
         if self._on_enter is not None:
-            self._on_enter(self.node_id, self.now)
+            self._on_enter(self.node_id, now)
 
     def _note_exit(self) -> None:
         """Mark exit with metrics/trace; subclasses then pass on permissions."""
@@ -143,6 +147,13 @@ class MutexSystem(abc.ABC):
     uses_topology_edges: bool = False
     #: Per-node storage description for the Section 6.4 comparison.
     storage_description: str = ""
+    #: Whether the algorithm fans messages out to many peers per request
+    #: (broadcast/quorum schemes), producing many same-timestamp deliveries.
+    #: The scheduler auto-selection uses this: dense same-tick traffic is
+    #: where the bucket-ring scheduler beats the heap; token-passing
+    #: algorithms (this default) serialize events thinly over virtual time,
+    #: where the heap's C-level pops win.
+    dense_message_traffic: bool = False
 
     def __init__(
         self,

@@ -109,6 +109,7 @@ class CarvalhoRoucairolSystem(MutexSystem):
 
     algorithm_name = "carvalho-roucairol"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: logical clock, cached-permission set, pending-reply set, "
         "deferred-reply set (each up to N - 1 entries)"

@@ -160,6 +160,7 @@ class LamportSystem(MutexSystem):
 
     algorithm_name = "lamport"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: logical clock, request queue with one entry per node, "
         "last-heard timestamp per node"

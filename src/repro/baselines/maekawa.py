@@ -356,6 +356,7 @@ class MaekawaSystem(MutexSystem):
 
     algorithm_name = "maekawa"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: committee membership (about sqrt(N) ids), current vote, "
         "priority queue of waiting requests, vote/fail bookkeeping sets"

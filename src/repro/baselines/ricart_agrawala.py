@@ -112,6 +112,7 @@ class RicartAgrawalaSystem(MutexSystem):
 
     algorithm_name = "ricart-agrawala"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: logical clock, pending-reply set, deferred-reply set "
         "(each up to N - 1 entries)"

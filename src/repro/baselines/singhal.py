@@ -229,6 +229,7 @@ class SinghalSystem(MutexSystem):
 
     algorithm_name = "singhal"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: state vector and sequence vector of size N; token: its own "
         "state and sequence vectors of size N"

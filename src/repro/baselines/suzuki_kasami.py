@@ -153,6 +153,7 @@ class SuzukiKasamiSystem(MutexSystem):
 
     algorithm_name = "suzuki-kasami"
     uses_topology_edges = False
+    dense_message_traffic = True
     storage_description = (
         "per node: request-number array of size N; token: last-granted array of "
         "size N plus a queue of waiting nodes"

@@ -14,7 +14,6 @@ from repro.bench.baselines import (
     BaselineScenarioSpec,
     baseline_default_matrix,
     baseline_smoke_matrix,
-    min_merge_documents,
     run_baseline_benchmark,
     run_baseline_scenario,
     run_calibrated_baseline_benchmark,
@@ -28,9 +27,13 @@ from repro.bench.throughput import (
     determinism_fingerprint,
     fast_path_consistent,
     large_matrix,
+    min_merge_documents,
     run_benchmark,
+    run_calibrated_benchmark,
     run_scenario,
+    schedulers_equivalent,
     smoke_matrix,
+    xlarge_matrix,
 )
 
 __all__ = [
@@ -52,6 +55,9 @@ __all__ = [
     "run_baseline_scenario",
     "run_calibrated_baseline_benchmark",
     "run_benchmark",
+    "run_calibrated_benchmark",
     "run_scenario",
+    "schedulers_equivalent",
     "smoke_matrix",
+    "xlarge_matrix",
 ]

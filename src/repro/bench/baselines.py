@@ -15,15 +15,31 @@ far below the DAG's 10k tier.
 
 from __future__ import annotations
 
-import copy
 import resource
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.theory import upper_bound_messages
 from repro.baselines import build_grid_quorums, registry
-from repro.bench.throughput import build_topology, build_workload, measure_fastest
+from repro.bench.throughput import (
+    build_topology,
+    build_workload,
+    measure_fastest,
+    min_merge_documents,
+)
 from repro.topology.metrics import diameter
+
+__all__ = [
+    "BASELINE_ALGORITHMS",
+    "BaselineScenarioResult",
+    "BaselineScenarioSpec",
+    "baseline_default_matrix",
+    "baseline_smoke_matrix",
+    "min_merge_documents",  # re-exported; the generic merge lives in throughput
+    "run_baseline_benchmark",
+    "run_baseline_scenario",
+    "run_calibrated_baseline_benchmark",
+]
 
 #: Every algorithm of the paper's comparison except the DAG itself, which has
 #: its own (larger) matrix in :mod:`repro.bench.throughput`.
@@ -78,6 +94,8 @@ class BaselineScenarioResult:
     #: Peak RSS after this scenario (running maximum for in-process runs; use
     #: ``repro sweep`` for true per-scenario child-process numbers).
     peak_rss_kb: int
+    #: The engine scheduler the run engaged ("heap" or "ring").
+    scheduler: str = "heap"
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -108,7 +126,7 @@ def baseline_smoke_matrix() -> List[BaselineScenarioSpec]:
 
 
 def run_baseline_scenario(
-    spec: BaselineScenarioSpec, *, repeat: int = 3
+    spec: BaselineScenarioSpec, *, repeat: int = 3, scheduler: str = "auto"
 ) -> BaselineScenarioResult:
     """Run one baseline scenario ``repeat`` times and keep the fastest.
 
@@ -134,8 +152,11 @@ def run_baseline_scenario(
             spec.algorithm, n=spec.n, diameter=diameter(topology)
         )
     system_class = registry.get(spec.algorithm)
-    wall, result, events, messages = measure_fastest(
-        lambda: system_class(topology, collect_metrics=False), workload, repeat=repeat
+    wall, result, events, messages, engaged = measure_fastest(
+        lambda: system_class(topology, collect_metrics=False),
+        workload,
+        repeat=repeat,
+        scheduler=scheduler,
     )
     return BaselineScenarioResult(
         scenario=spec.name,
@@ -152,6 +173,7 @@ def run_baseline_scenario(
         bound_messages_per_entry=round(bound, 4),
         within_bound=result.messages_per_entry <= bound + 1e-9,
         peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        scheduler=engaged,
     )
 
 
@@ -159,19 +181,20 @@ def run_baseline_benchmark(
     *,
     matrix: Optional[Sequence[BaselineScenarioSpec]] = None,
     repeat: int = 3,
+    scheduler: str = "auto",
     verbose: bool = False,
 ) -> Dict[str, Any]:
     """Run the matrix and assemble the ``BENCH_baselines.json`` document."""
     specs = list(matrix) if matrix is not None else baseline_default_matrix()
     scenarios: List[Dict[str, Any]] = []
     for spec in specs:
-        measured = run_baseline_scenario(spec, repeat=repeat)
+        measured = run_baseline_scenario(spec, repeat=repeat, scheduler=scheduler)
         scenarios.append(measured.as_dict())
         if verbose:
             print(
                 f"{measured.scenario:<38} {measured.events_per_sec:>12,.0f} ev/s  "
                 f"{measured.messages_per_entry:>8.3f} msg/entry  "
-                f"wall {measured.wall_seconds:.3f}s"
+                f"wall {measured.wall_seconds:.3f}s  [{measured.scheduler}]"
             )
     return {
         "schema": "bench-baselines/v1",
@@ -181,49 +204,12 @@ def run_baseline_benchmark(
     }
 
 
-def min_merge_documents(documents: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Merge benchmark documents into a per-scenario-minimum-rate floor.
-
-    Virtual-time counts (``events``/``messages``/``entries``) must agree
-    across the documents (they are deterministic; disagreement means the
-    simulation drifted between runs and the merge raises).  Wall-clock fields
-    take the slowest run's values, so the merged rates are a conservative
-    floor for the regression gate's tolerance check.
-    """
-    if not documents:
-        raise ValueError("min_merge_documents needs at least one document")
-    merged = copy.deepcopy(documents[0])
-    for document in documents[1:]:
-        if len(document["scenarios"]) != len(merged["scenarios"]):
-            raise ValueError("documents cover different scenario matrices")
-        for row, other in zip(merged["scenarios"], document["scenarios"]):
-            if row["scenario"] != other["scenario"]:
-                raise ValueError(
-                    f"scenario order mismatch: {row['scenario']!r} vs "
-                    f"{other['scenario']!r}"
-                )
-            for field in ("events", "messages", "entries"):
-                if row[field] != other[field]:
-                    raise ValueError(
-                        f"{row['scenario']}: {field} {row[field]} != "
-                        f"{other[field]} (simulation no longer deterministic?)"
-                    )
-            if other["events_per_sec"] < row["events_per_sec"]:
-                for field in (
-                    "events_per_sec",
-                    "messages_per_sec",
-                    "wall_seconds",
-                    "peak_rss_kb",
-                ):
-                    row[field] = other[field]
-    return merged
-
-
 def run_calibrated_baseline_benchmark(
     *,
     matrix: Optional[Sequence[BaselineScenarioSpec]] = None,
     repeat: int = 3,
     runs: int = 4,
+    scheduler: str = "auto",
     verbose: bool = False,
 ) -> Dict[str, Any]:
     """Run the matrix ``runs`` times and min-merge into a committed floor.
@@ -240,7 +226,9 @@ def run_calibrated_baseline_benchmark(
         if verbose:
             print(f"calibration run {index + 1}/{runs}:")
         documents.append(
-            run_baseline_benchmark(matrix=matrix, repeat=repeat, verbose=verbose)
+            run_baseline_benchmark(
+                matrix=matrix, repeat=repeat, scheduler=scheduler, verbose=verbose
+            )
         )
     merged = min_merge_documents(documents)
     merged["calibration"] = (

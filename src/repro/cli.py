@@ -191,7 +191,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         default_matrix,
         large_matrix,
         run_benchmark,
+        run_calibrated_benchmark,
         smoke_matrix,
+        xlarge_matrix,
     )
     from repro.bench.throughput import load_json
 
@@ -202,20 +204,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: --calibrate needs at least 1 run, got {args.calibrate}",
               file=sys.stderr)
         return 2
-    if args.baselines:
-        return _bench_baselines(args)
-    if args.calibrate is not None:
+    if args.profile and args.check:
         print(
-            "error: --calibrate currently applies to the --baselines matrix "
-            "only (the DAG document carries determinism/acceptance sections "
-            "that a min-merge would not recompute)",
+            "error: --profile distorts rates; checking a profiled run against "
+            "a committed document would only report false regressions",
             file=sys.stderr,
         )
         return 2
+    if args.profile and args.calibrate is not None:
+        print(
+            "error: --profile distorts rates, so profiling a calibration "
+            "run would min-merge garbage; profile a plain run instead",
+            file=sys.stderr,
+        )
+        return 2
+    if args.baselines:
+        return _bench_baselines(args)
     if args.smoke:
         matrix = smoke_matrix()
     elif args.large:
         matrix = large_matrix()
+    elif args.xlarge:
+        matrix = xlarge_matrix()
     else:
         matrix = default_matrix()
     seed_baseline = None
@@ -228,18 +238,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    document = run_benchmark(
-        matrix=matrix,
-        repeat=args.repeat,
-        seed_baseline=seed_baseline,
-        verbose=True,
-    )
+    if args.calibrate is not None:
+        document = run_calibrated_benchmark(
+            matrix=matrix,
+            repeat=args.repeat,
+            runs=args.calibrate,
+            seed_baseline=seed_baseline,
+            scheduler=args.scheduler,
+            verbose=True,
+        )
+    else:
+        document = run_benchmark(
+            matrix=matrix,
+            repeat=args.repeat,
+            seed_baseline=seed_baseline,
+            scheduler=args.scheduler,
+            profile=args.profile,
+            verbose=True,
+        )
 
     status = 0
-    determinism = document["determinism"]
+    determinism = document.get("determinism", {})
     if not determinism.get("fast_path_matches_observed", True):
         print("DETERMINISM: the unobserved fast path no longer replays the "
               "observed path's event order!")
+        status = 1
+    if not determinism.get("schedulers_match", True):
+        print("DETERMINISM: heap and ring schedulers no longer replay "
+              "identically!")
         status = 1
     if seed_baseline is not None:
         if not determinism.get("matches_seed", False):
@@ -311,14 +337,32 @@ def _bench_baselines(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.xlarge:
+        print(
+            "error: --baselines has no xlarge tier either; the 100k-node "
+            "tier is DAG-matrix (`repro bench --xlarge`) and sweep "
+            "(`repro sweep --xlarge`) territory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile:
+        print(
+            "error: --profile currently wraps the DAG measured loop only",
+            file=sys.stderr,
+        )
+        return 2
     matrix = baseline_smoke_matrix() if args.smoke else baseline_default_matrix()
     if args.calibrate is not None:
         document = run_calibrated_baseline_benchmark(
-            matrix=matrix, repeat=args.repeat, runs=args.calibrate, verbose=True
+            matrix=matrix,
+            repeat=args.repeat,
+            runs=args.calibrate,
+            scheduler=args.scheduler,
+            verbose=True,
         )
     else:
         document = run_baseline_benchmark(
-            matrix=matrix, repeat=args.repeat, verbose=True
+            matrix=matrix, repeat=args.repeat, scheduler=args.scheduler, verbose=True
         )
 
     outside = [
@@ -343,6 +387,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         run_sweep,
         smoke_sweep_matrix,
         write_document,
+        xlarge_sweep_matrix,
     )
 
     if args.report:
@@ -360,11 +405,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     algorithms = args.algorithms if args.algorithms else None
     if args.smoke:
-        matrix = smoke_sweep_matrix(algorithms=algorithms)
+        matrix = smoke_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
     elif args.large:
-        matrix = large_sweep_matrix(algorithms=algorithms)
+        matrix = large_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+    elif args.xlarge:
+        matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
     else:
-        matrix = default_sweep_matrix(algorithms=algorithms)
+        matrix = default_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
 
     print(
         f"Sweeping {len(matrix)} scenarios over {args.workers} worker "
@@ -484,6 +531,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the full matrix plus the 10k-node tier (DAG matrix only)",
     )
+    bench_tier.add_argument(
+        "--xlarge",
+        action="store_true",
+        help="run the large matrix plus the 100k-node tier "
+             "(DAG matrix only; a heavy cell is ~5M events)",
+    )
     bench.add_argument(
         "--baselines",
         action="store_true",
@@ -495,8 +548,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="RUNS",
-        help="with --baselines: run the matrix RUNS times and min-merge the "
-             "rates into a conservative committed floor",
+        help="run the matrix RUNS times and min-merge the rates into a "
+             "conservative committed floor (works for the DAG matrix and "
+             "--baselines)",
+    )
+    bench.add_argument(
+        "--scheduler",
+        default="auto",
+        choices=["auto", "heap", "ring"],
+        help="engine event scheduler: auto picks the bucket ring on "
+             "lattice-timestamped dense-traffic scenarios, heap/ring force "
+             "one (virtual-time results are identical either way)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the measured loop under cProfile; top-20 cumulative "
+             "functions go to stderr and the output document (rates are "
+             "distorted; incompatible with --check)",
     )
     bench.add_argument("--repeat", type=int, default=3,
                        help="repetitions per scenario; the fastest is kept")
@@ -531,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="full matrix plus the 10k-node tier (scalable algorithms only)",
     )
+    sweep_tier.add_argument(
+        "--xlarge",
+        action="store_true",
+        help="large matrix plus the 100k-node tier (scalable algorithms only)",
+    )
     sweep.add_argument("--workers", type=int, default=2,
                        help="concurrent child processes (default 2)")
     sweep.add_argument(
@@ -550,6 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=registry.names(),
         help="subset of algorithms (default: all 9)",
+    )
+    sweep.add_argument(
+        "--scheduler",
+        default="auto",
+        choices=["auto", "heap", "ring"],
+        help="engine event scheduler for every cell; deterministic output "
+             "is byte-identical across choices (CI cross-checks this)",
     )
     sweep.add_argument("--output", default=None,
                        help="write the merged sweep document to this JSON file")

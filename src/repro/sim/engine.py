@@ -1,36 +1,56 @@
 """Deterministic discrete-event simulation engine.
 
-The engine keeps a heap of ``(time, priority, sequence, event)`` tuples and
-advances a virtual clock as it pops them.  Storing plain tuples keeps every
-heap comparison in C — the :class:`~repro.sim.events.Event` object itself is
-never compared on the hot path.  The hottest callers
+The engine owns the virtual clock and the monotone sequence counter; the
+*storage* of scheduled events is a pluggable :mod:`~repro.sim.schedulers`
+strategy (and the pending-event count is derived from it in O(1)).  The default
+:class:`~repro.sim.schedulers.HeapScheduler` keeps a heap of ``(time,
+priority, sequence, event)`` tuples — storing plain tuples keeps every heap
+comparison in C — and the
+:class:`~repro.sim.schedulers.BucketRingScheduler` swaps the heap for an
+array of FIFO buckets (O(1) push/pop) on scenarios whose timestamps fall on
+a discrete lattice.  The hottest callers
 (:meth:`SimulationEngine.schedule_lite`) skip the event object entirely: the
-heap entry is a ``(time, priority, sequence, callback, payload)`` 5-tuple and
-``callback(payload)`` fires with no per-event allocation at all.  It is
-intentionally minimal: processes, networks, and metrics are layered on top
-rather than baked in, so the same engine drives every algorithm in the
+entry is a ``(time, priority, sequence, callback, payload)`` 5-tuple and
+``callback(payload)`` fires with no per-event allocation at all.  The engine
+is intentionally minimal: processes, networks, and metrics are layered on
+top rather than baked in, so the same engine drives every algorithm in the
 library.
 
 Determinism contract: events fire in ``(time, priority, sequence)`` order,
-with the sequence number allocated monotonically at scheduling time.  Both
-:meth:`SimulationEngine.schedule` and the hot-path
-:meth:`SimulationEngine.schedule_fast` draw from the same sequence counter,
-so mixing the two never changes the replay order.
+with the sequence number allocated monotonically at scheduling time,
+*whichever scheduler stores them*.  Both :meth:`SimulationEngine.schedule`
+and the hot-path :meth:`SimulationEngine.schedule_fast` draw from the same
+sequence counter, so mixing the two never changes the replay order, and a
+run replays byte-identically under the heap and the ring (CI-gated).
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, Optional, Tuple, Union
 
 from repro.exceptions import SchedulingError, SimulationError
 from repro.sim.events import Event, EventKind
+from repro.sim.schedulers import (
+    MIN_TOMBSTONES_FOR_COMPACTION,
+    HeapScheduler,
+    Scheduler,
+    make_scheduler,
+)
 
 _CALLBACK = EventKind.CALLBACK
 
 
 class SimulationEngine:
     """A single-threaded discrete-event scheduler with a virtual clock.
+
+    Args:
+        start_time: initial virtual time.
+        scheduler: the pending-event store — a
+            :class:`~repro.sim.schedulers.Scheduler` instance or one of the
+            mode strings ``"auto"``/``"heap"``/``"ring"`` (``"auto"``
+            resolves to the heap here; scenario-aware selection happens in
+            the experiment driver, which can see the latency model and the
+            workload).  Defaults to the heap.
 
     Example:
         >>> engine = SimulationEngine()
@@ -41,14 +61,26 @@ class SimulationEngine:
         [5.0]
     """
 
-    def __init__(self, *, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        *,
+        start_time: float = 0.0,
+        scheduler: Union[str, Scheduler, None] = None,
+    ) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._processed = 0
-        self._pending = 0
         self._running = False
         self._stopped = False
+        if scheduler is None:
+            scheduler = HeapScheduler()
+        elif isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self._scheduler = scheduler
+        scheduler.bind(self)
+        # Bound once: scheduling entry points call this without re-resolving
+        # the scheduler per event (the heap's is a frame-free C partial).
+        self._push = scheduler.push_callable()
 
     @property
     def now(self) -> float:
@@ -64,10 +96,47 @@ class SimulationEngine:
     def pending_events(self) -> int:
         """Number of non-cancelled events still scheduled.
 
-        Maintained incrementally (O(1)): scheduling increments it, processing
-        or cancelling an event decrements it — the heap is never rescanned.
+        Derived in O(1) from the scheduler's entry count minus its cancelled
+        tombstones — nothing is rescanned and the scheduling hot paths pay no
+        per-event counter upkeep.  The ring scheduler folds its entry count
+        in batches, so a read from *inside* a running callback may briefly
+        overcount; it is exact whenever :meth:`run` is not on the stack.
         """
-        return self._pending
+        scheduler = self._scheduler
+        return len(scheduler) - scheduler.tombstones
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The pending-event store in use."""
+        return self._scheduler
+
+    @property
+    def scheduler_kind(self) -> str:
+        """Short name of the active scheduler (``"heap"`` or ``"ring"``)."""
+        return self._scheduler.kind
+
+    def use_scheduler(self, scheduler: Union[str, Scheduler]) -> None:
+        """Swap the pending-event store.
+
+        Only legal while the queue is empty (no pending events, no
+        tombstones) and no :meth:`run` call is active, so the swap can never
+        reorder anything.
+
+        Raises:
+            SimulationError: if called mid-run or with events still queued.
+        """
+        if self._running:
+            raise SimulationError("cannot swap schedulers while run() is active")
+        if len(self._scheduler) != 0:
+            raise SimulationError(
+                f"cannot swap schedulers with {len(self._scheduler)} entries "
+                "still queued"
+            )
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self._scheduler = scheduler
+        scheduler.bind(self)
+        self._push = scheduler.push_callable()
 
     def schedule(
         self,
@@ -102,8 +171,7 @@ class SimulationEngine:
         self._sequence = sequence
         event = Event(time, priority, sequence, kind, callback, payload)
         event.owner = self
-        self._pending += 1
-        heappush(self._heap, (time, priority, sequence, event))
+        self._push((time, priority, sequence, event))
         return event
 
     def schedule_fast(
@@ -124,8 +192,7 @@ class SimulationEngine:
         self._sequence = sequence
         event = Event(time, 0, sequence, kind, callback, payload)
         event.owner = self
-        self._pending += 1
-        heappush(self._heap, (time, 0, sequence, event))
+        self._push((time, 0, sequence, event))
         return event
 
     def schedule_lite(
@@ -136,7 +203,7 @@ class SimulationEngine:
     ) -> None:
         """Schedule a fire-and-forget callback with no :class:`Event` object.
 
-        The heap entry *is* the event: ``callback(payload)`` runs at ``time``
+        The queue entry *is* the event: ``callback(payload)`` runs at ``time``
         with no per-event allocation at all.  Lite events cannot be cancelled
         and carry no kind — they exist for the network's unobserved delivery
         fast path and the workload driver, where neither feature is used and
@@ -145,8 +212,33 @@ class SimulationEngine:
         """
         sequence = self._sequence + 1
         self._sequence = sequence
-        self._pending += 1
-        heappush(self._heap, (time, 0, sequence, callback, payload))
+        self._push((time, 0, sequence, callback, payload))
+
+    def schedule_lite_bulk(
+        self,
+        items: "Iterable[Tuple[float, Callable[[Any], None], Any]]",
+    ) -> int:
+        """Bulk :meth:`schedule_lite`: one call for many fire-and-forget events.
+
+        ``items`` yields ``(time, callback, payload)`` triples; each is
+        stamped with the next sequence number in iteration order, exactly as
+        if :meth:`schedule_lite` had been called per item, then handed to
+        the scheduler's batch insert (the heap extends and re-heapifies in
+        O(n); the ring appends straight into its buckets).  Used by the
+        experiment driver to load a whole workload's arrivals up front
+        without paying a Python call per request.
+
+        Returns:
+            The number of events scheduled.
+        """
+        sequence = self._sequence
+        entries = [
+            (time, 0, sequence := sequence + 1, callback, payload)
+            for time, callback, payload in items
+        ]
+        self._sequence = sequence
+        self._scheduler.push_bulk(entries)
+        return len(entries)
 
     def schedule_after(
         self,
@@ -174,12 +266,16 @@ class SimulationEngine:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> int:
-        """Process events until the heap drains or a limit is reached.
+        """Process events until the queue drains or a limit is reached.
+
+        The loop itself lives in the scheduler (each store drains a run of
+        same-timestamp events as one batch without re-touching its head per
+        event); this method owns validation and re-entrancy.
 
         Args:
             until: stop (without processing) events scheduled strictly after
-                this virtual time.  The clock is advanced to ``until`` if it is
-                reached.
+                this virtual time.  The clock is advanced to ``until`` if it
+                is reached.
             max_events: stop after processing this many events in this call.
 
         Returns:
@@ -196,72 +292,18 @@ class SimulationEngine:
             return 0
         self._running = True
         self._stopped = False
-        processed_in_call = 0
-        # Bind hot attributes to locals: the loop below touches them once per
-        # event, and LOAD_FAST is measurably cheaper than attribute lookups.
-        heap = self._heap
-        pop = heappop
         budget = max_events if max_events is not None else -1
         try:
-            if until is None:
-                # Common case: no time horizon, so the head entry never has
-                # to be peeked before committing to it.
-                while heap:
-                    if self._stopped or processed_in_call == budget:
-                        break
-                    entry = pop(heap)
-                    if len(entry) == 5:
-                        # Lite entry: (time, priority, seq, callback, payload).
-                        self._pending -= 1
-                        self._now = entry[0]
-                        entry[3](entry[4])
-                        processed_in_call += 1
-                        continue
-                    event = entry[3]
-                    if event.cancelled:
-                        continue
-                    event.owner = None  # fired: a late cancel() must be a no-op
-                    self._pending -= 1
-                    self._now = entry[0]
-                    event.callback(event)
-                    processed_in_call += 1
-            else:
-                while heap:
-                    if self._stopped or processed_in_call == budget:
-                        break
-                    entry = heap[0]
-                    if entry[0] > until:
-                        if until > self._now:
-                            self._now = until
-                        break
-                    pop(heap)
-                    if len(entry) == 5:
-                        self._pending -= 1
-                        self._now = entry[0]
-                        entry[3](entry[4])
-                        processed_in_call += 1
-                        continue
-                    event = entry[3]
-                    if event.cancelled:
-                        continue
-                    event.owner = None
-                    self._pending -= 1
-                    self._now = entry[0]
-                    event.callback(event)
-                    processed_in_call += 1
-                else:
-                    if until > self._now:
-                        self._now = until
+            return self._scheduler.drain(until, budget)
         finally:
-            self._processed += processed_in_call
             self._running = False
-        return processed_in_call
 
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event.
 
         Returns:
-            ``True`` if an event was processed, ``False`` if the heap is empty.
+            ``True`` if an event was processed, ``False`` if the queue is
+            empty.
         """
         return self.run(max_events=1) == 1
 
@@ -271,5 +313,18 @@ class SimulationEngine:
         self._stopped = True
 
     def _note_cancelled(self) -> None:
-        """Called by :meth:`Event.cancel` to keep the pending counter exact."""
-        self._pending -= 1
+        """Called by :meth:`Event.cancel` so tombstones are accounted for.
+
+        Also the compaction trigger: when cancelled tombstones outnumber
+        half the live pending events, the store is compacted in place so
+        cancel-heavy runs (timeout-style workloads) don't pay tombstone
+        pop/skip cost forever.
+        """
+        scheduler = self._scheduler
+        scheduler.note_cancelled()
+        tombstones = scheduler.tombstones
+        if (
+            tombstones >= MIN_TOMBSTONES_FOR_COMPACTION
+            and tombstones * 2 > len(scheduler) - tombstones
+        ):
+            scheduler.compact()

@@ -19,6 +19,7 @@ from repro.sweep.matrix import (
     large_sweep_matrix,
     scenario_seed,
     smoke_sweep_matrix,
+    xlarge_sweep_matrix,
 )
 from repro.sweep.runner import (
     SCHEMA,
@@ -44,6 +45,7 @@ __all__ = [
     "large_sweep_matrix",
     "scenario_seed",
     "smoke_sweep_matrix",
+    "xlarge_sweep_matrix",
     "SCHEMA",
     "canonical_json",
     "deterministic_document",

@@ -63,7 +63,12 @@ class SweepScenario:
 
     ``collect_metrics=False`` switches the cell to the network's unobserved
     fast path (no per-entry timing statistics), which the 10k-node tier uses
-    to stay in the seconds range.
+    to stay in the seconds range.  ``scheduler`` picks the engine's
+    pending-event store ("auto"/"heap"/"ring"); it affects wall clock only —
+    the virtual-time outcome is byte-identical for every value, which the CI
+    smoke job cross-checks by diffing heap and ring deterministic documents.
+    It deliberately does not contribute to :attr:`name` (and therefore the
+    seed), so forced-scheduler runs replay the exact same workloads.
     """
 
     algorithm: str
@@ -71,6 +76,7 @@ class SweepScenario:
     n: int
     workload: str
     collect_metrics: bool = True
+    scheduler: str = "auto"
 
     @property
     def name(self) -> str:
@@ -128,12 +134,12 @@ def build_sweep_topology(kind: str, n: int) -> Topology:
 
 
 def default_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
 ) -> List[SweepScenario]:
     """The full comparison matrix: 9 algorithms x 3 topologies x 2 sizes x 4 tiers."""
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
-        SweepScenario(algorithm, kind, n, tier)
+        SweepScenario(algorithm, kind, n, tier, scheduler=scheduler)
         for algorithm in names
         for kind in _TOPOLOGY_KINDS
         for n in _SIZES
@@ -142,19 +148,19 @@ def default_sweep_matrix(
 
 
 def smoke_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
 ) -> List[SweepScenario]:
     """The CI gate: every algorithm, star topology, n=9, heavy + bursty."""
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
-        SweepScenario(algorithm, "star", 9, tier)
+        SweepScenario(algorithm, "star", 9, tier, scheduler=scheduler)
         for algorithm in names
         for tier in ("heavy", "bursty")
     ]
 
 
 def large_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
 ) -> List[SweepScenario]:
     """The default matrix plus the 10k-node tier.
 
@@ -164,13 +170,50 @@ def large_sweep_matrix(
     nothing the 50-node cells do not already show.  The 10k cells run on the
     unobserved fast path (``collect_metrics=False``).
     """
-    matrix = default_sweep_matrix(algorithms=algorithms)
+    matrix = default_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
     allowed = set(algorithms) if algorithms is not None else None
     for algorithm in LARGE_TIER_ALGORITHMS:
         if allowed is not None and algorithm not in allowed:
             continue
         for kind in ("star", "tree"):
             matrix.append(
-                SweepScenario(algorithm, kind, 10000, "heavy", collect_metrics=False)
+                SweepScenario(
+                    algorithm,
+                    kind,
+                    10000,
+                    "heavy",
+                    collect_metrics=False,
+                    scheduler=scheduler,
+                )
+            )
+    return matrix
+
+
+def xlarge_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+) -> List[SweepScenario]:
+    """The large matrix plus the 100k-node tier (scalable algorithms only).
+
+    The tier the ROADMAP flagged as blocked on wall budget: one heavy
+    100k-node cell is ~1M critical-section entries, minutes on the seed
+    engine.  Star and tree only (a 100k-hop line diameter measures topology
+    pathology, not the algorithms), heavy demand only, unobserved fast path.
+    Additive like the 10k tier, so committed documents stay valid.
+    """
+    matrix = large_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
+    allowed = set(algorithms) if algorithms is not None else None
+    for algorithm in LARGE_TIER_ALGORITHMS:
+        if allowed is not None and algorithm not in allowed:
+            continue
+        for kind in ("star", "tree"):
+            matrix.append(
+                SweepScenario(
+                    algorithm,
+                    kind,
+                    100000,
+                    "heavy",
+                    collect_metrics=False,
+                    scheduler=scheduler,
+                )
             )
     return matrix

@@ -58,7 +58,7 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
     system_class = registry.get(spec.algorithm)
     start = time.perf_counter()
     system = system_class(topology, collect_metrics=spec.collect_metrics)
-    driver = ExperimentDriver(system, workload)
+    driver = ExperimentDriver(system, workload, scheduler=spec.scheduler)
     result = driver.run(max_events=MAX_EVENTS_PER_SCENARIO)
     wall = time.perf_counter() - start
     events = system.engine.processed_events
@@ -88,6 +88,10 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
             "wall_seconds": round(wall, 4),
             "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
             "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            # Under "timing" on purpose: the engaged scheduler affects wall
+            # clock only, and deterministic documents strip this key — which
+            # is exactly what lets CI diff heap vs ring runs byte-for-byte.
+            "scheduler": system.engine.scheduler_kind,
         },
     }
 

@@ -17,6 +17,7 @@ from typing import Any, Deque, Dict, List, Optional, Type, Union
 from repro.baselines.base import MutexSystem, registry
 from repro.exceptions import ExperimentError
 from repro.sim.latency import LatencyModel
+from repro.sim.schedulers import RING_ARRIVAL_THRESHOLD, make_scheduler
 from repro.topology.base import Topology
 from repro.workload.requests import CSRequest, Workload
 
@@ -81,12 +82,35 @@ class ExperimentResult:
 
 
 class ExperimentDriver:
-    """Replays a :class:`Workload` against a :class:`MutexSystem`."""
+    """Replays a :class:`Workload` against a :class:`MutexSystem`.
+
+    Args:
+        system: the system under test.
+        workload: the request schedule to replay.
+        scheduler: the engine's pending-event store for this replay —
+            ``"auto"`` (default) picks the O(1) bucket ring when the whole
+            scenario (latency model, workload arrival grid, CS hold times)
+            falls on a discrete time lattice *and* the run is in the ring's
+            measured regime: the algorithm fans messages out densely
+            (``system.dense_message_traffic`` — the broadcast/quorum
+            baselines, whose same-tick delivery batches are where the ring
+            beats the heap) or the pre-scheduled arrival backlog is at least
+            ``RING_ARRIVAL_THRESHOLD`` requests deep (the 100k-node tier,
+            where heap pushes walk a far-past-cache working set).
+            Token-passing algorithms over modest backlogs spread events
+            thinly over virtual time, where the heap's C-level pops win and
+            the heap is kept.  ``"heap"``/``"ring"`` force a choice.
+            The swap only happens while the engine's queue is empty (always
+            true for a freshly built system), so it can never reorder events
+            — the replay outcome is byte-identical either way, CI-gated.
+    """
 
     def __init__(
         self,
         system: MutexSystem,
         workload: Workload,
+        *,
+        scheduler: str = "auto",
     ) -> None:
         self.system = system
         self.workload = workload
@@ -99,6 +123,28 @@ class ExperimentDriver:
         system._on_enter = self._handle_enter  # driver owns the enter hook
         for node in system.nodes.values():
             node._on_enter = self._handle_enter
+        engine = system.engine
+        if len(engine.scheduler) == 0 and not (
+            scheduler == "auto" and engine.scheduler_kind != "heap"
+        ):
+            # Scenario-aware selection: only the driver sees the latency
+            # model, the workload, and the algorithm together.  A caller who
+            # installed a non-default scheduler explicitly keeps it under
+            # "auto".
+            mode = scheduler
+            if (
+                mode == "auto"
+                and not getattr(system, "dense_message_traffic", False)
+                and len(workload) < RING_ARRIVAL_THRESHOLD
+            ):
+                # Sparse token-passing traffic over a modest backlog: the
+                # heap's C-level pops win (see RING_ARRIVAL_THRESHOLD).
+                mode = "heap"
+            chosen = make_scheduler(
+                mode, latency=system.network.latency, workload=workload
+            )
+            if chosen.kind != engine.scheduler_kind or scheduler != "auto":
+                engine.use_scheduler(chosen)
 
     # ------------------------------------------------------------------ #
     # running
@@ -113,18 +159,23 @@ class ExperimentDriver:
         """
         engine = self.system.engine
         # One shared callback with the request as the event payload: no
-        # per-request closure allocation, and the lean scheduling entry point
-        # (arrival times are validated by the workload, not re-checked here).
+        # per-request closure allocation, and the batch scheduling entry
+        # point — one engine call loads every arrival (the heap heapifies
+        # once; the ring appends straight into its buckets).  Arrival times
+        # are validated by the workload, not re-checked per request.
         arrival = self._issue_or_queue
-        schedule = engine.schedule_lite
         now = engine.now
-        for request in self.workload:
-            if request.arrival_time < now:
-                raise ExperimentError(
-                    f"request at {request.arrival_time} is in the past "
-                    f"(engine time {now})"
-                )
-            schedule(request.arrival_time, arrival, request)
+        first = next(iter(self.workload), None)
+        if first is not None and first.arrival_time < now:
+            # The workload is sorted by arrival time, so checking the head
+            # covers every request.
+            raise ExperimentError(
+                f"request at {first.arrival_time} is in the past "
+                f"(engine time {now})"
+            )
+        engine.schedule_lite_bulk(
+            (request.arrival_time, arrival, request) for request in self.workload
+        )
         # Drive through the system's run() (not the engine directly) so that
         # systems which interleave invariant checking with event processing
         # keep doing so under the driver.
@@ -182,19 +233,24 @@ class ExperimentDriver:
         return arrival
 
     def _issue_or_queue(self, request: CSRequest) -> None:
-        node = self._nodes[request.node]
-        if request.node in self._active or node.requesting or node.in_critical_section:
-            self._backlog.setdefault(request.node, deque()).append(request)
+        node_id = request.node
+        node = self._nodes[node_id]
+        if node_id in self._active or node.requesting or node.in_critical_section:
+            self._backlog.setdefault(node_id, deque()).append(request)
             return
-        self._active[request.node] = request
+        self._active[node_id] = request
         node.request_cs()
 
     def _handle_enter(self, node_id: int, time: float) -> None:
         self.entry_order.append(node_id)
         request = self._active.get(node_id)
         duration = request.cs_duration if request is not None else 1.0
+        # Inline schedule_lite: one release per critical-section entry makes
+        # this the second-hottest scheduling site after message delivery.
         engine = self.system.engine
-        engine.schedule_lite(engine.now + duration, self._release, node_id)
+        sequence = engine._sequence + 1
+        engine._sequence = sequence
+        engine._push((engine._now + duration, 0, sequence, self._release, node_id))
 
     def _release(self, node_id: int) -> None:
         self._nodes[node_id].release_cs()
@@ -225,6 +281,7 @@ def run_experiment(
     latency: Optional[LatencyModel] = None,
     record_trace: bool = False,
     collect_metrics: bool = True,
+    scheduler: str = "auto",
 ) -> ExperimentResult:
     """Convenience wrapper: build the system, replay the workload, return results.
 
@@ -238,6 +295,8 @@ def run_experiment(
         record_trace: record a full protocol trace on the system (accessible
             via ``result`` only indirectly; use :class:`ExperimentDriver`
             directly when the trace itself is needed).
+        scheduler: engine scheduler choice (see :class:`ExperimentDriver`);
+            the replay outcome is identical for every value.
     """
     system_class = registry.get(algorithm) if isinstance(algorithm, str) else algorithm
     system = system_class(
@@ -246,5 +305,5 @@ def run_experiment(
         record_trace=record_trace,
         collect_metrics=collect_metrics,
     )
-    driver = ExperimentDriver(system, workload)
+    driver = ExperimentDriver(system, workload, scheduler=scheduler)
     return driver.run()

@@ -1,0 +1,365 @@
+"""Unit tests for the pluggable scheduler subsystem (repro.sim.schedulers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulingError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    PerLinkLatency,
+    UniformLatency,
+)
+from repro.sim.rng import SeededRNG
+from repro.sim.schedulers import (
+    MIN_TOMBSTONES_FOR_COMPACTION,
+    BucketRingScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scenario_time_lattice,
+)
+from repro.workload.requests import CSRequest, Workload
+
+RING = lambda **kw: BucketRingScheduler(quantum=kw.pop("quantum", 1.0), **kw)  # noqa: E731
+
+BOTH = pytest.mark.parametrize(
+    "make_scheduler_under_test",
+    [HeapScheduler, RING],
+    ids=["heap", "ring"],
+)
+
+
+def record_order(engine, times, *, priority=None):
+    """Schedule one recording event per time; return the fired list."""
+    fired = []
+    for index, time in enumerate(times):
+        engine.schedule(
+            time,
+            lambda ev, i=index: fired.append(i),
+            priority=0 if priority is None else priority[index],
+        )
+    return fired
+
+
+# --------------------------------------------------------------------------- #
+# cross-scheduler behavioral parity
+# --------------------------------------------------------------------------- #
+@BOTH
+def test_fires_in_time_then_sequence_order(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = record_order(engine, [5.0, 1.0, 3.0, 1.0, 5.0])
+    engine.run()
+    assert fired == [1, 3, 2, 0, 4]
+    assert engine.now == 5.0
+    assert engine.pending_events == 0
+
+
+@BOTH
+def test_priority_breaks_same_time_ties(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = record_order(engine, [2.0, 2.0, 2.0], priority=[5, -1, 0])
+    engine.run()
+    assert fired == [1, 2, 0]
+
+
+@BOTH
+def test_off_lattice_times_fire_in_order(make_scheduler_under_test):
+    # Fractional timestamps exercise the ring's sort-on-touch fallback.
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    times = [2.75, 0.1, 2.25, 0.9, 2.5, 7.001, 0.10001]
+    fired = record_order(engine, times)
+    engine.run()
+    assert fired == sorted(range(len(times)), key=lambda i: times[i])
+    assert engine.now == 7.001
+
+
+@BOTH
+def test_until_horizon_and_resume(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = record_order(engine, [1.0, 2.0, 3.0, 4.0])
+    assert engine.run(until=2.5) == 2
+    assert fired == [0, 1]
+    assert engine.now == 2.5  # clock advances to the horizon
+    assert engine.pending_events == 2
+    assert engine.run() == 2
+    assert fired == [0, 1, 2, 3]
+
+
+@BOTH
+def test_until_is_inclusive(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = record_order(engine, [2.0])
+    engine.run(until=2.0)
+    assert fired == [0]
+
+
+@BOTH
+def test_max_events_budget_and_step(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = record_order(engine, [1.0, 1.0, 1.0, 2.0])
+    assert engine.run(max_events=2) == 2
+    assert fired == [0, 1]
+    assert engine.step() is True
+    assert fired == [0, 1, 2]
+    assert engine.step() is True
+    assert engine.step() is False
+    assert fired == [0, 1, 2, 3]
+
+
+@BOTH
+def test_stop_inside_callback_halts_after_current_event(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+    engine.schedule(1.0, lambda ev: (fired.append(1), engine.stop()))
+    engine.schedule(1.0, lambda ev: fired.append(2))
+    assert engine.run() == 1
+    assert fired == [1]
+    assert engine.run() == 1
+    assert fired == [1, 2]
+
+
+@BOTH
+def test_cancelled_events_are_skipped_without_advancing_clock(
+    make_scheduler_under_test,
+):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+    engine.schedule(1.0, lambda ev: fired.append("a"))
+    doomed = engine.schedule(2.0, lambda ev: fired.append("doomed"))
+    doomed.cancel()
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 1.0  # the tombstone at 2.0 must not advance the clock
+    assert engine.pending_events == 0
+
+
+@BOTH
+def test_events_scheduled_during_run_at_same_time_fire_in_sequence_order(
+    make_scheduler_under_test,
+):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+
+    def first(ev):
+        fired.append("first")
+        # Same-timestamp event scheduled mid-drain: must fire after the
+        # already-queued same-time event (larger sequence number).
+        engine.schedule(1.0, lambda e: fired.append("late"))
+
+    engine.schedule(1.0, first)
+    engine.schedule(1.0, lambda ev: fired.append("second"))
+    engine.run()
+    assert fired == ["first", "second", "late"]
+
+
+@BOTH
+def test_zero_delay_schedule_after_with_off_lattice_clock(make_scheduler_under_test):
+    # A zero-delay event lands in the bucket currently being drained with a
+    # timestamp that can precede unfired entries — the ring's re-sort path.
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+
+    def outer_event(ev):
+        fired.append("outer")
+        engine.schedule_after(0.0, lambda e: fired.append("inner"))
+
+    engine.schedule(0.7, outer_event)
+    engine.schedule(0.9, lambda ev: fired.append("later"))
+    engine.run()
+    assert fired == ["outer", "inner", "later"]
+
+
+@BOTH
+def test_callback_exception_does_not_refire_consumed_events(
+    make_scheduler_under_test,
+):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+    engine.schedule(1.0, lambda ev: fired.append("ok"))
+
+    def boom(ev):
+        fired.append("boom")
+        raise RuntimeError("injected")
+
+    engine.schedule(1.0, boom)
+    engine.schedule(1.0, lambda ev: fired.append("after"))
+    with pytest.raises(RuntimeError):
+        engine.run()
+    assert fired == ["ok", "boom"]
+    engine.run()
+    assert fired == ["ok", "boom", "after"]  # neither lost nor re-fired
+
+
+# --------------------------------------------------------------------------- #
+# ring internals
+# --------------------------------------------------------------------------- #
+def test_ring_spills_beyond_horizon_and_reloads():
+    engine = SimulationEngine(scheduler=BucketRingScheduler(quantum=1.0, horizon=8))
+    fired = []
+    times = [3.0, 100.0, 5.0, 1000.0, 99.0, 7.5]
+    for index, time in enumerate(times):
+        engine.schedule(time, lambda ev, i=index: fired.append(i))
+    ring = engine.scheduler
+    assert ring._spill  # far-future entries wait outside the wheel
+    engine.run()
+    assert fired == sorted(range(len(times)), key=lambda i: times[i])
+    assert engine.now == 1000.0
+    assert not ring._spill and len(ring) == 0
+
+
+def test_ring_wheel_jump_skips_long_empty_gaps():
+    engine = SimulationEngine(scheduler=BucketRingScheduler(quantum=1.0, horizon=4))
+    fired = []
+    engine.schedule(2.0, lambda ev: fired.append("near"))
+    engine.schedule(10_000_000.0, lambda ev: fired.append("far"))
+    engine.run()
+    assert fired == ["near", "far"]
+    assert engine.now == 10_000_000.0
+
+
+def test_ring_rejects_bad_parameters():
+    with pytest.raises(SchedulingError):
+        BucketRingScheduler(quantum=0.0)
+    with pytest.raises(SchedulingError):
+        BucketRingScheduler(quantum=1.0, horizon=1)
+    with pytest.raises(SchedulingError):
+        make_scheduler("fibonacci")
+
+
+def test_use_scheduler_swap_rules():
+    engine = SimulationEngine()
+    engine.use_scheduler("ring")
+    assert engine.scheduler_kind == "ring"
+    engine.use_scheduler(HeapScheduler())
+    assert engine.scheduler_kind == "heap"
+    engine.schedule(1.0, lambda ev: None)
+    with pytest.raises(SimulationError):
+        engine.use_scheduler("ring")  # non-empty queue: swap refused
+    engine.run()
+    engine.use_scheduler("ring")
+    during = []
+    engine.schedule(2.0, lambda ev: during.append(engine.scheduler_kind))
+    engine.run()
+    assert during == ["ring"]
+
+
+# --------------------------------------------------------------------------- #
+# tombstone compaction
+# --------------------------------------------------------------------------- #
+@BOTH
+def test_mass_cancellation_triggers_compaction(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    keep = 10
+    doomed = [
+        engine.schedule(float(i + 1), lambda ev: None)
+        for i in range(4 * MIN_TOMBSTONES_FOR_COMPACTION)
+    ]
+    kept = [
+        engine.schedule(float(i + 1), lambda ev: None, priority=1)
+        for i in range(keep)
+    ]
+    for event in doomed:
+        event.cancel()
+    scheduler = engine.scheduler
+    # Tombstones vastly outnumber live events, so the engine must have
+    # compacted: storage shrinks back to the live entries.
+    assert len(scheduler) < len(doomed)
+    assert engine.pending_events == keep
+    assert len(scheduler) - scheduler.tombstones == keep
+    processed = engine.run()
+    assert processed == keep
+    assert all(not event.cancelled for event in kept)
+
+
+@BOTH
+def test_compaction_mid_run_from_callback(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+    later = [
+        engine.schedule(float(10 + i), lambda ev: fired.append("doomed"))
+        for i in range(3 * MIN_TOMBSTONES_FOR_COMPACTION)
+    ]
+    survivor_times = [10.5, 20.5, 300.5]
+    for time in survivor_times:
+        engine.schedule(time, lambda ev: fired.append(engine.now))
+
+    def cancel_everything(ev):
+        for event in later:
+            event.cancel()
+
+    engine.schedule(1.0, cancel_everything)
+    engine.run()
+    assert fired == survivor_times
+    assert engine.pending_events == 0
+
+
+@BOTH
+def test_compaction_preserves_order_and_counts(make_scheduler_under_test):
+    engine = SimulationEngine(scheduler=make_scheduler_under_test())
+    fired = []
+    events = [
+        engine.schedule(float(i % 7 + 1), lambda ev, i=i: fired.append(i))
+        for i in range(4 * MIN_TOMBSTONES_FOR_COMPACTION)
+    ]
+    cancelled = {i for i in range(len(events)) if i % 3 != 0}
+    for index in cancelled:
+        events[index].cancel()
+    engine.run()
+    survivors = [i for i in range(len(events)) if i not in cancelled]
+    assert fired == sorted(survivors, key=lambda i: (i % 7 + 1, i))
+    assert engine.pending_events == 0
+
+
+# --------------------------------------------------------------------------- #
+# lattice detection and selection
+# --------------------------------------------------------------------------- #
+def test_latency_time_lattice_hints():
+    assert ConstantLatency(1.0).time_lattice() == 1.0
+    assert ConstantLatency(2.5).time_lattice() == 2.5
+    assert UniformLatency(0.5, 1.5).time_lattice() is None
+    assert ExponentialLatency(1.0, rng=SeededRNG(0)).time_lattice() is None
+    assert PerLinkLatency({(0, 1): 2.0, (1, 2): 4.0}, default=6.0).time_lattice() == 2.0
+    assert PerLinkLatency({(0, 1): 3.0}, default=5.0).time_lattice() == 1.0
+    assert PerLinkLatency({(0, 1): 1.5}).time_lattice() is None
+
+
+def lattice_workload(times, durations=None):
+    durations = durations if durations is not None else [1.0] * len(times)
+    return Workload(
+        requests=tuple(
+            CSRequest(node=0, arrival_time=t, cs_duration=d)
+            for t, d in zip(times, durations)
+        )
+    )
+
+
+def test_scenario_time_lattice_checks_arrivals_and_durations():
+    constant = ConstantLatency(1.0)
+    assert scenario_time_lattice(constant, lattice_workload([0.0, 3.0, 7.0])) == 1.0
+    assert scenario_time_lattice(constant, lattice_workload([0.0, 2.5])) is None
+    assert (
+        scenario_time_lattice(constant, lattice_workload([0.0], durations=[0.25]))
+        is None
+    )
+    # None means the network default (constant 1.0).
+    assert scenario_time_lattice(None, lattice_workload([1.0, 2.0])) == 1.0
+    assert scenario_time_lattice(UniformLatency(0.5, 1.5), lattice_workload([1.0])) is None
+
+
+def test_make_scheduler_modes():
+    assert make_scheduler("heap").kind == "heap"
+    forced = make_scheduler("ring", latency=ConstantLatency(0.5))
+    assert forced.kind == "ring" and forced.quantum == 0.5
+    # Forced ring on a stochastic model falls back to a 1.0 quantum but
+    # stays a ring (correct via sort-on-touch).
+    assert make_scheduler("ring", latency=UniformLatency(0.5, 1.5)).kind == "ring"
+    auto_lattice = make_scheduler(
+        "auto", latency=ConstantLatency(1.0), workload=lattice_workload([0.0, 1.0])
+    )
+    assert auto_lattice.kind == "ring"
+    auto_off = make_scheduler(
+        "auto", latency=ConstantLatency(1.0), workload=lattice_workload([0.3])
+    )
+    assert auto_off.kind == "heap"

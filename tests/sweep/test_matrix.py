@@ -74,3 +74,20 @@ def test_unknown_workload_tier_is_rejected():
     topology = build_sweep_topology("star", 9)
     with pytest.raises(WorkloadError):
         build_sweep_workload(topology, "tsunami", seed=1)
+
+
+def test_xlarge_sweep_matrix_adds_100k_scalable_cells():
+    from repro.sweep import large_sweep_matrix, xlarge_sweep_matrix
+    from repro.sweep.matrix import LARGE_TIER_ALGORITHMS
+
+    large = large_sweep_matrix()
+    xlarge = xlarge_sweep_matrix()
+    assert xlarge[: len(large)] == large
+    extra = xlarge[len(large):]
+    assert all(spec.n == 100000 and spec.workload == "heavy" for spec in extra)
+    assert {spec.algorithm for spec in extra} == set(LARGE_TIER_ALGORITHMS)
+    assert all(not spec.collect_metrics for spec in extra)
+    # scheduler choice is a field, not part of the name (and so not the seed)
+    forced = xlarge_sweep_matrix(scheduler="ring")
+    assert [spec.name for spec in forced] == [spec.name for spec in xlarge]
+    assert all(spec.scheduler == "ring" for spec in forced)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.bench import (
     ACCEPTANCE_SCENARIO,
+    run_calibrated_benchmark,
     BASELINE_ALGORITHMS,
     BaselineScenarioSpec,
     ScenarioSpec,
@@ -228,12 +229,15 @@ def test_tiny_scenarios_are_timed_over_a_replay_window():
         calls += 1
         return system_class(topology, collect_metrics=False)
 
-    wall, result, events, messages = measure_fastest(factory, workload, repeat=1)
+    wall, result, events, messages, scheduler = measure_fastest(
+        factory, workload, repeat=1
+    )
     # A single replay of this cell takes well under the window, so the rate
     # must have been re-measured over several back-to-back replays.
     assert calls > 2
     assert 0 < wall < MIN_MEASUREMENT_WINDOW_SECONDS
     assert events > 0 and messages > 0 and result.completed_entries == 100
+    assert scheduler in ("heap", "ring")
 
 
 def test_committed_bench_fingerprint_still_replays():
@@ -249,3 +253,50 @@ def test_committed_bench_fingerprint_still_replays():
     with open(baseline, "r", encoding="utf-8") as handle:
         recorded = json.load(handle)
     assert determinism_fingerprint() == recorded["fingerprint"]
+
+
+def test_xlarge_matrix_extends_large_with_100k_tier():
+    from repro.bench import xlarge_matrix
+
+    large = large_matrix()
+    xlarge = xlarge_matrix()
+    assert xlarge[: len(large)] == large  # additive: committed names unchanged
+    extra = xlarge[len(large):]
+    assert [spec.n for spec in extra] == [100000, 100000]
+    assert {spec.kind for spec in extra} == {"star", "tree"}
+    assert all(spec.demand == "heavy" for spec in extra)
+
+
+def test_profiled_benchmark_embeds_hotspots(capsys):
+    document = run_benchmark(
+        matrix=[ScenarioSpec("star", 20, "heavy")], repeat=1, profile=True
+    )
+    rows = document["profile"]
+    assert 0 < len(rows) <= 20
+    assert {"function", "ncalls", "tottime", "cumtime"} <= set(rows[0])
+    # Sorted by cumulative time, and the dump went to stderr for humans.
+    cumtimes = [row["cumtime"] for row in rows]
+    assert cumtimes == sorted(cumtimes, reverse=True)
+    assert "cumulative" in capsys.readouterr().err
+
+
+def test_run_calibrated_benchmark_min_merges_the_dag_matrix():
+    document = run_calibrated_benchmark(
+        matrix=[ScenarioSpec("star", 20, "heavy")], repeat=1, runs=2
+    )
+    assert "calibration" in document
+    assert len(document["scenarios"]) == 1
+    assert document["determinism"]["schedulers_match"] is True
+
+
+def test_scenario_rows_record_engaged_scheduler():
+    result = run_scenario(ScenarioSpec("star", 20, "heavy"), repeat=1)
+    assert result.scheduler in ("heap", "ring")
+    forced = run_scenario(ScenarioSpec("star", 20, "heavy"), repeat=1, scheduler="ring")
+    assert forced.scheduler == "ring"
+    # Forcing the scheduler never changes virtual-time outcomes.
+    assert (forced.events, forced.messages, forced.entries) == (
+        result.events,
+        result.messages,
+        result.entries,
+    )

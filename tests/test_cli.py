@@ -135,11 +135,16 @@ def test_conflicting_tier_flags_are_rejected(capsys):
         capsys.readouterr()  # discard argparse usage output
 
 
-def test_bench_baselines_rejects_large_and_dag_rejects_calibrate(capsys):
+def test_bench_baselines_rejects_large_and_profile_rejects_check(capsys, tmp_path):
     assert main(["bench", "--baselines", "--large"]) == 2
     assert "no large tier" in capsys.readouterr().err
-    assert main(["bench", "--calibrate", "2"]) == 2
-    assert "--baselines" in capsys.readouterr().err
+    assert main(["bench", "--baselines", "--xlarge"]) == 2
+    assert "no xlarge tier" in capsys.readouterr().err
+    # --profile distorts rates, so gating a profiled run is refused up front.
+    check_file = tmp_path / "committed.json"
+    check_file.write_text("{}")
+    assert main(["bench", "--profile", "--check", str(check_file)]) == 2
+    assert "--profile" in capsys.readouterr().err
 
 
 def test_invalid_numeric_flags_get_clean_cli_errors(capsys):

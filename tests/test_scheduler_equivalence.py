@@ -1,0 +1,120 @@
+"""Heap-vs-ring replay equivalence over real algorithm workloads.
+
+The scheduler subsystem's contract is that swapping the pending-event store
+never changes a simulation's virtual-time outcome — only its wall clock.
+These tests replay the sweep smoke matrix (every algorithm, heavy + bursty
+workloads: bursty is off-lattice, so the ring's sort-on-touch fallback is
+exercised too) under each scheduler and require byte-identical results, plus
+a torture case that mixes cancels, ``stop()``, ``schedule_after`` and
+budgeted resumes.  CI runs the same property via ``repro sweep --scheduler
+{heap,ring}`` deterministic-document comparison and the ``repro bench``
+``schedulers_match`` gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import registry
+from repro.bench.throughput import schedulers_equivalent
+from repro.sim.engine import SimulationEngine
+from repro.sim.schedulers import BucketRingScheduler, HeapScheduler
+from repro.sweep.matrix import (
+    build_sweep_topology,
+    build_sweep_workload,
+    smoke_sweep_matrix,
+)
+from repro.workload.driver import ExperimentDriver
+
+SCHEDULERS = ("heap", "ring")
+
+
+def replay(spec, scheduler):
+    """One sweep cell under a forced scheduler; returns its observables."""
+    topology = build_sweep_topology(spec.kind, spec.n)
+    workload = build_sweep_workload(topology, spec.workload, seed=spec.seed)
+    system = registry.get(spec.algorithm)(topology, collect_metrics=True)
+    driver = ExperimentDriver(system, workload, scheduler=scheduler)
+    result = driver.run()
+    assert system.engine.scheduler_kind == scheduler
+    return {
+        "entry_order": result.entry_order,
+        "messages": result.total_messages,
+        "messages_by_type": result.messages_by_type,
+        "mean_waiting_time": round(result.mean_waiting_time, 12),
+        "sync_delays": result.sync_delays,
+        "finished_at": round(result.finished_at, 12),
+        "events": system.engine.processed_events,
+    }
+
+
+@pytest.mark.parametrize(
+    "spec", smoke_sweep_matrix(), ids=lambda spec: spec.name
+)
+def test_smoke_matrix_replays_identically_under_both_schedulers(spec):
+    heap_outcome = replay(spec, "heap")
+    ring_outcome = replay(spec, "ring")
+    assert heap_outcome == ring_outcome
+
+
+def test_bench_scheduler_equivalence_gate():
+    # The same property `repro bench` gates on in CI.
+    assert schedulers_equivalent()
+
+
+def torture(scheduler_factory):
+    """Cancels, stop(), zero delays, budgets, until-resumes — one script."""
+    engine = SimulationEngine(scheduler=scheduler_factory())
+    log = []
+    cancellable = {}
+
+    def record(tag):
+        log.append((round(engine.now, 9), tag))
+
+    def spawner(ev):
+        record("spawner")
+        # Same-time follow-up plus a short chain.
+        engine.schedule_after(0.0, lambda e: record("zero-delay"))
+        engine.schedule_after(1.5, lambda e: record("chain-1.5"))
+        victim = engine.schedule_after(3.0, lambda e: record("victim"))
+        cancellable["victim"] = victim
+
+    def canceller(ev):
+        record("canceller")
+        cancellable["victim"].cancel()
+        # Cancel a whole cohort to poke the compaction path.
+        cohort = [
+            engine.schedule_after(5.0, lambda e: record("cohort"))
+            for _ in range(200)
+        ]
+        for event in cohort[:199]:
+            event.cancel()
+
+    def stopper(ev):
+        record("stopper")
+        engine.stop()
+
+    engine.schedule(1.0, spawner)
+    engine.schedule(2.0, canceller)
+    engine.schedule(2.5, stopper, priority=-1)
+    engine.schedule(2.5, lambda e: record("after-stop"))
+    engine.schedule(10.0, lambda e: record("tail"))
+
+    processed = engine.run(until=2.0)  # horizon mid-script
+    log.append(("ran", processed))
+    processed = engine.run(max_events=2)  # budgeted resume
+    log.append(("ran", processed))
+    processed = engine.run()  # hits stop()
+    log.append(("ran", processed))
+    processed = engine.run()  # drains the rest
+    log.append(("ran", processed))
+    log.append(("end", round(engine.now, 9), engine.processed_events))
+    return log
+
+
+def test_torture_script_identical_across_schedulers():
+    heap_log = torture(HeapScheduler)
+    ring_log = torture(lambda: BucketRingScheduler(quantum=1.0))
+    small_ring_log = torture(lambda: BucketRingScheduler(quantum=0.5, horizon=4))
+    assert heap_log == ring_log
+    assert heap_log == small_ring_log
