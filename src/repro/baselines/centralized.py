@@ -77,11 +77,14 @@ class CentralizedNode(MutexNodeBase):
     def __init__(self, node_id: int, network, *, coordinator: int, **kwargs) -> None:
         super().__init__(node_id, network, **kwargs)
         self.coordinator = coordinator
-        # Coordinator-only state.
+        # Coordinator-only state.  The queue exists only on the coordinator:
+        # the storage contract ("other nodes: coordinator identity only")
+        # is also a real constraint at the 1M-node tier, where a deque per
+        # node would be ~600 MB of empty queues.
         self.is_coordinator = node_id == coordinator
         self.resource_busy = False
         self.current_user: Optional[int] = None
-        self.pending: Deque[int] = deque()
+        self.pending: Optional[Deque[int]] = deque() if self.is_coordinator else None
 
     # ------------------------------------------------------------------ #
     # participant behaviour

@@ -18,8 +18,15 @@ from repro.bench.baselines import (
     run_baseline_scenario,
     run_calibrated_baseline_benchmark,
 )
+from repro.bench.setup_cost import (
+    construction_matrix,
+    run_setup_benchmark,
+    run_setup_scenario,
+)
 from repro.bench.throughput import (
     ACCEPTANCE_SCENARIO,
+    STREAMING_NODE_THRESHOLD,
+    XXLARGE_HEAVY_ROUNDS,
     ScenarioResult,
     ScenarioSpec,
     check_against_baseline,
@@ -34,10 +41,13 @@ from repro.bench.throughput import (
     schedulers_equivalent,
     smoke_matrix,
     xlarge_matrix,
+    xxlarge_matrix,
 )
 
 __all__ = [
     "ACCEPTANCE_SCENARIO",
+    "STREAMING_NODE_THRESHOLD",
+    "XXLARGE_HEAVY_ROUNDS",
     "BASELINE_ALGORITHMS",
     "BaselineScenarioResult",
     "BaselineScenarioSpec",
@@ -46,6 +56,7 @@ __all__ = [
     "baseline_default_matrix",
     "baseline_smoke_matrix",
     "check_against_baseline",
+    "construction_matrix",
     "default_matrix",
     "determinism_fingerprint",
     "fast_path_consistent",
@@ -57,7 +68,10 @@ __all__ = [
     "run_benchmark",
     "run_calibrated_benchmark",
     "run_scenario",
+    "run_setup_benchmark",
+    "run_setup_scenario",
     "schedulers_equivalent",
     "smoke_matrix",
     "xlarge_matrix",
+    "xxlarge_matrix",
 ]

@@ -1,0 +1,130 @@
+"""Construction-only benchmark: what does it cost to *stand up* a scenario?
+
+The throughput benchmark measures the drain; at the million-node tier the
+interesting question shifts to the setup path the streaming pipeline
+rewrote — topology construction, system (node) construction, and loading the
+workload's arrival front into the engine.  This harness times exactly those
+three phases and records peak RSS, **without** draining the run, so CI can
+smoke-test the 1M tier in a couple of minutes instead of the tens it takes
+to replay it.
+
+"Load workload" means what the steady state of the streaming pipeline means:
+the driver schedules the first arrival chunk (plus the loader event that will
+pull the next chunk); for a materialised workload it is the full bulk load.
+The loaded-arrival count is recorded so the document shows which of the two
+happened.
+
+The document (``BENCH_xxlarge_setup.fresh.json`` in CI) is informational
+plus one hard gate: an optional per-cell wall budget (``--budget-seconds``)
+that fails the run when construction regresses past it.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.baselines.dag_adapter import DagSystem
+from repro.bench.throughput import ScenarioSpec, build_topology, build_workload
+from repro.workload.driver import ExperimentDriver
+
+#: Cells below this node count have no interesting setup cost; the default
+#: construction matrix keeps only the large-tier cells of whatever matrix
+#: the caller selected.
+CONSTRUCTION_MIN_NODES = 100_000
+
+
+def construction_matrix(matrix: Sequence[ScenarioSpec]) -> List[ScenarioSpec]:
+    """The subset of ``matrix`` worth construction-benchmarking (large cells)."""
+    return [spec for spec in matrix if spec.n >= CONSTRUCTION_MIN_NODES]
+
+
+def run_setup_scenario(spec: ScenarioSpec, *, scheduler: str = "auto") -> Dict[str, Any]:
+    """Build one scenario end to end — topology, workload, system, arrival
+    load — timing each phase, without draining a single protocol event."""
+    start = time.perf_counter()
+    topology = build_topology(spec.kind, spec.n)
+    topology_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    workload = build_workload(topology, spec.demand)
+    workload_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    system = DagSystem(topology, collect_metrics=False)
+    system_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    driver = ExperimentDriver(system, workload, scheduler=scheduler)
+    driver._load_arrivals(system.engine)
+    load_seconds = time.perf_counter() - start
+
+    total = topology_seconds + workload_seconds + system_seconds + load_seconds
+    return {
+        "scenario": spec.name,
+        "kind": spec.kind,
+        "n": spec.n,
+        "demand": spec.demand,
+        "total_requests": len(workload),
+        "streamed": hasattr(workload, "iter_batches"),
+        # Includes the streaming loader event when the workload streams.
+        "loaded_arrivals": system.engine.pending_events,
+        "topology_seconds": round(topology_seconds, 4),
+        "workload_seconds": round(workload_seconds, 4),
+        "system_seconds": round(system_seconds, 4),
+        "load_seconds": round(load_seconds, 4),
+        "setup_seconds": round(total, 4),
+        "scheduler": system.engine.scheduler_kind,
+        #: Process-lifetime peak RSS sampled after this cell (a running
+        #: maximum across the run, like the throughput document's field).
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def run_setup_benchmark(
+    matrix: Sequence[ScenarioSpec],
+    *,
+    budget_seconds: Optional[float] = None,
+    scheduler: str = "auto",
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the construction-only benchmark and assemble its JSON document.
+
+    Args:
+        matrix: the cells to stand up (usually ``construction_matrix(...)``).
+        budget_seconds: optional per-cell wall budget; cells exceeding it are
+            listed under ``"over_budget"`` and flip ``"within_budget"`` to
+            ``False`` (the CLI exits non-zero on that).
+        scheduler: the driver's ``--scheduler`` choice; affects which store
+            the arrival-load phase fills (each row records the engaged kind).
+        verbose: print one line per cell as it finishes.
+    """
+    scenarios: List[Dict[str, Any]] = []
+    over_budget: List[str] = []
+    for spec in matrix:
+        row = run_setup_scenario(spec, scheduler=scheduler)
+        scenarios.append(row)
+        if budget_seconds is not None and row["setup_seconds"] > budget_seconds:
+            over_budget.append(
+                f"{row['scenario']}: setup took {row['setup_seconds']:.1f}s "
+                f"(budget {budget_seconds:.1f}s)"
+            )
+        if verbose:
+            print(
+                f"{row['scenario']:<24} topology {row['topology_seconds']:>7.2f}s  "
+                f"system {row['system_seconds']:>7.2f}s  "
+                f"load {row['load_seconds']:>6.2f}s  "
+                f"rss {row['peak_rss_kb'] // 1024} MB"
+            )
+    document: Dict[str, Any] = {
+        "schema": "bench-setup/v1",
+        "generated_by": "repro bench --setup-only",
+        "scenarios": scenarios,
+        "within_budget": not over_budget,
+    }
+    if budget_seconds is not None:
+        document["budget_seconds"] = budget_seconds
+    if over_budget:
+        document["over_budget"] = over_budget
+    return document

@@ -194,6 +194,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_calibrated_benchmark,
         smoke_matrix,
         xlarge_matrix,
+        xxlarge_matrix,
     )
     from repro.bench.throughput import load_json
 
@@ -218,6 +219,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.budget_seconds is not None and not args.setup_only:
+        print(
+            "error: --budget-seconds gates the construction-only benchmark; "
+            "it does nothing without --setup-only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.setup_only:
+        return _bench_setup_only(args)
     if args.baselines:
         return _bench_baselines(args)
     if args.smoke:
@@ -226,6 +236,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         matrix = large_matrix()
     elif args.xlarge:
         matrix = xlarge_matrix()
+    elif args.xxlarge:
+        matrix = xxlarge_matrix()
     else:
         matrix = default_matrix()
     seed_baseline = None
@@ -320,6 +332,55 @@ def _check_and_write_bench(document, args: argparse.Namespace) -> int:
     return status
 
 
+def _bench_setup_only(args: argparse.Namespace) -> int:
+    """The ``repro bench --setup-only`` path: construction-only benchmark."""
+    import json
+
+    from repro.bench import (
+        construction_matrix,
+        run_setup_benchmark,
+        xlarge_matrix,
+        xxlarge_matrix,
+    )
+
+    if args.baselines or args.calibrate is not None or args.profile or args.check:
+        print(
+            "error: --setup-only stands scenarios up without draining them; "
+            "it has no baselines/calibration/profile/regression-check modes",
+            file=sys.stderr,
+        )
+        return 2
+    if args.xxlarge:
+        matrix = construction_matrix(xxlarge_matrix())
+    elif args.xlarge:
+        matrix = construction_matrix(xlarge_matrix())
+    else:
+        print(
+            "error: --setup-only measures the large-tier construction path; "
+            "pick a tier with >= 100k-node cells (--xlarge or --xxlarge)",
+            file=sys.stderr,
+        )
+        return 2
+    document = run_setup_benchmark(
+        matrix,
+        budget_seconds=args.budget_seconds,
+        scheduler=args.scheduler,
+        verbose=True,
+    )
+    status = 0
+    if not document["within_budget"]:
+        print("Construction budget EXCEEDED:")
+        for problem in document["over_budget"]:
+            print(f"  - {problem}")
+        status = 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {args.output}")
+    return status
+
+
 def _bench_baselines(args: argparse.Namespace) -> int:
     """The ``repro bench --baselines`` path: the 8-algorithm matrix."""
     from repro.bench import (
@@ -337,11 +398,12 @@ def _bench_baselines(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.xlarge:
+    if args.xlarge or args.xxlarge:
         print(
-            "error: --baselines has no xlarge tier either; the 100k-node "
-            "tier is DAG-matrix (`repro bench --xlarge`) and sweep "
-            "(`repro sweep --xlarge`) territory",
+            "error: --baselines has no xlarge tier (and no xxlarge) either; "
+            "the 100k/1M-node tiers are DAG-matrix (`repro bench --xlarge`, "
+            "`repro bench --xxlarge`) and sweep (`repro sweep --xlarge`, "
+            "`repro sweep --xxlarge`) territory",
             file=sys.stderr,
         )
         return 2
@@ -388,6 +450,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         smoke_sweep_matrix,
         write_document,
         xlarge_sweep_matrix,
+        xxlarge_sweep_matrix,
     )
 
     if args.report:
@@ -410,6 +473,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         matrix = large_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
     elif args.xlarge:
         matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+    elif args.xxlarge:
+        matrix = xxlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
     else:
         matrix = default_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
 
@@ -537,6 +602,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the large matrix plus the 100k-node tier "
              "(DAG matrix only; a heavy cell is ~5M events)",
     )
+    bench_tier.add_argument(
+        "--xxlarge",
+        action="store_true",
+        help="run the xlarge matrix plus the 1M-node tier (DAG matrix only; "
+             "array-backed topologies + streamed workloads, a heavy cell is "
+             "~10M events — consider --repeat 1)",
+    )
+    bench.add_argument(
+        "--setup-only",
+        action="store_true",
+        help="construction-only benchmark for the selected large tier "
+             "(--xlarge/--xxlarge): build topology + system and load the "
+             "workload's arrival front, no drain (the CI 1M smoke)",
+    )
+    bench.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="with --setup-only: per-cell wall budget; non-zero exit when a "
+             "cell's total setup time exceeds it",
+    )
     bench.add_argument(
         "--baselines",
         action="store_true",
@@ -604,6 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--xlarge",
         action="store_true",
         help="large matrix plus the 100k-node tier (scalable algorithms only)",
+    )
+    sweep_tier.add_argument(
+        "--xxlarge",
+        action="store_true",
+        help="xlarge matrix plus the 1M-node tier (O(1)-state algorithms "
+             "only: centralized + dag)",
     )
     sweep.add_argument("--workers", type=int, default=2,
                        help="concurrent child processes (default 2)")

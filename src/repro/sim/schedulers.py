@@ -611,6 +611,11 @@ class BucketRingScheduler(Scheduler):
 # --------------------------------------------------------------------------- #
 # selection
 # --------------------------------------------------------------------------- #
+#: Sentinel distinguishing "no hint attribute" from "hint present but None
+#: (off-lattice)" in :func:`scenario_time_lattice`.
+_NO_HINT = object()
+
+
 def _is_multiple(value: float, quantum: float) -> bool:
     """Whether ``value`` is an exact integer multiple of ``quantum``."""
     ratio = value / quantum
@@ -632,7 +637,10 @@ def scenario_time_lattice(latency, workload=None) -> Optional[float]:
             network's default: constant 1.0, which has lattice 1.0).
         workload: an iterable of requests with ``arrival_time`` and
             ``cs_duration`` attributes, or ``None`` to check the latency
-            model alone.
+            model alone.  A workload carrying a ``time_lattice_hint``
+            attribute (streaming workloads) answers from the hint instead of
+            being iterated — a streamed million-request schedule must not be
+            walked just to pick a scheduler.
     """
     if latency is None:
         quantum: Optional[float] = 1.0
@@ -641,6 +649,13 @@ def scenario_time_lattice(latency, workload=None) -> Optional[float]:
     if not quantum:
         return None
     if workload is not None:
+        hint = getattr(workload, "time_lattice_hint", _NO_HINT)
+        if hint is not _NO_HINT:
+            if hint is not None and _is_multiple(hint, quantum):
+                # Every timestamp is a multiple of the hint, hence of the
+                # (coarser or equal) latency quantum.
+                return quantum
+            return None
         for request in workload:
             if not _is_multiple(request.arrival_time, quantum) or not _is_multiple(
                 request.cs_duration, quantum

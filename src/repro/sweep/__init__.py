@@ -12,6 +12,7 @@ count or scheduling; ``repro sweep`` is the CLI entry point.
 from repro.sweep.matrix import (
     LARGE_TIER_ALGORITHMS,
     SWEEP_ALGORITHMS,
+    XXLARGE_TIER_ALGORITHMS,
     SweepScenario,
     build_sweep_topology,
     build_sweep_workload,
@@ -20,6 +21,7 @@ from repro.sweep.matrix import (
     scenario_seed,
     smoke_sweep_matrix,
     xlarge_sweep_matrix,
+    xxlarge_sweep_matrix,
 )
 from repro.sweep.runner import (
     SCHEMA,
@@ -38,6 +40,7 @@ from repro.sweep.worker import (
 __all__ = [
     "LARGE_TIER_ALGORITHMS",
     "SWEEP_ALGORITHMS",
+    "XXLARGE_TIER_ALGORITHMS",
     "SweepScenario",
     "build_sweep_topology",
     "build_sweep_workload",
@@ -46,6 +49,7 @@ __all__ = [
     "scenario_seed",
     "smoke_sweep_matrix",
     "xlarge_sweep_matrix",
+    "xxlarge_sweep_matrix",
     "SCHEMA",
     "canonical_json",
     "deterministic_document",

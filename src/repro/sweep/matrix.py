@@ -18,7 +18,11 @@ import hashlib
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.bench.throughput import build_topology
+from repro.bench.throughput import (
+    STREAMING_NODE_THRESHOLD,
+    XXLARGE_HEAVY_ROUNDS,
+    build_topology,
+)
 from repro.exceptions import WorkloadError
 from repro.topology.base import Topology
 from repro.workload.generator import WorkloadGenerator
@@ -39,6 +43,14 @@ SWEEP_ALGORITHMS = (
 
 #: Algorithms cheap enough (O(1)/O(D) messages per entry) for the 10k tier.
 LARGE_TIER_ALGORITHMS = ("centralized", "raymond", "dag")
+
+#: Algorithms that also fit the 1M-node tier's *memory* budget.  Message
+#: scalability is no longer the only axis there: Raymond keeps a FIFO deque
+#: per node (~600 bytes each, ~600 MB of empty queues at a million nodes —
+#: exactly the per-node storage cost the paper's Section 6.4 comparison
+#: holds against it), so the xxlarge tier runs the two algorithms whose
+#: per-node state is O(1) scalars.
+XXLARGE_TIER_ALGORITHMS = ("centralized", "dag")
 
 _TOPOLOGY_KINDS = ("line", "star", "tree")
 _SIZES = (10, 50)
@@ -109,6 +121,10 @@ def build_sweep_workload(
     if tier == "light":
         return generator.poisson(total_requests=2 * n, mean_interarrival=5.0)
     if tier == "heavy":
+        if n >= STREAMING_NODE_THRESHOLD:
+            # The 1M tier streams its arrivals (bounded RSS); the round count
+            # matches the bench tier's streamed heavy definition.
+            return generator.heavy_demand_stream(rounds=XXLARGE_HEAVY_ROUNDS)
         return generator.heavy_demand(rounds=5)
     if tier == "bursty":
         return generator.bursty(
@@ -211,6 +227,38 @@ def xlarge_sweep_matrix(
                     algorithm,
                     kind,
                     100000,
+                    "heavy",
+                    collect_metrics=False,
+                    scheduler=scheduler,
+                )
+            )
+    return matrix
+
+
+def xxlarge_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+) -> List[SweepScenario]:
+    """The xlarge matrix plus the 1M-node tier (O(1)-state algorithms only).
+
+    The tier the streaming pipeline unlocked: topologies come from the
+    array-backed builders, the heavy workload streams in driver-chunked
+    batches, and each cell runs on the unobserved fast path in its own child
+    process (whose ``ru_maxrss`` is the tier's per-scenario RSS record).
+    Star and tree only, heavy demand only, and only the algorithms whose
+    per-node storage is O(1) (:data:`XXLARGE_TIER_ALGORITHMS`).  Additive,
+    so committed documents stay valid.
+    """
+    matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
+    allowed = set(algorithms) if algorithms is not None else None
+    for algorithm in XXLARGE_TIER_ALGORITHMS:
+        if allowed is not None and algorithm not in allowed:
+            continue
+        for kind in ("star", "tree"):
+            matrix.append(
+                SweepScenario(
+                    algorithm,
+                    kind,
+                    1_000_000,
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,

@@ -14,6 +14,7 @@ node — the sink — has out-degree zero.  This package provides:
 
 from repro.topology.base import Topology
 from repro.topology.builders import (
+    COMPACT_NODE_THRESHOLD,
     balanced_tree,
     custom_tree,
     line,
@@ -23,6 +24,7 @@ from repro.topology.builders import (
     random_tree,
     star,
 )
+from repro.topology.compact import CompactTopology, csr_from_edges
 from repro.topology.metrics import (
     diameter,
     eccentricity,
@@ -36,6 +38,9 @@ from repro.topology.validation import (
 
 __all__ = [
     "Topology",
+    "CompactTopology",
+    "COMPACT_NODE_THRESHOLD",
+    "csr_from_edges",
     "line",
     "star",
     "radiating_star",

@@ -15,11 +15,12 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Type, Union
 
 from repro.baselines.base import MutexSystem, registry
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, WorkloadError
 from repro.sim.latency import LatencyModel
 from repro.sim.schedulers import RING_ARRIVAL_THRESHOLD, make_scheduler
 from repro.topology.base import Topology
 from repro.workload.requests import CSRequest, Workload
+from repro.workload.streaming import StreamingWorkload
 
 
 @dataclass
@@ -86,7 +87,11 @@ class ExperimentDriver:
 
     Args:
         system: the system under test.
-        workload: the request schedule to replay.
+        workload: the request schedule to replay — a materialised
+            :class:`Workload` (bulk-loaded into the engine up front) or a
+            :class:`~repro.workload.streaming.StreamingWorkload`
+            (chunk-loaded one batch at a time so peak RSS stays bounded by
+            the chunk size; how the million-node tier replays heavy demand).
         scheduler: the engine's pending-event store for this replay —
             ``"auto"`` (default) picks the O(1) bucket ring when the whole
             scenario (latency model, workload arrival grid, CS hold times)
@@ -116,8 +121,12 @@ class ExperimentDriver:
         self.workload = workload
         self.entry_order: List[int] = []
         self._nodes = system.nodes  # direct map: skip system.node() per event
-        # Requests waiting because their node is still busy with an earlier one.
-        self._backlog: Dict[int, Deque[CSRequest]] = {}
+        # Requests waiting because their node is still busy with an earlier
+        # one.  Adaptive per-node storage: the first backlogged request is
+        # stored bare, a deque is allocated only when a second one arrives.
+        # Under saturated demand at large n almost every node has exactly one
+        # queued request, and a million empty-ish deques would cost ~600 MB.
+        self._backlog: Dict[int, Union[CSRequest, Deque[CSRequest]]] = {}
         # The request currently being served (or waited on) per node.
         self._active: Dict[int, CSRequest] = {}
         system._on_enter = self._handle_enter  # driver owns the enter hook
@@ -132,10 +141,18 @@ class ExperimentDriver:
             # installed a non-default scheduler explicitly keeps it under
             # "auto".
             mode = scheduler
+            # For a streamed workload the engine never holds more than one
+            # chunk of pre-scheduled arrivals, so the chunk size — not the
+            # total request count — is the backlog depth the ring's measured
+            # ≥200k-request regime is about.
+            depth = len(workload)
+            chunk = getattr(workload, "chunk_requests", None)
+            if chunk:
+                depth = min(depth, chunk)
             if (
                 mode == "auto"
                 and not getattr(system, "dense_message_traffic", False)
-                and len(workload) < RING_ARRIVAL_THRESHOLD
+                and depth < RING_ARRIVAL_THRESHOLD
             ):
                 # Sparse token-passing traffic over a modest backlog: the
                 # heap's C-level pops win (see RING_ARRIVAL_THRESHOLD).
@@ -158,24 +175,7 @@ class ExperimentDriver:
                 exhausted.
         """
         engine = self.system.engine
-        # One shared callback with the request as the event payload: no
-        # per-request closure allocation, and the batch scheduling entry
-        # point — one engine call loads every arrival (the heap heapifies
-        # once; the ring appends straight into its buckets).  Arrival times
-        # are validated by the workload, not re-checked per request.
-        arrival = self._issue_or_queue
-        now = engine.now
-        first = next(iter(self.workload), None)
-        if first is not None and first.arrival_time < now:
-            # The workload is sorted by arrival time, so checking the head
-            # covers every request.
-            raise ExperimentError(
-                f"request at {first.arrival_time} is in the past "
-                f"(engine time {now})"
-            )
-        engine.schedule_lite_bulk(
-            (request.arrival_time, arrival, request) for request in self.workload
-        )
+        self._load_arrivals(engine)
         # Drive through the system's run() (not the engine directly) so that
         # systems which interleave invariant checking with event processing
         # keep doing so under the driver.
@@ -222,6 +222,80 @@ class ExperimentDriver:
         )
 
     # ------------------------------------------------------------------ #
+    # arrival loading
+    # ------------------------------------------------------------------ #
+    def _load_arrivals(self, engine) -> None:
+        """Schedule the workload's arrivals (also the setup-benchmark hook).
+
+        Materialised workloads load in one ``schedule_lite_bulk`` call — one
+        shared callback with the request as the event payload, no per-request
+        closure allocation, and the heap heapifies once (the ring appends
+        straight into its buckets).  Streaming workloads chunk-load instead:
+        see :meth:`_load_streaming`.  Arrival times are validated by the
+        workload, not re-checked per request; the head check below covers
+        every request because schedules are arrival-ordered.
+        """
+        if isinstance(self.workload, StreamingWorkload):
+            self._load_streaming(engine)
+            return
+        arrival = self._issue_or_queue
+        now = engine.now
+        first = next(iter(self.workload), None)
+        if first is not None and first.arrival_time < now:
+            raise ExperimentError(
+                f"request at {first.arrival_time} is in the past "
+                f"(engine time {now})"
+            )
+        engine.schedule_lite_bulk(
+            (request.arrival_time, arrival, request) for request in self.workload
+        )
+
+    def _load_streaming(self, engine) -> None:
+        """Chunk-load a :class:`StreamingWorkload`: one batch in flight.
+
+        The first batch is bulk-loaded immediately; each further batch is
+        loaded by a lite "loader" event scheduled at the previous batch's
+        last arrival time.  The loader's sequence number is allocated after
+        that batch's arrivals, so it fires after every equal-time arrival and
+        before anything later — the next batch (whose times are >= the
+        loader's time) can always be scheduled safely.  Peak RSS is thereby
+        bounded by one chunk of queued arrivals regardless of workload
+        length.  Both schedulers see the identical (time, priority, sequence)
+        stream, so heap/ring replays stay byte-identical (CI-gated).
+        """
+        arrival = self._issue_or_queue
+        batches = self.workload.iter_batches()
+        pending = next(batches, None)
+        if pending is None:
+            return
+        if pending[0].arrival_time < engine.now:
+            raise ExperimentError(
+                f"request at {pending[0].arrival_time} is in the past "
+                f"(engine time {engine.now})"
+            )
+
+        def load(_payload) -> None:
+            nonlocal pending
+            batch = pending
+            pending = next(batches, None)
+            if pending is not None and (
+                pending[0].arrival_time < batch[-1].arrival_time
+            ):
+                raise WorkloadError(
+                    f"{self.workload.description or 'streaming workload'}: "
+                    f"batch starting at {pending[0].arrival_time} precedes "
+                    f"the previous batch's last arrival "
+                    f"{batch[-1].arrival_time}"
+                )
+            engine.schedule_lite_bulk(
+                (request.arrival_time, arrival, request) for request in batch
+            )
+            if pending is not None:
+                engine.schedule_lite(batch[-1].arrival_time, load, None)
+
+        load(None)
+
+    # ------------------------------------------------------------------ #
     # event plumbing
     # ------------------------------------------------------------------ #
     def _make_arrival(self, request: CSRequest):
@@ -236,7 +310,14 @@ class ExperimentDriver:
         node_id = request.node
         node = self._nodes[node_id]
         if node_id in self._active or node.requesting or node.in_critical_section:
-            self._backlog.setdefault(node_id, deque()).append(request)
+            backlog = self._backlog
+            queued = backlog.get(node_id)
+            if queued is None:
+                backlog[node_id] = request
+            elif type(queued) is deque:
+                queued.append(request)
+            else:
+                backlog[node_id] = deque((queued, request))
             return
         self._active[node_id] = request
         node.request_cs()
@@ -255,9 +336,18 @@ class ExperimentDriver:
     def _release(self, node_id: int) -> None:
         self._nodes[node_id].release_cs()
         self._active.pop(node_id, None)
-        backlog = self._backlog.get(node_id)
-        if backlog:
-            self._issue_or_queue(backlog.popleft())
+        backlog = self._backlog
+        queued = backlog.get(node_id)
+        if queued is None:
+            return
+        if type(queued) is deque:
+            request = queued.popleft()
+            if not queued:
+                del backlog[node_id]
+        else:
+            request = queued
+            del backlog[node_id]
+        self._issue_or_queue(request)
 
     def _verify_completion(self) -> None:
         unserved = [

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 from repro.exceptions import WorkloadError
 from repro.sim.rng import SeededRNG
 from repro.workload.requests import CSRequest, Workload
+from repro.workload.streaming import DEFAULT_CHUNK_REQUESTS, StreamingWorkload
 
 
 class WorkloadGenerator:
@@ -108,6 +109,123 @@ class WorkloadGenerator:
         return Workload(
             requests=tuple(requests),
             description=f"heavy demand: {rounds} rounds x {len(self.node_ids)} nodes",
+        )
+
+    def heavy_demand_stream(
+        self,
+        *,
+        rounds: int,
+        cs_duration: float = 1.0,
+        chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+    ) -> StreamingWorkload:
+        """Streaming form of :meth:`heavy_demand`: batches, not a list.
+
+        Yields the identical schedule — every node requests in every round,
+        in ``(arrival_time, node)`` order — but materialises at most
+        ``chunk_requests`` request objects at a time, which is what lets the
+        million-node tier replay heavy demand in bounded memory.  The batch
+        iterator is re-iterable and deterministic (no randomness at all).
+        """
+        if rounds < 1:
+            raise WorkloadError(f"rounds must be >= 1, got {rounds}")
+        if chunk_requests < 1:
+            raise WorkloadError(
+                f"chunk_requests must be >= 1, got {chunk_requests}"
+            )
+        # A materialised Workload sorts by (arrival_time, node); emitting the
+        # per-round node sweep in ascending node order reproduces that
+        # ordering exactly, so the streamed and materialised schedules are
+        # interchangeable request for request.
+        ordered = tuple(sorted(self.node_ids))
+
+        def batches():
+            batch = []
+            append = batch.append
+            for round_index in range(rounds):
+                arrival = float(round_index)
+                for node in ordered:
+                    append(
+                        CSRequest(
+                            node=node,
+                            arrival_time=arrival,
+                            cs_duration=cs_duration,
+                        )
+                    )
+                    if len(batch) >= chunk_requests:
+                        yield batch
+                        batch = []
+                        append = batch.append
+            if batch:
+                yield batch
+
+        lattice = 1.0 if float(cs_duration).is_integer() else None
+        return StreamingWorkload(
+            batches,
+            total_requests=rounds * len(ordered),
+            description=(
+                f"heavy demand: {rounds} rounds x {len(ordered)} nodes "
+                f"(streamed, chunk {chunk_requests})"
+            ),
+            time_lattice_hint=lattice,
+            chunk_requests=chunk_requests,
+        )
+
+    def poisson_stream(
+        self,
+        *,
+        total_requests: int,
+        mean_interarrival: float,
+        cs_duration: float = 1.0,
+        nodes: Optional[Sequence[int]] = None,
+        chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+    ) -> StreamingWorkload:
+        """Streaming form of :meth:`poisson` (same seed, same schedule).
+
+        Each pass re-derives the ``"poisson"`` child stream from the
+        generator's seed, so iterating twice — or comparing against the
+        materialised :meth:`poisson` built from an equal-seed generator —
+        yields request-for-request identical arrivals.
+        """
+        if total_requests < 0:
+            raise WorkloadError(f"total_requests must be >= 0, got {total_requests}")
+        if chunk_requests < 1:
+            raise WorkloadError(
+                f"chunk_requests must be >= 1, got {chunk_requests}"
+            )
+        candidates = tuple(nodes) if nodes is not None else self.node_ids
+        root = self._rng
+
+        def batches():
+            rng = root.child("poisson")
+            batch = []
+            append = batch.append
+            time = 0.0
+            for _ in range(total_requests):
+                time += rng.exponential(mean_interarrival)
+                append(
+                    CSRequest(
+                        node=rng.choice(candidates),
+                        arrival_time=time,
+                        cs_duration=cs_duration,
+                    )
+                )
+                if len(batch) >= chunk_requests:
+                    yield batch
+                    batch = []
+                    append = batch.append
+            if batch:
+                yield batch
+
+        return StreamingWorkload(
+            batches,
+            total_requests=total_requests,
+            description=(
+                f"poisson: {total_requests} requests, mean interarrival "
+                f"{mean_interarrival}, cs={cs_duration} "
+                f"(streamed, chunk {chunk_requests})"
+            ),
+            time_lattice_hint=None,
+            chunk_requests=chunk_requests,
         )
 
     def hotspot(

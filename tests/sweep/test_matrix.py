@@ -91,3 +91,34 @@ def test_xlarge_sweep_matrix_adds_100k_scalable_cells():
     forced = xlarge_sweep_matrix(scheduler="ring")
     assert [spec.name for spec in forced] == [spec.name for spec in xlarge]
     assert all(spec.scheduler == "ring" for spec in forced)
+
+
+def test_xxlarge_sweep_matrix_adds_1m_o1_state_cells():
+    from repro.sweep import xlarge_sweep_matrix, xxlarge_sweep_matrix
+    from repro.sweep.matrix import XXLARGE_TIER_ALGORITHMS
+
+    xlarge = xlarge_sweep_matrix()
+    xxlarge = xxlarge_sweep_matrix()
+    assert xxlarge[: len(xlarge)] == xlarge  # additive
+    extra = xxlarge[len(xlarge):]
+    assert all(spec.n == 1_000_000 and spec.workload == "heavy" for spec in extra)
+    assert {spec.algorithm for spec in extra} == set(XXLARGE_TIER_ALGORITHMS)
+    # Raymond's per-node queues price it out of the 1M tier's memory budget.
+    assert "raymond" not in {spec.algorithm for spec in extra}
+    assert all(not spec.collect_metrics for spec in extra)
+    filtered = xxlarge_sweep_matrix(algorithms=["dag"])
+    assert {spec.algorithm for spec in filtered} == {"dag"}
+
+
+def test_sweep_heavy_tier_streams_at_the_node_threshold(monkeypatch):
+    from repro.sweep import matrix as matrix_module
+    from repro.workload import StreamingWorkload, Workload
+
+    topology = build_sweep_topology("star", 30)
+    materialised = build_sweep_workload(topology, "heavy", seed=1)
+    assert isinstance(materialised, Workload)
+    assert len(materialised) == 150  # 5 rounds, frozen definition
+    monkeypatch.setattr(matrix_module, "STREAMING_NODE_THRESHOLD", 30)
+    streamed = build_sweep_workload(topology, "heavy", seed=1)
+    assert isinstance(streamed, StreamingWorkload)
+    assert len(streamed) == matrix_module.XXLARGE_HEAVY_ROUNDS * 30

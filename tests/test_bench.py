@@ -300,3 +300,88 @@ def test_scenario_rows_record_engaged_scheduler():
         result.messages,
         result.entries,
     )
+
+
+def test_xxlarge_matrix_extends_xlarge_with_1m_tier():
+    from repro.bench import xlarge_matrix, xxlarge_matrix
+
+    xlarge = xlarge_matrix()
+    xxlarge = xxlarge_matrix()
+    assert xxlarge[: len(xlarge)] == xlarge  # additive: committed names unchanged
+    extra = xxlarge[len(xlarge):]
+    assert [spec.n for spec in extra] == [1_000_000, 1_000_000]
+    assert {spec.kind for spec in extra} == {"star", "tree"}
+    assert all(spec.demand == "heavy" for spec in extra)
+    assert "star-n1000000-heavy" in {spec.name for spec in extra}
+
+
+def test_heavy_workloads_stream_at_the_node_threshold(monkeypatch):
+    from repro.bench import throughput
+    from repro.workload import StreamingWorkload, Workload
+
+    topology = build_topology("star", 40)
+    # Below the threshold: the frozen materialised definition, untouched.
+    materialised = build_workload(topology, "heavy")
+    assert isinstance(materialised, Workload)
+    assert len(materialised) == 400  # 10 rounds x n
+    # At the threshold (lowered so the test doesn't build a 500k topology):
+    # the streamed definition with the xxlarge round count.
+    monkeypatch.setattr(throughput, "STREAMING_NODE_THRESHOLD", 40)
+    streamed = build_workload(topology, "heavy")
+    assert isinstance(streamed, StreamingWorkload)
+    assert len(streamed) == throughput.XXLARGE_HEAVY_ROUNDS * 40
+    assert streamed.time_lattice_hint == 1.0
+
+
+def test_setup_benchmark_times_every_construction_phase():
+    from repro.bench import construction_matrix, run_setup_benchmark, xxlarge_matrix
+
+    cells = construction_matrix(xxlarge_matrix())
+    assert [spec.n for spec in cells] == [100000, 100000, 1_000_000, 1_000_000]
+
+    # A small stand-in matrix keeps the test fast; phases and document
+    # structure are what is under test, not 1M-node wall time.
+    document = run_setup_benchmark(
+        [ScenarioSpec("star", 50, "heavy")], budget_seconds=60.0
+    )
+    assert document["schema"] == "bench-setup/v1"
+    assert document["within_budget"] is True
+    (row,) = document["scenarios"]
+    assert row["scenario"] == "star-n50-heavy"
+    assert row["streamed"] is False
+    assert row["loaded_arrivals"] == row["total_requests"] == 500
+    for key in (
+        "topology_seconds",
+        "workload_seconds",
+        "system_seconds",
+        "load_seconds",
+        "setup_seconds",
+        "peak_rss_kb",
+    ):
+        assert row[key] >= 0
+
+    busted = run_setup_benchmark(
+        [ScenarioSpec("star", 50, "heavy")], budget_seconds=0.0
+    )
+    assert busted["within_budget"] is False
+    assert busted["over_budget"]
+
+
+def test_setup_benchmark_loads_only_the_first_chunk_of_a_stream(monkeypatch):
+    from repro.bench import run_setup_scenario, throughput
+    from repro.workload import WorkloadGenerator
+
+    monkeypatch.setattr(throughput, "STREAMING_NODE_THRESHOLD", 40)
+    real_stream = WorkloadGenerator.heavy_demand_stream
+    monkeypatch.setattr(
+        WorkloadGenerator,
+        "heavy_demand_stream",
+        lambda self, **kwargs: real_stream(
+            self, **{**kwargs, "chunk_requests": 25}
+        ),
+    )
+    row = run_setup_scenario(ScenarioSpec("star", 40, "heavy"))
+    assert row["streamed"] is True
+    assert row["total_requests"] == throughput.XXLARGE_HEAVY_ROUNDS * 40
+    # One chunk of arrivals plus the pending loader event.
+    assert row["loaded_arrivals"] == 25 + 1

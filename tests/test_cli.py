@@ -140,6 +140,8 @@ def test_bench_baselines_rejects_large_and_profile_rejects_check(capsys, tmp_pat
     assert "no large tier" in capsys.readouterr().err
     assert main(["bench", "--baselines", "--xlarge"]) == 2
     assert "no xlarge tier" in capsys.readouterr().err
+    assert main(["bench", "--baselines", "--xxlarge"]) == 2
+    assert "no xlarge tier" in capsys.readouterr().err
     # --profile distorts rates, so gating a profiled run is refused up front.
     check_file = tmp_path / "committed.json"
     check_file.write_text("{}")
@@ -180,3 +182,48 @@ def test_bench_baselines_smoke(capsys, tmp_path):
     )
     assert code == 0
     assert "passed" in out
+
+
+def test_bench_setup_only_requires_a_large_tier(capsys):
+    assert main(["bench", "--setup-only"]) == 2
+    assert "--xlarge or --xxlarge" in capsys.readouterr().err
+    assert main(["bench", "--setup-only", "--smoke"]) == 2
+    capsys.readouterr()
+    # And it stands things up instead of draining, so the drain-mode flags
+    # are refused outright.
+    assert main(["bench", "--setup-only", "--xxlarge", "--calibrate", "2"]) == 2
+    assert "no baselines/calibration" in capsys.readouterr().err
+    assert main(["bench", "--setup-only", "--xxlarge", "--profile"]) == 2
+    capsys.readouterr()
+
+
+def test_bench_and_sweep_parse_the_xxlarge_tier():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--xxlarge", "--repeat", "1"])
+    assert args.xxlarge and not args.xlarge
+    args = parser.parse_args(
+        ["bench", "--xxlarge", "--setup-only", "--budget-seconds", "120"]
+    )
+    assert args.setup_only and args.budget_seconds == 120.0
+    args = parser.parse_args(["sweep", "--xxlarge", "--workers", "2"])
+    assert args.xxlarge
+    # Tier flags stay mutually exclusive.
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bench", "--xlarge", "--xxlarge"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--smoke", "--xxlarge"])
+
+
+def test_budget_seconds_without_setup_only_is_rejected(capsys):
+    assert main(["bench", "--xxlarge", "--budget-seconds", "120"]) == 2
+    assert "--setup-only" in capsys.readouterr().err
+
+
+def test_setup_only_threads_the_scheduler_choice():
+    from repro.bench import ScenarioSpec, run_setup_benchmark
+
+    document = run_setup_benchmark(
+        [ScenarioSpec("star", 50, "heavy")], scheduler="ring"
+    )
+    (row,) = document["scenarios"]
+    assert row["scheduler"] == "ring"

@@ -1,0 +1,198 @@
+"""Streaming workloads: batch semantics, determinism, and driver loading.
+
+The streamed pipeline must be a pure representation change: a streamed
+schedule flattens to exactly the materialised one, replays identically when
+a single chunk covers it, and — the property the 1M tier's acceptance rests
+on — replays byte-identically under the heap and the ring scheduler even
+when chunk boundaries interleave loader events with protocol traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.sim.schedulers import make_scheduler, scenario_time_lattice
+from repro.topology import star
+from repro.workload import (
+    CSRequest,
+    ExperimentDriver,
+    StreamingWorkload,
+    WorkloadGenerator,
+    run_experiment,
+)
+from repro.baselines.dag_adapter import DagSystem
+
+
+def generator(seed: int = 0, n: int = 20) -> WorkloadGenerator:
+    return WorkloadGenerator(range(1, n + 1), seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# schedule equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("chunk", [1, 7, 20, 1000])
+def test_heavy_stream_flattens_to_the_materialised_schedule(chunk):
+    materialised = generator().heavy_demand(rounds=3)
+    streamed = generator().heavy_demand_stream(rounds=3, chunk_requests=chunk)
+    assert len(streamed) == len(materialised) == 60
+    assert list(streamed) == list(materialised.requests)
+
+
+def test_heavy_stream_batches_respect_the_chunk_size():
+    streamed = generator().heavy_demand_stream(rounds=3, chunk_requests=7)
+    batches = list(streamed.iter_batches())
+    assert all(len(batch) <= 7 for batch in batches)
+    assert sum(len(batch) for batch in batches) == 60
+    flat = [request for batch in batches for request in batch]
+    assert flat == sorted(flat, key=lambda r: (r.arrival_time, r.node))
+
+
+def test_streams_are_reiterable_and_deterministic():
+    streamed = generator(5).poisson_stream(
+        total_requests=40, mean_interarrival=2.0, chunk_requests=13
+    )
+    first = [(r.node, r.arrival_time) for r in streamed]
+    second = [(r.node, r.arrival_time) for r in streamed]
+    assert first == second
+
+
+def test_poisson_stream_matches_materialised_poisson():
+    materialised = generator(5).poisson(total_requests=40, mean_interarrival=2.0)
+    streamed = generator(5).poisson_stream(
+        total_requests=40, mean_interarrival=2.0, chunk_requests=13
+    )
+    assert list(streamed) == list(materialised.requests)
+
+
+def test_stream_argument_validation():
+    with pytest.raises(WorkloadError):
+        generator().heavy_demand_stream(rounds=0)
+    with pytest.raises(WorkloadError):
+        generator().heavy_demand_stream(rounds=2, chunk_requests=0)
+    with pytest.raises(WorkloadError):
+        generator().poisson_stream(total_requests=-1, mean_interarrival=1.0)
+    with pytest.raises(WorkloadError):
+        StreamingWorkload(lambda: iter(()), total_requests=-1)
+
+
+def test_time_lattice_hints():
+    heavy = generator().heavy_demand_stream(rounds=2)
+    poisson = generator().poisson_stream(total_requests=10, mean_interarrival=2.0)
+    fractional = generator().heavy_demand_stream(rounds=2, cs_duration=0.25)
+    assert heavy.time_lattice_hint == 1.0
+    assert poisson.time_lattice_hint is None
+    assert fractional.time_lattice_hint is None
+    # The hint answers the lattice question without iterating the stream.
+    assert scenario_time_lattice(None, heavy) == 1.0
+    assert scenario_time_lattice(None, poisson) is None
+    assert make_scheduler("auto", workload=heavy).kind == "ring"
+    assert make_scheduler("auto", workload=poisson).kind == "heap"
+
+
+# --------------------------------------------------------------------------- #
+# driver loading
+# --------------------------------------------------------------------------- #
+def test_single_chunk_stream_replays_byte_identically_to_materialised():
+    topology = star(20)
+    materialised = generator().heavy_demand(rounds=3)
+    streamed = generator().heavy_demand_stream(rounds=3, chunk_requests=10_000)
+    reference = run_experiment("dag", topology, materialised)
+    result = run_experiment("dag", topology, streamed)
+    assert result.entry_order == reference.entry_order
+    assert result.total_messages == reference.total_messages
+    assert result.finished_at == reference.finished_at
+    assert result.mean_waiting_time == reference.mean_waiting_time
+
+
+@pytest.mark.parametrize("algorithm", ["dag", "centralized", "raymond"])
+def test_chunked_stream_replays_identically_under_heap_and_ring(algorithm):
+    topology = star(20)
+    outcomes = []
+    for mode in ("heap", "ring"):
+        streamed = generator().heavy_demand_stream(rounds=3, chunk_requests=7)
+        result = run_experiment(
+            algorithm, topology, streamed, collect_metrics=False, scheduler=mode
+        )
+        outcomes.append(
+            (result.entry_order, result.total_messages, result.finished_at)
+        )
+    assert outcomes[0] == outcomes[1]
+    assert len(outcomes[0][0]) == 60  # every request served
+
+
+def test_chunked_offlattice_stream_completes_and_matches_materialised():
+    topology = star(20)
+    materialised = generator(5).poisson(total_requests=40, mean_interarrival=2.0)
+    streamed = generator(5).poisson_stream(
+        total_requests=40, mean_interarrival=2.0, chunk_requests=13
+    )
+    reference = run_experiment("dag", topology, materialised)
+    result = run_experiment("dag", topology, streamed)
+    assert result.completed_entries == reference.completed_entries == 40
+    assert result.entry_order == reference.entry_order
+
+
+def test_empty_stream_is_a_clean_noop():
+    topology = star(5)
+    empty = StreamingWorkload(
+        lambda: iter(()), total_requests=0, description="empty"
+    )
+    result = run_experiment("dag", topology, empty)
+    assert result.completed_entries == 0
+    assert result.entry_order == []
+
+
+def test_out_of_order_batches_are_rejected():
+    topology = star(5)
+
+    def batches():
+        yield [CSRequest(node=1, arrival_time=5.0)]
+        yield [CSRequest(node=2, arrival_time=1.0)]  # travels back in time
+
+    bad = StreamingWorkload(batches, total_requests=2, description="bad")
+    system = DagSystem(topology)
+    driver = ExperimentDriver(system, bad)
+    with pytest.raises(WorkloadError):
+        driver.run()
+
+
+def test_driver_backlog_serialises_repeated_requests_per_node():
+    # Three same-node requests at once: the adaptive backlog must promote
+    # from a bare request to a deque and still serve strictly in order.
+    topology = star(3)
+    requests = [
+        CSRequest(node=2, arrival_time=0.0),
+        CSRequest(node=2, arrival_time=0.0),
+        CSRequest(node=2, arrival_time=0.0),
+        CSRequest(node=3, arrival_time=0.0),
+    ]
+
+    def batches():
+        yield requests[:2]
+        yield requests[2:]
+
+    streamed = StreamingWorkload(batches, total_requests=4, description="backlog")
+    result = run_experiment("dag", topology, streamed)
+    assert result.completed_entries == 4
+    assert result.entry_order.count(2) == 3
+
+
+def test_streaming_selection_uses_chunk_depth_not_total():
+    # A huge advertised total with a small chunk must not flip a sparse
+    # token-passing run onto the ring: the engine only ever holds one chunk.
+    topology = star(10)
+
+    def batches():
+        yield [CSRequest(node=2, arrival_time=0.0)]
+
+    tiny = StreamingWorkload(
+        batches,
+        total_requests=10_000_000,
+        description="mostly fictional",
+        time_lattice_hint=1.0,
+        chunk_requests=100,
+    )
+    system = DagSystem(topology, collect_metrics=False)
+    ExperimentDriver(system, tiny)
+    assert system.engine.scheduler_kind == "heap"
