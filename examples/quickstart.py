@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DagMutexProtocol, star
+from repro import DagMutexProtocol, ExperimentSpec, star
 from repro.core.inspector import implicit_queue
 from repro.viz.ascii_dag import render_orientation, render_topology
 from repro.viz.state_table import render_state_table
@@ -75,6 +75,21 @@ def main() -> None:
     print(f"  messages per entry    : {summary['messages_per_entry']}")
     print(f"  safety checks         : {protocol.invariant_checker.checks_performed} "
           "(every event, no violations)")
+
+    # --- the declarative way: an ExperimentSpec --------------------------- #
+    # Everything above can be described as one serializable spec and run in
+    # one line; `repro run dag star:7 heavy:2` is the same thing from the
+    # shell.  The committed examples/specs/*.json files (including the
+    # benchmark's star-n1000-heavy acceptance cell) are specs in exactly
+    # this canonical JSON form: `repro run --spec examples/specs/FILE.json`.
+    print()
+    spec = ExperimentSpec.parse("dag", "star:7", "heavy:2")
+    result = spec.run()
+    print(f"Declarative replay of {spec.name}: {result.completed_entries} entries, "
+          f"{result.total_messages} messages "
+          f"({result.messages_per_entry:.2f} per entry)")
+    print("Its canonical JSON (see examples/specs/ for committed ones):")
+    print("  " + spec.canonical_json().replace("\n", "\n  ").rstrip())
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@ The package is organised as:
   coordinator, all on the same substrate;
 * :mod:`repro.workload` — request workload generation and the experiment
   driver;
+* :mod:`repro.spec` — declarative, JSON-round-trippable experiment
+  specifications (:class:`~repro.spec.ExperimentSpec`), the canonical way to
+  describe and ship a run;
 * :mod:`repro.analysis` — closed-form bounds from Chapter 6 and
   measured-vs-theory comparison;
 * :mod:`repro.runtime` — an asyncio runtime and the ``DistributedLock`` API;
@@ -30,6 +33,13 @@ from repro.core.invariants import InvariantChecker
 from repro.core.messages import Privilege, Request
 from repro.core.node import DagMutexNode
 from repro.core.protocol import DagMutexProtocol
+from repro.spec import (
+    ExperimentSpec,
+    LatencySpec,
+    TopologySpec,
+    WorkloadSpec,
+    run_spec,
+)
 from repro.topology.base import Topology
 from repro.topology.builders import (
     balanced_tree,
@@ -49,6 +59,11 @@ __all__ = [
     "Request",
     "Privilege",
     "InvariantChecker",
+    "ExperimentSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "LatencySpec",
+    "run_spec",
     "Topology",
     "line",
     "star",

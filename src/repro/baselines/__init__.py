@@ -22,7 +22,14 @@ Registry name           Algorithm                                     Paper's me
 Importing this package populates :data:`repro.baselines.base.registry`.
 """
 
-from repro.baselines.base import AlgorithmRegistry, MutexNodeBase, MutexSystem, registry
+from repro.baselines.base import (
+    STORAGE_CLASSES,
+    AlgorithmCapabilities,
+    AlgorithmRegistry,
+    MutexNodeBase,
+    MutexSystem,
+    registry,
+)
 from repro.baselines.centralized import CentralizedSystem
 from repro.baselines.lamport import LamportSystem
 from repro.baselines.ricart_agrawala import RicartAgrawalaSystem
@@ -34,6 +41,8 @@ from repro.baselines.raymond import RaymondSystem
 from repro.baselines.dag_adapter import DagSystem
 
 __all__ = [
+    "STORAGE_CLASSES",
+    "AlgorithmCapabilities",
     "AlgorithmRegistry",
     "MutexNodeBase",
     "MutexSystem",

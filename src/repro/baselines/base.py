@@ -18,6 +18,7 @@ and the DAG algorithm) also use the edges.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.exceptions import ExperimentError, ProtocolError
@@ -30,6 +31,53 @@ from repro.sim.trace import TraceRecorder
 from repro.topology.base import Topology
 
 EnterCallback = Callable[[int, float], None]
+
+#: The vocabulary for :attr:`MutexSystem.storage_class` (Section 6.4's axis):
+#: ``"constant"`` — O(1) scalars per node; ``"queue"`` — a bounded FIFO per
+#: node (degree- or backlog-sized); ``"quorum"`` — Theta(sqrt(N)) committee
+#: state per node; ``"linear"`` — Theta(N) arrays or sets per node.
+STORAGE_CLASSES = ("constant", "queue", "quorum", "linear")
+
+
+@dataclass(frozen=True)
+class AlgorithmCapabilities:
+    """Capability metadata one algorithm declares once on its system class.
+
+    This is the single source the benchmark and sweep matrices consult for
+    tier eligibility and the experiment driver consults for scheduler
+    auto-selection — replacing the module-level name tuples and ``getattr``
+    probes that used to encode the same facts in four different places.
+
+    Attributes:
+        name: the algorithm's registry name.
+        dense_message_traffic: whether a request fans out to many peers at
+            the same timestamp (broadcast/quorum schemes) — the regime where
+            the bucket-ring scheduler beats the heap.
+        max_recommended_nodes: the largest node count at which running the
+            algorithm still measures the algorithm rather than its known
+            asymptotic pathology (message or memory blow-up); ``None`` means
+            unbounded.  Matrix tiers admit an algorithm to an ``n``-node
+            cell iff ``max_recommended_nodes`` is ``None`` or ``>= n``.
+        storage_class: per-node state growth class, one of
+            :data:`STORAGE_CLASSES`.
+        token_based: whether exclusion is carried by a circulating token
+            (vs collected permissions).
+        uses_topology_edges: whether the logical tree edges matter (vs only
+            the node set).
+        storage_description: the prose Section 6.4 description.
+    """
+
+    name: str
+    dense_message_traffic: bool
+    max_recommended_nodes: Optional[int]
+    storage_class: str
+    token_based: bool
+    uses_topology_edges: bool
+    storage_description: str
+
+    def supports_scale(self, n: int) -> bool:
+        """Whether an ``n``-node cell is within the recommended range."""
+        return self.max_recommended_nodes is None or n <= self.max_recommended_nodes
 
 
 class MutexNodeBase(SimProcess):
@@ -154,6 +202,14 @@ class MutexSystem(abc.ABC):
     #: algorithms (this default) serialize events thinly over virtual time,
     #: where the heap's C-level pops win.
     dense_message_traffic: bool = False
+    #: Largest node count the algorithm is worth running at (``None`` =
+    #: unbounded).  See :class:`AlgorithmCapabilities.max_recommended_nodes`;
+    #: the bench/sweep tier matrices read this through the registry.
+    max_recommended_nodes: Optional[int] = None
+    #: Per-node state growth class, one of :data:`STORAGE_CLASSES`.
+    storage_class: str = "constant"
+    #: Whether exclusion travels as a token (vs collected permissions).
+    token_based: bool = False
 
     def __init__(
         self,
@@ -280,6 +336,37 @@ class AlgorithmRegistry:
     def items(self) -> List[tuple]:
         """(name, class) pairs in registration order."""
         return list(self._systems.items())
+
+    def capabilities(self, name: str) -> AlgorithmCapabilities:
+        """The capability metadata declared on ``name``'s system class."""
+        system_class = self.get(name)
+        if system_class.storage_class not in STORAGE_CLASSES:
+            raise ValueError(
+                f"algorithm {name!r} declares storage_class "
+                f"{system_class.storage_class!r}; expected one of {STORAGE_CLASSES}"
+            )
+        return AlgorithmCapabilities(
+            name=name,
+            dense_message_traffic=system_class.dense_message_traffic,
+            max_recommended_nodes=system_class.max_recommended_nodes,
+            storage_class=system_class.storage_class,
+            token_based=system_class.token_based,
+            uses_topology_edges=system_class.uses_topology_edges,
+            storage_description=system_class.storage_description,
+        )
+
+    def names_for_scale(self, n: int) -> List[str]:
+        """Algorithms recommended at ``n`` nodes, in registration order.
+
+        This is the query the tiered matrices use instead of hand-maintained
+        eligibility tuples: an algorithm joins an ``n``-node tier iff its
+        declared ``max_recommended_nodes`` admits it.
+        """
+        return [
+            name
+            for name in self._systems
+            if self.capabilities(name).supports_scale(n)
+        ]
 
 
 #: The global registry populated by the modules in this package.

@@ -110,6 +110,10 @@ class CarvalhoRoucairolSystem(MutexSystem):
     algorithm_name = "carvalho-roucairol"
     uses_topology_edges = False
     dense_message_traffic = True
+    #: Cached permissions help steady state, but worst case stays 2(N-1).
+    max_recommended_nodes = 1_000
+    storage_class = "linear"
+    token_based = False
     storage_description = (
         "per node: logical clock, cached-permission set, pending-reply set, "
         "deferred-reply set (each up to N - 1 entries)"

@@ -159,6 +159,12 @@ class CentralizedSystem(MutexSystem):
 
     algorithm_name = "centralized"
     uses_topology_edges = False
+    dense_message_traffic = False
+    #: O(1) scalars on every non-coordinator node; the coordinator's queue
+    #: grows with the backlog, not with N.  Unbounded: runs at the 1M tier.
+    max_recommended_nodes = None
+    storage_class = "constant"
+    token_based = False
     storage_description = (
         "coordinator: FIFO queue of pending requests + busy flag; "
         "other nodes: coordinator identity only"

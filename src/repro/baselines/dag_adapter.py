@@ -23,6 +23,11 @@ class DagSystem(MutexSystem):
 
     algorithm_name = "dag"
     uses_topology_edges = True
+    dense_message_traffic = False
+    #: Three scalars per node: the paper's headline storage result.  Unbounded.
+    max_recommended_nodes = None
+    storage_class = "constant"
+    token_based = True
     storage_description = (
         "per node: HOLDING flag, NEXT pointer, FOLLOW pointer (three scalars); "
         "token carries nothing"

@@ -161,6 +161,11 @@ class LamportSystem(MutexSystem):
     algorithm_name = "lamport"
     uses_topology_edges = False
     dense_message_traffic = True
+    #: 3(N-1) messages per entry: past ~1k nodes a cell measures broadcast
+    #: cost, not the algorithm, so the matrices stop admitting it there.
+    max_recommended_nodes = 1_000
+    storage_class = "linear"
+    token_based = False
     storage_description = (
         "per node: logical clock, request queue with one entry per node, "
         "last-heard timestamp per node"

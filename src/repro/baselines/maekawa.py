@@ -357,6 +357,11 @@ class MaekawaSystem(MutexSystem):
     algorithm_name = "maekawa"
     uses_topology_edges = False
     dense_message_traffic = True
+    #: Quorum traffic is O(sqrt(N)) but grid-quorum construction and the
+    #: vote bookkeeping stop being informative past the small tiers.
+    max_recommended_nodes = 1_000
+    storage_class = "quorum"
+    token_based = False
     storage_description = (
         "per node: committee membership (about sqrt(N) ids), current vote, "
         "priority queue of waiting requests, vote/fail bookkeeping sets"

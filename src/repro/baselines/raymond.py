@@ -136,6 +136,13 @@ class RaymondSystem(MutexSystem):
 
     algorithm_name = "raymond"
     uses_topology_edges = True
+    dense_message_traffic = False
+    #: O(D) messages scale fine, but the per-node FIFO deque (~600 bytes
+    #: each even when empty) is the Section 6.4 storage cost that prices the
+    #: algorithm out of the 1M tier; 100k is the largest tier it joins.
+    max_recommended_nodes = 100_000
+    storage_class = "queue"
+    token_based = True
     storage_description = (
         "per node: HOLDER pointer, USING and ASKED flags, FIFO queue of "
         "neighbour requests (up to degree + 1 entries)"

@@ -113,6 +113,11 @@ class RicartAgrawalaSystem(MutexSystem):
     algorithm_name = "ricart-agrawala"
     uses_topology_edges = False
     dense_message_traffic = True
+    #: 2(N-1) messages per entry bounds the interesting size range like
+    #: Lamport's scheme.
+    max_recommended_nodes = 1_000
+    storage_class = "linear"
+    token_based = False
     storage_description = (
         "per node: logical clock, pending-reply set, deferred-reply set "
         "(each up to N - 1 entries)"

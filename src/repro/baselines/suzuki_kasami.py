@@ -154,6 +154,11 @@ class SuzukiKasamiSystem(MutexSystem):
     algorithm_name = "suzuki-kasami"
     uses_topology_edges = False
     dense_message_traffic = True
+    #: The request broadcast costs N messages per entry, and the per-node
+    #: request-number array is Theta(N) memory.
+    max_recommended_nodes = 1_000
+    storage_class = "linear"
+    token_based = True
     storage_description = (
         "per node: request-number array of size N; token: last-granted array of "
         "size N plus a queue of waiting nodes"

@@ -29,6 +29,7 @@ from repro.bench.throughput import (
     XXLARGE_HEAVY_ROUNDS,
     ScenarioResult,
     ScenarioSpec,
+    bench_workload_spec,
     check_against_baseline,
     default_matrix,
     determinism_fingerprint,
@@ -55,6 +56,7 @@ __all__ = [
     "ScenarioSpec",
     "baseline_default_matrix",
     "baseline_smoke_matrix",
+    "bench_workload_spec",
     "check_against_baseline",
     "construction_matrix",
     "default_matrix",

@@ -20,13 +20,13 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.theory import upper_bound_messages
-from repro.baselines import build_grid_quorums, registry
+from repro.baselines import build_grid_quorums
 from repro.bench.throughput import (
-    build_topology,
-    build_workload,
+    bench_workload_spec,
     measure_fastest,
     min_merge_documents,
 )
+from repro.spec import ExperimentSpec, TopologySpec
 from repro.topology.metrics import diameter
 
 __all__ = [
@@ -69,6 +69,17 @@ class BaselineScenarioSpec:
     @property
     def name(self) -> str:
         return f"{self.algorithm}-star-n{self.n}-{self.demand}"
+
+    def experiment_spec(self, *, scheduler: str = "auto") -> ExperimentSpec:
+        """The cell as a canonical :class:`~repro.spec.ExperimentSpec`."""
+        return ExperimentSpec(
+            algorithm=self.algorithm,
+            topology=TopologySpec(kind="star", n=self.n),
+            workload=bench_workload_spec(self.demand, self.n),
+            scheduler=scheduler,
+            seed=0,
+            collect_metrics=False,
+        )
 
 
 @dataclass
@@ -134,8 +145,9 @@ def run_baseline_scenario(
     per repetition (identical virtual outcome every time) and runs with no
     metrics collector so the network's zero-overhead fast path is active.
     """
-    topology = build_topology("star", spec.n)
-    workload = build_workload(topology, spec.demand)
+    experiment = spec.experiment_spec(scheduler=scheduler)
+    topology = experiment.topology.build()
+    workload = experiment.workload.build(topology, seed=experiment.seed)
     if spec.algorithm == "maekawa":
         # The paper's 7·sqrt(N) assumes projective-plane committees of size
         # sqrt(N); this reproduction substitutes grid quorums (size about
@@ -151,9 +163,8 @@ def run_baseline_scenario(
         bound = upper_bound_messages(
             spec.algorithm, n=spec.n, diameter=diameter(topology)
         )
-    system_class = registry.get(spec.algorithm)
     wall, result, events, messages, engaged = measure_fastest(
-        lambda: system_class(topology, collect_metrics=False),
+        lambda: experiment.build_system(topology),
         workload,
         repeat=repeat,
         scheduler=scheduler,

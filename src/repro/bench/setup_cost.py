@@ -25,8 +25,7 @@ import resource
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.baselines.dag_adapter import DagSystem
-from repro.bench.throughput import ScenarioSpec, build_topology, build_workload
+from repro.bench.throughput import ScenarioSpec
 from repro.workload.driver import ExperimentDriver
 
 #: Cells below this node count have no interesting setup cost; the default
@@ -43,16 +42,17 @@ def construction_matrix(matrix: Sequence[ScenarioSpec]) -> List[ScenarioSpec]:
 def run_setup_scenario(spec: ScenarioSpec, *, scheduler: str = "auto") -> Dict[str, Any]:
     """Build one scenario end to end — topology, workload, system, arrival
     load — timing each phase, without draining a single protocol event."""
+    experiment = spec.experiment_spec(scheduler=scheduler)
     start = time.perf_counter()
-    topology = build_topology(spec.kind, spec.n)
+    topology = experiment.topology.build()
     topology_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    workload = build_workload(topology, spec.demand)
+    workload = experiment.workload.build(topology, seed=experiment.seed)
     workload_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    system = DagSystem(topology, collect_metrics=False)
+    system = experiment.build_system(topology)
     system_seconds = time.perf_counter() - start
 
     start = time.perf_counter()

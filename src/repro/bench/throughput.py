@@ -30,10 +30,16 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.baselines.dag_adapter import DagSystem
 from repro.sim.latency import ConstantLatency, UniformLatency
 from repro.sim.rng import SeededRNG
-from repro.topology import balanced_tree, line, star
+from repro.spec import (
+    STREAMING_NODE_THRESHOLD,
+    XXLARGE_HEAVY_ROUNDS,
+    ExperimentSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.topology import star
 from repro.topology.base import Topology
 from repro.topology.metrics import diameter
 from repro.workload.driver import ExperimentDriver, run_experiment
@@ -50,7 +56,7 @@ _DEMANDS = ("light", "heavy")
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One cell of the benchmark matrix."""
+    """One cell of the benchmark matrix (the DAG algorithm throughout)."""
 
     kind: str
     n: int
@@ -59,6 +65,21 @@ class ScenarioSpec:
     @property
     def name(self) -> str:
         return f"{self.kind}-n{self.n}-{self.demand}"
+
+    def experiment_spec(self, *, scheduler: str = "auto") -> ExperimentSpec:
+        """The cell as a canonical :class:`~repro.spec.ExperimentSpec`.
+
+        Benchmark cells run the DAG algorithm on the unobserved fast path
+        with seed 0 — exactly the recorded-seed-baseline configuration.
+        """
+        return ExperimentSpec(
+            algorithm="dag",
+            topology=TopologySpec(kind=self.kind, n=self.n),
+            workload=bench_workload_spec(self.demand, self.n),
+            scheduler=scheduler,
+            seed=0,
+            collect_metrics=False,
+        )
 
 
 @dataclass
@@ -152,52 +173,39 @@ def xxlarge_matrix() -> List[ScenarioSpec]:
     return matrix
 
 
+#: Demand levels of the DAG benchmark matrix (a subset of the spec tiers).
+_BENCH_DEMANDS = ("light", "heavy", "bursty")
+
+
+def bench_workload_spec(demand: str, n: int) -> WorkloadSpec:
+    """The benchmark matrix's frozen tier parameterisation as a spec.
+
+    Heavy demand is ten materialised rounds below the streaming threshold
+    and :data:`~repro.spec.XXLARGE_HEAVY_ROUNDS` streamed rounds above it —
+    spelled out explicitly here so a cell's spec JSON says what actually
+    runs (matching the recorded seed baseline byte for byte).
+    """
+    if demand not in _BENCH_DEMANDS:
+        raise ValueError(f"unknown demand level {demand!r}")
+    if demand == "heavy":
+        if n >= STREAMING_NODE_THRESHOLD:
+            return WorkloadSpec(
+                tier="heavy", rounds=XXLARGE_HEAVY_ROUNDS, streaming=True
+            )
+        return WorkloadSpec(tier="heavy", rounds=10)
+    return WorkloadSpec(tier=demand)
+
+
 def build_topology(kind: str, n: int) -> Topology:
     """Frozen scenario topologies (matches the recorded seed baseline)."""
-    if kind == "line":
-        return line(n)
-    if kind == "star":
-        return star(n)
-    if kind == "tree":
-        depth = max(1, (n - 1).bit_length() - 1)
-        return balanced_tree(2, depth)
-    raise ValueError(f"unknown benchmark topology kind {kind!r}")
-
-
-#: Node count at or above which heavy-demand benchmark workloads stream
-#: (generator batches chunk-loaded by the driver) instead of materialising
-#: the full request list.  Materialising heavy demand at a million nodes
-#: would alone cost gigabytes of request objects; every committed tier
-#: (<= 100k nodes) sits below the threshold and is bit-for-bit unchanged.
-STREAMING_NODE_THRESHOLD = 500_000
-
-#: Heavy-demand rounds for the streamed (>= :data:`STREAMING_NODE_THRESHOLD`)
-#: tier.  Two rounds of every-node demand at 1M nodes is ~2M entries and
-#: ~10M events — the same saturated-contention regime as the smaller tiers'
-#: ten rounds, sized so a cell drains in seconds and the driver backlog
-#: (round-two requests queued behind round one) stays ~one request per node.
-XXLARGE_HEAVY_ROUNDS = 2
+    if kind not in ("line", "star", "tree"):
+        raise ValueError(f"unknown benchmark topology kind {kind!r}")
+    return TopologySpec(kind=kind, n=n).build()
 
 
 def build_workload(topology: Topology, demand: str, *, seed: int = 0) -> Workload:
     """Frozen scenario workloads (matches the recorded seed baseline)."""
-    generator = WorkloadGenerator(topology.nodes, seed=seed)
-    if demand == "light":
-        return generator.poisson(
-            total_requests=2 * len(topology.nodes), mean_interarrival=5.0
-        )
-    if demand == "heavy":
-        if len(topology.nodes) >= STREAMING_NODE_THRESHOLD:
-            return generator.heavy_demand_stream(rounds=XXLARGE_HEAVY_ROUNDS)
-        return generator.heavy_demand(rounds=10)
-    if demand == "bursty":
-        return generator.bursty(
-            total_requests=2 * len(topology.nodes),
-            mean_burst_size=8.0,
-            burst_interarrival=0.5,
-            mean_idle_gap=20.0,
-        )
-    raise ValueError(f"unknown demand level {demand!r}")
+    return bench_workload_spec(demand, len(topology.nodes)).build(topology, seed=seed)
 
 
 #: Minimum timing window for a trustworthy events/sec figure.  A scenario
@@ -268,11 +276,14 @@ def run_scenario(
     spec: ScenarioSpec, *, repeat: int = 3, scheduler: str = "auto"
 ) -> ScenarioResult:
     """Run one scenario best-of-``repeat`` (see :func:`measure_fastest`)."""
-    topology = build_topology(spec.kind, spec.n)
-    workload = build_workload(topology, spec.demand)
+    experiment = spec.experiment_spec(scheduler=scheduler)
+    # Topology and workload are built once and shared across repetitions;
+    # only the system under test is rebuilt per replay.
+    topology = experiment.topology.build()
+    workload = experiment.workload.build(topology, seed=experiment.seed)
     bound = float(diameter(topology) + 1)
     wall, result, events, messages, engaged = measure_fastest(
-        lambda: DagSystem(topology, collect_metrics=False),
+        lambda: experiment.build_system(topology),
         workload,
         repeat=repeat,
         scheduler=scheduler,

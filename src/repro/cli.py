@@ -442,13 +442,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run the sharded multi-process comparison sweep (see benchmarks/README.md)."""
     from repro.analysis.sweep import format_sweep_tables, sweep_summary_row
     from repro.bench.throughput import load_json
+    from repro.exceptions import ReproError
     from repro.sweep import (
         default_sweep_matrix,
         deterministic_document,
         large_sweep_matrix,
+        load_spec_shard,
+        merge_documents,
         run_sweep,
         smoke_sweep_matrix,
         write_document,
+        write_spec_shard,
         xlarge_sweep_matrix,
         xxlarge_sweep_matrix,
     )
@@ -457,6 +461,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         document = load_json(args.report)
         print(format_sweep_tables(document))
         return 1 if document.get("failures") else 0
+
+    if args.merge:
+        # Combine shard documents produced on other machines (or by the CI
+        # two-shard job) into one sweep document.
+        try:
+            shards = []
+            for path in args.merge:
+                document = load_json(path)
+                rows = document.get("scenarios") if isinstance(document, dict) else None
+                if not isinstance(rows, list) or any(
+                    not isinstance(row, dict) or "scenario" not in row for row in rows
+                ):
+                    print(
+                        f"error: {path} is not a sweep result document; a "
+                        "spec-shard file must be executed with --from-specs "
+                        "before its output can be merged",
+                        file=sys.stderr,
+                    )
+                    return 2
+                shards.append(document)
+            document = merge_documents(shards)
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.output:
+            write_document(document, args.output)
+            print(f"Wrote {args.output}")
+        if args.deterministic_output:
+            write_document(deterministic_document(document), args.deterministic_output)
+            print(f"Wrote {args.deterministic_output}")
+        if not args.no_tables:
+            print(format_sweep_tables(document))
+        if document["failures"]:
+            print(
+                f"FAILED scenarios: {', '.join(document['failures'])}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.workers < 1:
         print(f"error: --workers needs at least 1 process, got {args.workers}",
@@ -467,16 +510,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"got {args.timeout}", file=sys.stderr)
         return 2
     algorithms = args.algorithms if args.algorithms else None
-    if args.smoke:
-        matrix = smoke_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
-    elif args.large:
-        matrix = large_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
-    elif args.xlarge:
-        matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
-    elif args.xxlarge:
-        matrix = xxlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
-    else:
-        matrix = default_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+    try:
+        if args.from_specs:
+            if algorithms or args.smoke or args.large or args.xlarge or args.xxlarge:
+                print(
+                    "error: --from-specs carries the whole matrix; tier flags "
+                    "and --algorithms do not apply to it",
+                    file=sys.stderr,
+                )
+                return 2
+            matrix = load_spec_shard(args.from_specs)
+        elif args.smoke:
+            matrix = smoke_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+        elif args.large:
+            matrix = large_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+        elif args.xlarge:
+            matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+        elif args.xxlarge:
+            matrix = xxlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+        else:
+            matrix = default_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.export_specs:
+        # Write the selected slice as a spec-shard file and stop: the shard
+        # runs anywhere via `repro sweep --from-specs` and merges back with
+        # `repro sweep --merge`.
+        write_spec_shard(matrix, args.export_specs)
+        print(f"Wrote {args.export_specs} ({len(matrix)} scenarios)")
+        return 0
 
     print(
         f"Sweeping {len(matrix)} scenarios over {args.workers} worker "
@@ -514,15 +578,102 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = []
+    for name in registry.names():
+        caps = registry.capabilities(name)
+        rows.append(
+            {
+                "name": name,
+                "uses tree edges": "yes" if caps.uses_topology_edges else "no",
+                "token based": "yes" if caps.token_based else "no",
+                "dense traffic": "yes" if caps.dense_message_traffic else "no",
+                "storage": caps.storage_class,
+                "max nodes": (
+                    f"{caps.max_recommended_nodes:,}"
+                    if caps.max_recommended_nodes is not None
+                    else "unbounded"
+                ),
+            }
+        )
+    print(format_table(rows, title="Implemented algorithms (registry capabilities)"))
+    if args.verbose:
+        print()
+        for name in registry.names():
+            caps = registry.capabilities(name)
+            print(f"{name}: {caps.storage_description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment described by a spec file or the CLI shorthand."""
+    import hashlib
+
+    from repro.exceptions import ReproError
+    from repro.spec import ExperimentSpec
+    from repro.workload.driver import ExperimentDriver
+
+    try:
+        if args.spec is not None:
+            if args.cell:
+                print(
+                    "error: pass either --spec FILE or the ALGO KIND:N TIER "
+                    "shorthand, not both",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = ExperimentSpec.load(args.spec)
+        else:
+            if len(args.cell) != 3:
+                print(
+                    "error: expected `repro run ALGO KIND:N TIER` "
+                    "(e.g. `repro run dag star:1000 heavy`) or --spec FILE",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = ExperimentSpec.parse(
+                args.cell[0],
+                args.cell[1],
+                args.cell[2],
+                seed=args.seed,
+                scheduler=args.scheduler,
+                collect_metrics=not args.no_metrics,
+            )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"Wrote {args.save_spec}")
+    if args.print_spec:
+        print(spec.canonical_json(), end="")
+        return 0
+
+    try:
+        driver = ExperimentDriver.from_spec(spec)
+        result = driver.run(max_events=args.max_events)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    engine = driver.system.engine
+    digest = hashlib.sha256(
+        ",".join(str(node) for node in result.entry_order).encode("utf-8")
+    ).hexdigest()
     rows = [
         {
-            "name": name,
-            "uses tree edges": "yes" if cls.uses_topology_edges else "no",
-            "per-node state": cls.storage_description,
+            "scenario": spec.name,
+            "entries": result.completed_entries,
+            "messages": result.total_messages,
+            "messages_per_entry": round(result.messages_per_entry, 3),
+            "events": engine.processed_events,
+            "finished_at": round(result.finished_at, 9),
+            "scheduler": engine.scheduler_kind,
         }
-        for name, cls in registry.items()
     ]
-    print(format_table(rows, title="Implemented algorithms"))
+    print(format_table(rows, title=f"repro run: {spec.name} (seed {spec.seed})"))
+    if result.mean_waiting_time is not None:
+        print(f"mean waiting time: {result.mean_waiting_time:.3f}")
+    print(f"entry order sha256: {digest}")
     return 0
 
 
@@ -579,8 +730,59 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--seed", type=int, default=0)
     topology.set_defaults(func=cmd_topology)
 
-    algorithms = subparsers.add_parser("algorithms", help="list implemented algorithms")
+    algorithms = subparsers.add_parser(
+        "algorithms", help="list implemented algorithms and their capabilities"
+    )
+    algorithms.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print each algorithm's per-node storage description",
+    )
     algorithms.set_defaults(func=cmd_algorithms)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run one experiment from a spec file or the ALGO KIND:N TIER shorthand",
+        description=(
+            "Execute a single declarative experiment spec: either "
+            "`repro run --spec FILE.json` (a canonical ExperimentSpec "
+            "document, see examples/specs/) or the shorthand "
+            "`repro run dag star:1000 heavy` (topology KIND:N[:SEED], "
+            "workload TIER[:ROUNDS])."
+        ),
+    )
+    run.add_argument(
+        "cell",
+        nargs="*",
+        metavar="ALGO KIND:N TIER",
+        help="shorthand cell, e.g. `dag star:1000 heavy` or `raymond random:64:7 diurnal`",
+    )
+    run.add_argument("--spec", default=None, help="run the ExperimentSpec in this JSON file")
+    run.add_argument("--seed", type=int, default=0,
+                     help="workload seed for the shorthand form (default 0)")
+    run.add_argument(
+        "--scheduler",
+        default="auto",
+        choices=["auto", "heap", "ring"],
+        help="engine event scheduler for the shorthand form "
+             "(virtual-time results are identical either way)",
+    )
+    run.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="shorthand form: run on the unobserved fast path "
+             "(no per-entry timing statistics, identical event order)",
+    )
+    run.add_argument("--max-events", type=int, default=5_000_000,
+                     help="event budget for the replay")
+    run.add_argument("--save-spec", default=None,
+                     help="write the canonical spec JSON to this file")
+    run.add_argument(
+        "--print-spec",
+        action="store_true",
+        help="print the canonical spec JSON and exit without running",
+    )
+    run.set_defaults(func=cmd_run)
 
     bench = subparsers.add_parser(
         "bench", help="run the simulation-core throughput benchmark matrix"
@@ -737,6 +939,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print comparison tables from an existing sweep document "
              "instead of running",
+    )
+    sweep.add_argument(
+        "--export-specs",
+        default=None,
+        metavar="FILE",
+        help="write the selected matrix slice as a spec-shard JSON file "
+             "(one canonical ExperimentSpec per scenario) instead of running",
+    )
+    sweep.add_argument(
+        "--from-specs",
+        default=None,
+        metavar="FILE",
+        help="run the scenarios of a spec-shard file written by "
+             "--export-specs (the cross-machine shard path)",
+    )
+    sweep.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="DOC",
+        help="merge shard sweep documents into one (disjoint scenario "
+             "slices, e.g. per-machine --algorithms runs) instead of running",
     )
     sweep.add_argument("--no-tables", action="store_true",
                        help="skip the per-condition comparison tables")

@@ -1,0 +1,482 @@
+"""Declarative experiment specifications: one serializable description of a run.
+
+The paper's headline result is a comparison matrix — the DAG algorithm
+against eight baselines across topologies, sizes and demand tiers — and for
+four PRs that matrix was described four different ways: bench cell dicts,
+``SweepScenario``, positional ``run_experiment`` arguments, and ad-hoc CLI
+flags.  This module collapses them into one canonical value:
+:class:`ExperimentSpec`, a frozen, JSON-round-trippable record of *everything*
+that determines a run's virtual-time outcome (algorithm, topology, workload,
+latency model, seed) plus the two knobs that do not (scheduler choice,
+metrics toggle).
+
+Design rules:
+
+* **Specs are data.**  ``canonical_json()`` / ``from_json()`` round-trip
+  exactly (``from_json(canonical_json(s)) == s``), so a spec can be committed,
+  diffed, and shipped to another machine — cross-machine sweep shards are a
+  matter of sending spec JSON.
+* **Specs are the construction path, not a parallel one.**  The bench and
+  sweep matrices build their cells *through* these builders
+  (``TopologySpec.build``, ``WorkloadSpec.build``), so a spec-built scenario
+  replays byte-identically to the legacy entry points — CI-gated.
+* **Capabilities live on the algorithm, not in the matrix.**  Tier
+  eligibility and scheduler auto-selection read
+  :meth:`repro.baselines.base.AlgorithmRegistry.capabilities`, declared once
+  on each system class, instead of module-level name tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.baselines.base import MutexSystem, registry
+from repro.exceptions import ExperimentError, WorkloadError
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.rng import SeededRNG
+from repro.sim.schedulers import SCHEDULER_MODES
+from repro.topology import balanced_tree, line, random_tree, star
+from repro.topology.base import Topology
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.requests import Workload
+from repro.workload.streaming import DEFAULT_CHUNK_REQUESTS, StreamingWorkload
+
+#: Topology families a spec can name.  ``tree`` is the benchmark's frozen
+#: balanced binary tree of about ``n`` nodes; ``random`` is a seeded Prüfer
+#: tree of exactly ``n`` nodes.
+TOPOLOGY_KINDS = ("line", "star", "tree", "random")
+
+#: Workload tiers a spec can name.  The parameterisations are part of the
+#: committed bench/sweep contract: extend with new tiers instead of editing
+#: existing ones.
+WORKLOAD_TIERS = ("light", "heavy", "bursty", "hotspot", "diurnal")
+
+#: Node count at or above which heavy-demand workloads stream (generator
+#: batches chunk-loaded by the driver) instead of materialising the request
+#: list.  Canonical home of the constant the bench and sweep tiers share.
+STREAMING_NODE_THRESHOLD = 500_000
+
+#: Heavy-demand rounds for the streamed (>= :data:`STREAMING_NODE_THRESHOLD`)
+#: tiers: two rounds of every-node demand keeps a 1M cell at ~10M events.
+XXLARGE_HEAVY_ROUNDS = 2
+
+#: Default heavy-demand rounds for a materialised workload (the DAG
+#: benchmark matrix definition; the sweep tier passes 5 explicitly).
+DEFAULT_HEAVY_ROUNDS = 10
+
+
+def _unknown(kind: str, value: Any, known: Tuple[str, ...]) -> str:
+    return f"unknown {kind} {value!r}; known: {list(known)}"
+
+
+def _validated_dict(cls, data: Dict[str, Any], label: str) -> Dict[str, Any]:
+    """Filter-free kwargs for ``cls`` from ``data``; unknown keys are errors."""
+    if not isinstance(data, dict):
+        raise ExperimentError(f"{label} must be a JSON object, got {type(data).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ExperimentError(
+            f"{label} has unknown fields {unknown}; expected a subset of {sorted(allowed)}"
+        )
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named logical topology: family, size, seed, representation.
+
+    ``compact`` mirrors the builders' flag: ``None`` auto-selects the
+    array-backed CSR representation at the builders' node threshold, which is
+    what every committed tier does.
+    """
+
+    kind: str
+    n: int
+    seed: int = 0
+    compact: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ExperimentError(_unknown("topology kind", self.kind, TOPOLOGY_KINDS))
+        if self.n < 1:
+            raise ExperimentError(f"topology size must be >= 1, got {self.n}")
+
+    def build(self) -> Topology:
+        """Construct the topology (the benchmark's frozen families)."""
+        if self.kind == "line":
+            return line(self.n, compact=self.compact)
+        if self.kind == "star":
+            return star(self.n, compact=self.compact)
+        if self.kind == "tree":
+            depth = max(1, (self.n - 1).bit_length() - 1)
+            return balanced_tree(2, depth, compact=self.compact)
+        return random_tree(self.n, seed=self.seed, compact=self.compact)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "n": self.n, "seed": self.seed, "compact": self.compact}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TopologySpec":
+        return TopologySpec(**_validated_dict(TopologySpec, data, "topology spec"))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload tier plus the knobs the tiered matrices vary.
+
+    Attributes:
+        tier: one of :data:`WORKLOAD_TIERS`.
+        rounds: heavy-demand rounds (heavy tier only;
+            ``None`` = :data:`DEFAULT_HEAVY_ROUNDS`).
+        total_requests: request count for the arrival-process tiers
+            (``None`` = twice the node count, the matrix convention).
+        streaming: force the streamed (``True``) or materialised (``False``)
+            heavy-demand form; ``None`` auto-streams at
+            :data:`STREAMING_NODE_THRESHOLD` nodes.
+        chunk_requests: streamed batch size (``None`` = the driver default).
+    """
+
+    tier: str
+    rounds: Optional[int] = None
+    total_requests: Optional[int] = None
+    streaming: Optional[bool] = None
+    chunk_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in WORKLOAD_TIERS:
+            raise ExperimentError(_unknown("workload tier", self.tier, WORKLOAD_TIERS))
+        if self.rounds is not None and self.tier != "heavy":
+            raise ExperimentError(f"rounds only applies to the heavy tier, not {self.tier!r}")
+        if self.rounds is not None and self.rounds < 1:
+            raise ExperimentError(f"rounds must be >= 1, got {self.rounds}")
+        if self.total_requests is not None and self.tier == "heavy":
+            raise ExperimentError("the heavy tier is sized by rounds, not total_requests")
+        if self.streaming is not None and self.tier != "heavy":
+            raise ExperimentError("only the heavy tier has a streamed form")
+        if self.chunk_requests is not None and self.chunk_requests < 1:
+            raise ExperimentError(f"chunk_requests must be >= 1, got {self.chunk_requests}")
+
+    def build(
+        self, topology: Topology, *, seed: int = 0
+    ) -> Union[Workload, StreamingWorkload]:
+        """Construct the tier's schedule on ``topology`` with ``seed``.
+
+        These parameterisations are the committed bench/sweep tier
+        definitions — the legacy ``build_workload`` / ``build_sweep_workload``
+        entry points now delegate here, so a spec-built workload is
+        request-for-request identical to the historical paths.
+        """
+        generator = WorkloadGenerator(topology.nodes, seed=seed)
+        n = len(topology.nodes)
+        requests = self.total_requests if self.total_requests is not None else 2 * n
+        if self.tier == "light":
+            return generator.poisson(total_requests=requests, mean_interarrival=5.0)
+        if self.tier == "heavy":
+            rounds = self.rounds if self.rounds is not None else DEFAULT_HEAVY_ROUNDS
+            stream = (
+                self.streaming
+                if self.streaming is not None
+                else n >= STREAMING_NODE_THRESHOLD
+            )
+            if stream:
+                chunk = (
+                    self.chunk_requests
+                    if self.chunk_requests is not None
+                    else DEFAULT_CHUNK_REQUESTS
+                )
+                return generator.heavy_demand_stream(rounds=rounds, chunk_requests=chunk)
+            return generator.heavy_demand(rounds=rounds)
+        if self.tier == "bursty":
+            return generator.bursty(
+                total_requests=requests,
+                mean_burst_size=8.0,
+                burst_interarrival=0.5,
+                mean_idle_gap=20.0,
+            )
+        if self.tier == "hotspot":
+            hot = list(topology.nodes)[: max(1, n // 10)]
+            return generator.hotspot(
+                total_requests=requests,
+                hot_nodes=hot,
+                hot_fraction=0.8,
+                mean_interarrival=2.0,
+            )
+        # diurnal: one full day/night cycle per ~40 mean interarrivals.
+        return generator.diurnal(total_requests=requests)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "rounds": self.rounds,
+            "total_requests": self.total_requests,
+            "streaming": self.streaming,
+            "chunk_requests": self.chunk_requests,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "WorkloadSpec":
+        return WorkloadSpec(**_validated_dict(WorkloadSpec, data, "workload spec"))
+
+
+#: Latency model kinds a spec can name.
+LATENCY_KINDS = ("constant", "uniform", "exponential")
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """A serializable latency model choice.
+
+    ``constant`` uses ``value``; ``uniform`` uses ``low``/``high``;
+    ``exponential`` uses ``mean``.  Stochastic models draw from a
+    ``SeededRNG(seed, label="spec-latency")`` stream so a spec replays
+    identically everywhere.
+    """
+
+    kind: str = "constant"
+    value: float = 1.0
+    low: float = 0.1
+    high: float = 2.0
+    mean: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LATENCY_KINDS:
+            raise ExperimentError(_unknown("latency kind", self.kind, LATENCY_KINDS))
+
+    def build(self) -> LatencyModel:
+        if self.kind == "constant":
+            return ConstantLatency(self.value)
+        if self.kind == "uniform":
+            return UniformLatency(
+                self.low, self.high, rng=SeededRNG(self.seed, label="spec-latency")
+            )
+        return ExponentialLatency(
+            self.mean, rng=SeededRNG(self.seed, label="spec-latency")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "low": self.low,
+            "high": self.high,
+            "mean": self.mean,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "LatencySpec":
+        return LatencySpec(**_validated_dict(LatencySpec, data, "latency spec"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The canonical, serializable description of one experiment.
+
+    ``build()`` turns the spec into a ready ``(system, workload)`` pair and
+    ``run()`` replays it through the experiment driver; ``canonical_json()``
+    / ``from_json()`` round-trip the spec exactly, which is what makes
+    cross-machine shards and committed example specs possible.
+
+    The fields that determine the virtual-time outcome are ``algorithm``,
+    ``topology``, ``workload``, ``latency`` and ``seed``; ``scheduler``
+    affects wall clock only (byte-identical replay, CI-gated) and
+    ``collect_metrics`` selects the observed vs the zero-overhead network
+    path (identical event order, per-entry timing statistics only on the
+    observed one).
+    """
+
+    algorithm: str
+    topology: TopologySpec
+    workload: WorkloadSpec
+    latency: Optional[LatencySpec] = None
+    scheduler: str = "auto"
+    seed: int = 0
+    collect_metrics: bool = True
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in registry.names():
+            raise ExperimentError(
+                _unknown("algorithm", self.algorithm, tuple(registry.names()))
+            )
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ExperimentError(
+                _unknown("scheduler", self.scheduler, SCHEDULER_MODES)
+            )
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The matrix-style cell name (also the sweep's seed-derivation key)."""
+        return (
+            f"{self.algorithm}-{self.topology.kind}-n{self.topology.n}"
+            f"-{self.workload.tier}"
+        )
+
+    @property
+    def capabilities(self):
+        """The algorithm's declared :class:`AlgorithmCapabilities`."""
+        return registry.capabilities(self.algorithm)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def build_system(self, topology: Topology) -> MutexSystem:
+        """Construct the system under test on an already-built topology.
+
+        Split out from :meth:`build` because benchmark repetition loops
+        rebuild the system per replay while sharing one topology and one
+        workload.
+        """
+        system_class = registry.get(self.algorithm)
+        return system_class(
+            topology,
+            latency=self.latency.build() if self.latency is not None else None,
+            record_trace=self.record_trace,
+            collect_metrics=self.collect_metrics,
+        )
+
+    def build(self) -> Tuple[MutexSystem, Union[Workload, StreamingWorkload]]:
+        """Construct the ``(system, workload)`` pair the spec describes."""
+        topology = self.topology.build()
+        workload = self.workload.build(topology, seed=self.seed)
+        return self.build_system(topology), workload
+
+    def run(self, *, max_events: int = 5_000_000):
+        """Build and replay the experiment; returns an ``ExperimentResult``."""
+        from repro.workload.driver import ExperimentDriver
+
+        system, workload = self.build()
+        driver = ExperimentDriver(system, workload, scheduler=self.scheduler)
+        return driver.run(max_events=max_events)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "experiment-spec/v1",
+            "algorithm": self.algorithm,
+            "topology": self.topology.to_dict(),
+            "workload": self.workload.to_dict(),
+            "latency": self.latency.to_dict() if self.latency is not None else None,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "collect_metrics": self.collect_metrics,
+            "record_trace": self.record_trace,
+        }
+
+    def canonical_json(self) -> str:
+        """The spec's canonical serialisation (stable key order, one form)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ExperimentSpec":
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"experiment spec must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        schema = payload.pop("schema", "experiment-spec/v1")
+        if schema != "experiment-spec/v1":
+            raise ExperimentError(f"unknown experiment spec schema {schema!r}")
+        payload = _validated_dict(ExperimentSpec, payload, "experiment spec")
+        if "topology" not in payload or "workload" not in payload:
+            raise ExperimentError(
+                "experiment spec needs at least algorithm, topology and workload"
+            )
+        payload["topology"] = TopologySpec.from_dict(payload["topology"])
+        payload["workload"] = WorkloadSpec.from_dict(payload["workload"])
+        if payload.get("latency") is not None:
+            payload["latency"] = LatencySpec.from_dict(payload["latency"])
+        return ExperimentSpec(**payload)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"experiment spec is not valid JSON: {exc}") from None
+        return ExperimentSpec.from_dict(data)
+
+    @staticmethod
+    def load(path: str) -> "ExperimentSpec":
+        """Read a spec from a JSON file (the ``repro run --spec`` loader)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return ExperimentSpec.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        """Write the spec to ``path`` in canonical form."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.canonical_json())
+
+    # ------------------------------------------------------------------ #
+    # CLI shorthand
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def parse(
+        algorithm: str,
+        topology: str,
+        tier: str,
+        *,
+        seed: int = 0,
+        scheduler: str = "auto",
+        collect_metrics: bool = True,
+    ) -> "ExperimentSpec":
+        """Build a spec from the CLI shorthand ``ALGO KIND:N TIER[:ROUNDS]``.
+
+        Examples: ``parse("dag", "star:1000", "heavy")``,
+        ``parse("raymond", "random:64:7", "diurnal")`` (the third topology
+        field is the random-tree seed), ``parse("dag", "line:50",
+        "heavy:5")`` (explicit heavy rounds).
+        """
+        topo_parts = topology.split(":")
+        if len(topo_parts) < 2 or len(topo_parts) > 3:
+            raise ExperimentError(
+                f"topology shorthand {topology!r} is not KIND:N or KIND:N:SEED"
+            )
+        kind = topo_parts[0]
+        try:
+            n = int(topo_parts[1])
+            topo_seed = int(topo_parts[2]) if len(topo_parts) == 3 else 0
+        except ValueError:
+            raise ExperimentError(
+                f"topology shorthand {topology!r}: size and seed must be integers"
+            ) from None
+        tier_parts = tier.split(":")
+        rounds: Optional[int] = None
+        if len(tier_parts) == 2:
+            try:
+                rounds = int(tier_parts[1])
+            except ValueError:
+                raise ExperimentError(
+                    f"workload shorthand {tier!r}: rounds must be an integer"
+                ) from None
+        elif len(tier_parts) != 1:
+            raise ExperimentError(
+                f"workload shorthand {tier!r} is not TIER or TIER:ROUNDS"
+            )
+        return ExperimentSpec(
+            algorithm=algorithm,
+            topology=TopologySpec(kind=kind, n=n, seed=topo_seed),
+            workload=WorkloadSpec(tier=tier_parts[0], rounds=rounds),
+            scheduler=scheduler,
+            seed=seed,
+            collect_metrics=collect_metrics,
+        )
+
+
+def run_spec(spec: ExperimentSpec, *, max_events: int = 5_000_000):
+    """Function form of :meth:`ExperimentSpec.run` (mirrors ``run_experiment``)."""
+    return spec.run(max_events=max_events)

@@ -11,6 +11,7 @@ count or scheduling; ``repro sweep`` is the CLI entry point.
 
 from repro.sweep.matrix import (
     LARGE_TIER_ALGORITHMS,
+    SPEC_SHARD_SCHEMA,
     SWEEP_ALGORITHMS,
     XXLARGE_TIER_ALGORITHMS,
     SweepScenario,
@@ -18,8 +19,12 @@ from repro.sweep.matrix import (
     build_sweep_workload,
     default_sweep_matrix,
     large_sweep_matrix,
+    load_spec_shard,
     scenario_seed,
     smoke_sweep_matrix,
+    sweep_workload_spec,
+    validate_algorithms,
+    write_spec_shard,
     xlarge_sweep_matrix,
     xxlarge_sweep_matrix,
 )
@@ -39,6 +44,7 @@ from repro.sweep.worker import (
 
 __all__ = [
     "LARGE_TIER_ALGORITHMS",
+    "SPEC_SHARD_SCHEMA",
     "SWEEP_ALGORITHMS",
     "XXLARGE_TIER_ALGORITHMS",
     "SweepScenario",
@@ -46,8 +52,12 @@ __all__ = [
     "build_sweep_workload",
     "default_sweep_matrix",
     "large_sweep_matrix",
+    "load_spec_shard",
     "scenario_seed",
     "smoke_sweep_matrix",
+    "sweep_workload_spec",
+    "validate_algorithms",
+    "write_spec_shard",
     "xlarge_sweep_matrix",
     "xxlarge_sweep_matrix",
     "SCHEMA",

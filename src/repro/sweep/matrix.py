@@ -15,46 +15,63 @@ exist, and what ran before it.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.bench.throughput import (
-    STREAMING_NODE_THRESHOLD,
-    XXLARGE_HEAVY_ROUNDS,
-    build_topology,
-)
+from repro.baselines import registry
 from repro.exceptions import WorkloadError
+from repro.spec import (
+    STREAMING_NODE_THRESHOLD,
+    WORKLOAD_TIERS,
+    XXLARGE_HEAVY_ROUNDS,
+    ExperimentSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.topology.base import Topology
-from repro.workload.generator import WorkloadGenerator
 from repro.workload.requests import Workload
 
-#: All nine algorithms of the paper's comparison (eight baselines + the DAG).
-SWEEP_ALGORITHMS = (
-    "centralized",
-    "lamport",
-    "ricart-agrawala",
-    "carvalho-roucairol",
-    "suzuki-kasami",
-    "singhal",
-    "maekawa",
-    "raymond",
-    "dag",
-)
+#: All nine algorithms of the paper's comparison (eight baselines + the DAG),
+#: straight from the registry (registration order is the comparison order).
+SWEEP_ALGORITHMS = tuple(registry.names())
 
-#: Algorithms cheap enough (O(1)/O(D) messages per entry) for the 10k tier.
-LARGE_TIER_ALGORITHMS = ("centralized", "raymond", "dag")
+#: Node counts of the large (10k/100k) and xxlarge (1M) tiers; eligibility
+#: is a registry capability query, not a hand-maintained name tuple — an
+#: algorithm joins a tier iff its declared ``max_recommended_nodes`` admits
+#: the tier's size (message blow-up prices the broadcast schemes out at 10k;
+#: Raymond's per-node queues — the paper's Section 6.4 storage cost — price
+#: it out at 1M).
+LARGE_TIER_NODES = 10_000
+XLARGE_TIER_NODES = 100_000
+XXLARGE_TIER_NODES = 1_000_000
 
-#: Algorithms that also fit the 1M-node tier's *memory* budget.  Message
-#: scalability is no longer the only axis there: Raymond keeps a FIFO deque
-#: per node (~600 bytes each, ~600 MB of empty queues at a million nodes —
-#: exactly the per-node storage cost the paper's Section 6.4 comparison
-#: holds against it), so the xxlarge tier runs the two algorithms whose
-#: per-node state is O(1) scalars.
-XXLARGE_TIER_ALGORITHMS = ("centralized", "dag")
+#: Back-compat aliases for the tuples this module used to hand-maintain;
+#: now derived from the capability metadata on the system classes.
+LARGE_TIER_ALGORITHMS = tuple(registry.names_for_scale(LARGE_TIER_NODES))
+XXLARGE_TIER_ALGORITHMS = tuple(registry.names_for_scale(XXLARGE_TIER_NODES))
 
 _TOPOLOGY_KINDS = ("line", "star", "tree")
 _SIZES = (10, 50)
 _WORKLOAD_TIERS = ("light", "heavy", "bursty", "hotspot")
+
+
+def validate_algorithms(names: Optional[Sequence[str]]) -> None:
+    """Reject unknown algorithm names with the registry's listing.
+
+    Called by every matrix builder (and the CLI before it forks workers), so
+    a typo in ``--algorithms`` fails immediately with the known names
+    instead of surfacing as a bare ``KeyError`` inside a child process.
+    """
+    if names is None:
+        return
+    known = registry.names()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise WorkloadError(
+            f"unknown algorithm{'s' if len(unknown) != 1 else ''} "
+            f"{unknown}; known: {known}"
+        )
 
 
 def scenario_seed(name: str) -> int:
@@ -106,53 +123,134 @@ class SweepScenario:
     def from_dict(data: Dict[str, Any]) -> "SweepScenario":
         return SweepScenario(**data)
 
+    def experiment_spec(self) -> ExperimentSpec:
+        """The cell as a canonical :class:`~repro.spec.ExperimentSpec`.
+
+        The spec carries the name-derived seed explicitly, so a serialized
+        cell replays identically on any machine — this is the cross-machine
+        shard format (``repro sweep --export-specs`` / ``--from-specs``).
+        """
+        return ExperimentSpec(
+            algorithm=self.algorithm,
+            topology=TopologySpec(kind=self.kind, n=self.n),
+            workload=sweep_workload_spec(self.workload, self.n),
+            scheduler=self.scheduler,
+            seed=self.seed,
+            collect_metrics=self.collect_metrics,
+        )
+
+    @staticmethod
+    def from_experiment_spec(spec: ExperimentSpec) -> "SweepScenario":
+        """Reconstruct the sweep cell a (shipped) experiment spec describes.
+
+        Guards the sweep's determinism anchor: the spec's explicit seed must
+        equal the seed the scenario name derives, otherwise a hand-edited
+        shard file would silently replay a different workload under the same
+        row name.
+        """
+        scenario = SweepScenario(
+            algorithm=spec.algorithm,
+            kind=spec.topology.kind,
+            n=spec.topology.n,
+            workload=spec.workload.tier,
+            collect_metrics=spec.collect_metrics,
+            scheduler=spec.scheduler,
+        )
+        if spec.seed != scenario.seed:
+            raise WorkloadError(
+                f"spec for {scenario.name!r} carries seed {spec.seed}, but the "
+                f"sweep derives {scenario.seed} from the scenario name; "
+                "refusing to replay a mislabelled workload"
+            )
+        # Full-spec comparison, not a field-by-field allowlist: any deviation
+        # from the frozen cell definition (tier parameters, latency model,
+        # topology seed/compact, record_trace) would run a configuration the
+        # row name does not describe.
+        if spec != scenario.experiment_spec():
+            raise WorkloadError(
+                f"spec for {scenario.name!r} does not match the sweep's frozen "
+                "cell definition (tier parameters, latency, topology "
+                "seed/compact and record_trace must be the matrix defaults)"
+            )
+        return scenario
+
+
+def sweep_workload_spec(tier: str, n: int) -> WorkloadSpec:
+    """The sweep's frozen tier parameterisation as a spec.
+
+    Tier definitions are part of the sweep contract: changing them changes
+    every committed sweep result, so extend with new tiers instead of
+    editing existing ones.  Heavy demand is five materialised rounds below
+    the streaming threshold and the bench-matching
+    :data:`~repro.spec.XXLARGE_HEAVY_ROUNDS` streamed rounds above it.
+    """
+    if tier not in WORKLOAD_TIERS:
+        raise WorkloadError(
+            f"unknown sweep workload tier {tier!r}; known: {list(WORKLOAD_TIERS)}"
+        )
+    if tier == "heavy":
+        if n >= STREAMING_NODE_THRESHOLD:
+            return WorkloadSpec(
+                tier="heavy", rounds=XXLARGE_HEAVY_ROUNDS, streaming=True
+            )
+        return WorkloadSpec(tier="heavy", rounds=5)
+    return WorkloadSpec(tier=tier)
+
 
 def build_sweep_workload(
     topology: Topology, tier: str, *, seed: int
 ) -> Workload:
-    """Construct the workload for one tier on one topology.
-
-    Tier definitions are part of the sweep contract: changing them changes
-    every committed sweep result, so extend with new tiers instead of editing
-    existing ones.
-    """
-    generator = WorkloadGenerator(topology.nodes, seed=seed)
-    n = len(topology.nodes)
-    if tier == "light":
-        return generator.poisson(total_requests=2 * n, mean_interarrival=5.0)
-    if tier == "heavy":
-        if n >= STREAMING_NODE_THRESHOLD:
-            # The 1M tier streams its arrivals (bounded RSS); the round count
-            # matches the bench tier's streamed heavy definition.
-            return generator.heavy_demand_stream(rounds=XXLARGE_HEAVY_ROUNDS)
-        return generator.heavy_demand(rounds=5)
-    if tier == "bursty":
-        return generator.bursty(
-            total_requests=2 * n,
-            mean_burst_size=8.0,
-            burst_interarrival=0.5,
-            mean_idle_gap=20.0,
-        )
-    if tier == "hotspot":
-        hot = list(topology.nodes)[: max(1, n // 10)]
-        return generator.hotspot(
-            total_requests=2 * n,
-            hot_nodes=hot,
-            hot_fraction=0.8,
-            mean_interarrival=2.0,
-        )
-    raise WorkloadError(f"unknown sweep workload tier {tier!r}")
+    """Construct the workload for one tier on one topology (spec-delegated)."""
+    return sweep_workload_spec(tier, len(topology.nodes)).build(topology, seed=seed)
 
 
 def build_sweep_topology(kind: str, n: int) -> Topology:
-    """The sweep shares the benchmark's frozen topology families."""
-    return build_topology(kind, n)
+    """The sweep shares the benchmark's (= the spec's) frozen topology families."""
+    return TopologySpec(kind=kind, n=n).build()
+
+
+#: Schema tag of a sweep spec-shard file: the cross-machine shard format
+#: (a JSON list of canonical experiment specs).
+SPEC_SHARD_SCHEMA = "sweep-specs/v1"
+
+
+def write_spec_shard(matrix: Sequence[SweepScenario], path: str) -> None:
+    """Write ``matrix`` as a spec-shard JSON file.
+
+    The file is a list of canonical :class:`~repro.spec.ExperimentSpec`
+    dictionaries — everything another machine needs to run this slice of the
+    matrix and produce rows that merge byte-identically into the full sweep
+    document (``repro sweep --from-specs`` + ``--merge``).
+    """
+    document = {
+        "schema": SPEC_SHARD_SCHEMA,
+        "scenarios": [scenario.experiment_spec().to_dict() for scenario in matrix],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_spec_shard(path: str) -> List[SweepScenario]:
+    """Load a spec-shard file back into sweep scenarios (validated)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("schema") != SPEC_SHARD_SCHEMA:
+        raise WorkloadError(
+            f"{path}: not a sweep spec-shard file "
+            f"(expected schema {SPEC_SHARD_SCHEMA!r})"
+        )
+    return [
+        SweepScenario.from_experiment_spec(ExperimentSpec.from_dict(entry))
+        for entry in document.get("scenarios", [])
+    ]
 
 
 def default_sweep_matrix(
     *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
 ) -> List[SweepScenario]:
     """The full comparison matrix: 9 algorithms x 3 topologies x 2 sizes x 4 tiers."""
+    validate_algorithms(algorithms)
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
         SweepScenario(algorithm, kind, n, tier, scheduler=scheduler)
@@ -167,6 +265,7 @@ def smoke_sweep_matrix(
     *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
 ) -> List[SweepScenario]:
     """The CI gate: every algorithm, star topology, n=9, heavy + bursty."""
+    validate_algorithms(algorithms)
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
         SweepScenario(algorithm, "star", 9, tier, scheduler=scheduler)
@@ -180,15 +279,15 @@ def large_sweep_matrix(
 ) -> List[SweepScenario]:
     """The default matrix plus the 10k-node tier.
 
-    Only the algorithms whose per-entry message cost does not grow linearly
-    with N (centralized, Raymond, DAG) join the 10k tier; the broadcast
-    algorithms would send ~10^4 messages per entry there, which measures
-    nothing the 50-node cells do not already show.  The 10k cells run on the
-    unobserved fast path (``collect_metrics=False``).
+    Tier membership is the registry capability query: only the algorithms
+    whose declared ``max_recommended_nodes`` admits 10k nodes join (the
+    broadcast algorithms would send ~10^4 messages per entry there, which
+    measures nothing the 50-node cells do not already show).  The 10k cells
+    run on the unobserved fast path (``collect_metrics=False``).
     """
     matrix = default_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
     allowed = set(algorithms) if algorithms is not None else None
-    for algorithm in LARGE_TIER_ALGORITHMS:
+    for algorithm in registry.names_for_scale(LARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
             continue
         for kind in ("star", "tree"):
@@ -196,7 +295,7 @@ def large_sweep_matrix(
                 SweepScenario(
                     algorithm,
                     kind,
-                    10000,
+                    LARGE_TIER_NODES,
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,
@@ -218,7 +317,7 @@ def xlarge_sweep_matrix(
     """
     matrix = large_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
     allowed = set(algorithms) if algorithms is not None else None
-    for algorithm in LARGE_TIER_ALGORITHMS:
+    for algorithm in registry.names_for_scale(XLARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
             continue
         for kind in ("star", "tree"):
@@ -226,7 +325,7 @@ def xlarge_sweep_matrix(
                 SweepScenario(
                     algorithm,
                     kind,
-                    100000,
+                    XLARGE_TIER_NODES,
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,
@@ -245,12 +344,13 @@ def xxlarge_sweep_matrix(
     batches, and each cell runs on the unobserved fast path in its own child
     process (whose ``ru_maxrss`` is the tier's per-scenario RSS record).
     Star and tree only, heavy demand only, and only the algorithms whose
-    per-node storage is O(1) (:data:`XXLARGE_TIER_ALGORITHMS`).  Additive,
-    so committed documents stay valid.
+    declared ``max_recommended_nodes`` admits a million nodes (per the
+    registry, the ones with O(1) per-node storage).  Additive, so committed
+    documents stay valid.
     """
     matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
     allowed = set(algorithms) if algorithms is not None else None
-    for algorithm in XXLARGE_TIER_ALGORITHMS:
+    for algorithm in registry.names_for_scale(XXLARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
             continue
         for kind in ("star", "tree"):
@@ -258,7 +358,7 @@ def xxlarge_sweep_matrix(
                 SweepScenario(
                     algorithm,
                     kind,
-                    1_000_000,
+                    XXLARGE_TIER_NODES,
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,

@@ -165,13 +165,20 @@ def run_sweep(
 
 
 def deterministic_document(document: Dict[str, Any]) -> Dict[str, Any]:
-    """The sweep document minus every host- or scheduling-dependent field.
+    """The sweep document minus every host- or run-path-dependent field.
 
-    Two sweeps of the same matrix — regardless of worker count, start method,
-    or machine speed — must agree byte-for-byte on
-    ``canonical_json(deterministic_document(doc))``.
+    Two sweeps of the same matrix — regardless of worker count, start
+    method, machine speed, or whether the rows came from one run or from
+    ``merge_documents`` over shards — must agree byte-for-byte on
+    ``canonical_json(deterministic_document(doc))``.  ``generated_by`` is
+    provenance (it differs between single-shot and merged-shard documents),
+    so it is stripped along with the timing.
     """
-    stripped = {key: value for key, value in document.items() if key != "run"}
+    stripped = {
+        key: value
+        for key, value in document.items()
+        if key not in ("run", "generated_by")
+    }
     stripped["scenarios"] = [
         {key: value for key, value in row.items() if key != "timing"}
         for row in document["scenarios"]

@@ -24,8 +24,7 @@ import time
 import traceback
 from typing import Any, Dict
 
-from repro.baselines import registry
-from repro.sweep.matrix import SweepScenario, build_sweep_topology, build_sweep_workload
+from repro.sweep.matrix import SweepScenario
 from repro.topology.metrics import diameter
 from repro.workload.driver import ExperimentDriver
 
@@ -53,12 +52,14 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
     live under the ``"timing"`` key so the merged document can be compared
     byte-for-byte across runs and worker counts after stripping timing.
     """
-    topology = build_sweep_topology(spec.kind, spec.n)
-    workload = build_sweep_workload(topology, spec.workload, seed=spec.seed)
-    system_class = registry.get(spec.algorithm)
+    # The scenario's canonical ExperimentSpec is the construction path: the
+    # same builders a spec JSON shipped to another machine would run.
+    experiment = spec.experiment_spec()
+    topology = experiment.topology.build()
+    workload = experiment.workload.build(topology, seed=experiment.seed)
     start = time.perf_counter()
-    system = system_class(topology, collect_metrics=spec.collect_metrics)
-    driver = ExperimentDriver(system, workload, scheduler=spec.scheduler)
+    system = experiment.build_system(topology)
+    driver = ExperimentDriver(system, workload, scheduler=experiment.scheduler)
     result = driver.run(max_events=MAX_EVENTS_PER_SCENARIO)
     wall = time.perf_counter() - start
     events = system.engine.processed_events

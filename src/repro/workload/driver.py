@@ -151,7 +151,9 @@ class ExperimentDriver:
                 depth = min(depth, chunk)
             if (
                 mode == "auto"
-                and not getattr(system, "dense_message_traffic", False)
+                # Declared once on the system class (the registry's
+                # capability metadata), so no getattr probing here.
+                and not system.dense_message_traffic
                 and depth < RING_ARRIVAL_THRESHOLD
             ):
                 # Sparse token-passing traffic over a modest backlog: the
@@ -162,6 +164,16 @@ class ExperimentDriver:
             )
             if chosen.kind != engine.scheduler_kind or scheduler != "auto":
                 engine.use_scheduler(chosen)
+
+    @classmethod
+    def from_spec(cls, spec) -> "ExperimentDriver":
+        """Build system and workload from an :class:`~repro.spec.ExperimentSpec`.
+
+        The spec carries the scheduler choice too, so
+        ``ExperimentDriver.from_spec(spec).run()`` is the whole replay.
+        """
+        system, workload = spec.build()
+        return cls(system, workload, scheduler=spec.scheduler)
 
     # ------------------------------------------------------------------ #
     # running
@@ -364,9 +376,9 @@ class ExperimentDriver:
 
 
 def run_experiment(
-    algorithm: Union[str, Type[MutexSystem]],
-    topology: Topology,
-    workload: Workload,
+    algorithm: Union[str, Type[MutexSystem], "ExperimentSpec"],
+    topology: Optional[Topology] = None,
+    workload: Optional[Workload] = None,
     *,
     latency: Optional[LatencyModel] = None,
     record_trace: bool = False,
@@ -376,8 +388,11 @@ def run_experiment(
     """Convenience wrapper: build the system, replay the workload, return results.
 
     Args:
-        algorithm: a registry name (``"dag"``, ``"raymond"``, ...) or a
-            :class:`MutexSystem` subclass.
+        algorithm: a registry name (``"dag"``, ``"raymond"``, ...), a
+            :class:`MutexSystem` subclass, or a complete
+            :class:`~repro.spec.ExperimentSpec` — in which case every other
+            argument must be left at its default (the spec already carries
+            them) and the spec is replayed as-is.
         topology: the logical topology (edges are ignored by the algorithms
             that assume a fully connected logical network).
         workload: the request schedule to replay.
@@ -388,6 +403,28 @@ def run_experiment(
         scheduler: engine scheduler choice (see :class:`ExperimentDriver`);
             the replay outcome is identical for every value.
     """
+    from repro.spec import ExperimentSpec
+
+    if isinstance(algorithm, ExperimentSpec):
+        if (
+            topology is not None
+            or workload is not None
+            or latency is not None
+            or record_trace
+            or not collect_metrics
+            or scheduler != "auto"
+        ):
+            raise ExperimentError(
+                "run_experiment(spec): the spec already carries the topology, "
+                "workload, latency, scheduler, trace and metrics choices; "
+                "pass only the spec (edit the spec to change them)"
+            )
+        return algorithm.run()
+    if topology is None or workload is None:
+        raise ExperimentError(
+            "run_experiment needs a topology and a workload unless given an "
+            "ExperimentSpec"
+        )
     system_class = registry.get(algorithm) if isinstance(algorithm, str) else algorithm
     system = system_class(
         topology,

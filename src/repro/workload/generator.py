@@ -9,7 +9,8 @@ schedule can be replayed against every algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import math
+from typing import Optional, Sequence
 
 from repro.exceptions import WorkloadError
 from repro.sim.rng import SeededRNG
@@ -321,6 +322,68 @@ class WorkloadGenerator:
                 f"bursty: {total_requests} requests in {bursts} bursts "
                 f"(mean size {mean_burst_size}, in-burst gap {burst_interarrival}, "
                 f"idle gap {mean_idle_gap})"
+            ),
+        )
+
+    def diurnal(
+        self,
+        *,
+        total_requests: int,
+        period: float = 200.0,
+        mean_interarrival: float = 5.0,
+        amplitude: float = 0.8,
+        cs_duration: float = 1.0,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> Workload:
+        """Sinusoidal-rate arrivals: a seeded day/night demand curve.
+
+        A non-homogeneous Poisson process whose instantaneous rate swings
+        around the base rate ``1 / mean_interarrival``::
+
+            rate(t) = (1 + amplitude * sin(2 * pi * t / period)) / mean_interarrival
+
+        so each ``period`` of virtual time holds one full peak (rate up to
+        ``(1 + amplitude)`` times base) and one trough (down to
+        ``(1 - amplitude)`` times base) — the diurnal load shape the steady
+        Poisson and on/off bursty tiers both miss.  Arrivals are drawn by
+        Lewis–Shedler thinning: seeded candidates at the peak rate, accepted
+        with probability ``rate(t) / peak_rate``, which keeps the schedule a
+        pure function of the generator's seed.
+        """
+        if total_requests < 0:
+            raise WorkloadError(f"total_requests must be >= 0, got {total_requests}")
+        if period <= 0:
+            raise WorkloadError(f"period must be positive, got {period}")
+        if mean_interarrival <= 0:
+            raise WorkloadError(
+                f"mean_interarrival must be positive, got {mean_interarrival}"
+            )
+        if not 0.0 <= amplitude <= 1.0:
+            raise WorkloadError(f"amplitude must be in [0, 1], got {amplitude}")
+        candidates = tuple(nodes) if nodes is not None else self.node_ids
+        rng = self._rng.child("diurnal")
+        peak_rate = (1.0 + amplitude) / mean_interarrival
+        angular = 2.0 * math.pi / period
+        requests = []
+        time = 0.0
+        while len(requests) < total_requests:
+            # Candidate stream at the constant peak rate...
+            time += rng.exponential(1.0 / peak_rate)
+            rate = (1.0 + amplitude * math.sin(angular * time)) / mean_interarrival
+            # ...thinned down to the instantaneous sinusoidal rate.
+            if rng.random() * peak_rate <= rate:
+                requests.append(
+                    CSRequest(
+                        node=rng.choice(candidates),
+                        arrival_time=time,
+                        cs_duration=cs_duration,
+                    )
+                )
+        return Workload(
+            requests=tuple(requests),
+            description=(
+                f"diurnal: {total_requests} requests, period {period}, "
+                f"mean interarrival {mean_interarrival}, amplitude {amplitude}"
             ),
         )
 

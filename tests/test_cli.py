@@ -227,3 +227,125 @@ def test_setup_only_threads_the_scheduler_choice():
     )
     (row,) = document["scenarios"]
     assert row["scheduler"] == "ring"
+
+
+# --------------------------------------------------------------------------- #
+# repro run (the declarative spec verb)
+# --------------------------------------------------------------------------- #
+def test_run_shorthand_executes_a_cell(capsys):
+    code, out = run_cli(capsys, "run", "dag", "star:30", "heavy:2", "--no-metrics")
+    assert code == 0
+    assert "dag-star-n30-heavy" in out
+    assert "entry order sha256" in out
+
+
+def test_run_spec_file_matches_shorthand(capsys, tmp_path):
+    path = tmp_path / "cell.json"
+    code, _ = run_cli(
+        capsys, "run", "dag", "star:30", "heavy:2", "--save-spec", str(path),
+        "--print-spec",
+    )
+    assert code == 0
+    from_file_code, from_file_out = run_cli(capsys, "run", "--spec", str(path))
+    shorthand_code, shorthand_out = run_cli(capsys, "run", "dag", "star:30", "heavy:2")
+    assert from_file_code == shorthand_code == 0
+    assert from_file_out == shorthand_out
+
+
+def test_run_print_spec_round_trips(capsys):
+    from repro.spec import ExperimentSpec
+
+    code = main(["run", "raymond", "random:16:3", "diurnal", "--print-spec"])
+    out = capsys.readouterr().out
+    assert code == 0
+    spec = ExperimentSpec.from_json(out)
+    assert spec.algorithm == "raymond"
+    assert spec.topology.seed == 3
+    assert spec.workload.tier == "diurnal"
+
+
+def test_run_validates_names_with_registry_listing(capsys):
+    assert main(["run", "typo", "star:9", "heavy"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown algorithm" in err and "centralized" in err
+    assert main(["run", "dag", "star:9", "sawtooth"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload tier" in err and "diurnal" in err
+    assert main(["run", "dag", "hypercube:9", "heavy"]) == 2
+    assert "unknown topology kind" in capsys.readouterr().err
+
+
+def test_run_rejects_bad_invocations(capsys):
+    assert main(["run"]) == 2
+    assert "ALGO KIND:N TIER" in capsys.readouterr().err
+    assert main(["run", "dag", "star:9"]) == 2
+    capsys.readouterr()
+    assert main(["run", "--spec", "/nonexistent/spec.json"]) == 2
+    capsys.readouterr()
+    assert main(["run", "dag", "star:9", "heavy", "--spec", "x.json"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# sweep spec shards (export / from-specs / merge)
+# --------------------------------------------------------------------------- #
+def test_sweep_shard_round_trip_matches_single_shot(capsys, tmp_path):
+    shard_a = tmp_path / "a.specs.json"
+    shard_b = tmp_path / "b.specs.json"
+    assert main(["sweep", "--smoke", "--algorithms", "dag",
+                 "--export-specs", str(shard_a)]) == 0
+    assert main(["sweep", "--smoke", "--algorithms", "centralized",
+                 "--export-specs", str(shard_b)]) == 0
+    capsys.readouterr()
+
+    doc_a = tmp_path / "a.doc.json"
+    doc_b = tmp_path / "b.doc.json"
+    assert main(["sweep", "--from-specs", str(shard_a), "--workers", "1",
+                 "--no-tables", "--output", str(doc_a)]) == 0
+    assert main(["sweep", "--from-specs", str(shard_b), "--workers", "1",
+                 "--no-tables", "--output", str(doc_b)]) == 0
+    capsys.readouterr()
+
+    merged = tmp_path / "merged.det.json"
+    single = tmp_path / "single.det.json"
+    assert main(["sweep", "--merge", str(doc_a), str(doc_b), "--no-tables",
+                 "--deterministic-output", str(merged)]) == 0
+    assert main(["sweep", "--smoke", "--algorithms", "dag", "centralized",
+                 "--workers", "2", "--no-tables",
+                 "--deterministic-output", str(single)]) == 0
+    capsys.readouterr()
+    assert merged.read_bytes() == single.read_bytes()
+
+
+def test_sweep_from_specs_excludes_matrix_flags(capsys, tmp_path):
+    shard = tmp_path / "shard.specs.json"
+    assert main(["sweep", "--smoke", "--algorithms", "dag",
+                 "--export-specs", str(shard)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--from-specs", str(shard), "--smoke"]) == 2
+    assert "tier flags" in capsys.readouterr().err
+    assert main(["sweep", "--from-specs", "/nonexistent.json"]) == 2
+    capsys.readouterr()
+
+
+def test_sweep_merge_rejects_overlapping_shards(capsys, tmp_path):
+    doc = tmp_path / "doc.json"
+    assert main(["sweep", "--smoke", "--algorithms", "dag", "--workers", "1",
+                 "--no-tables", "--output", str(doc)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--merge", str(doc), str(doc)]) == 2
+    assert "more than one shard" in capsys.readouterr().err
+
+
+def test_sweep_merge_rejects_non_document_inputs(capsys, tmp_path):
+    shard = tmp_path / "shard.specs.json"
+    assert main(["sweep", "--smoke", "--algorithms", "dag",
+                 "--export-specs", str(shard)]) == 0
+    capsys.readouterr()
+    # The easy mix-up: merging a spec-shard file instead of its run output.
+    assert main(["sweep", "--merge", str(shard)]) == 2
+    assert "--from-specs" in capsys.readouterr().err
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("[1, 2, 3]")
+    assert main(["sweep", "--merge", str(bogus)]) == 2
+    assert "not a sweep result document" in capsys.readouterr().err

@@ -1,0 +1,444 @@
+"""Tests for the declarative experiment spec API and the capability registry.
+
+Three contracts are pinned here:
+
+* **round trip** — ``ExperimentSpec.from_json(spec.canonical_json()) == spec``
+  for every field combination the matrices use;
+* **capability completeness** — every registered algorithm declares the full
+  capability set on its own class (no inherited defaults), and the registry's
+  scale queries reproduce the tier memberships the hand-maintained tuples
+  used to encode;
+* **spec-vs-legacy byte identity** — a spec-built scenario replays the
+  legacy construction paths' exact entry order, counts and finish time over
+  the sweep smoke matrix and the bench cell families.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import STORAGE_CLASSES, registry
+from repro.baselines.base import MutexSystem
+from repro.bench.throughput import ScenarioSpec, bench_workload_spec
+from repro.exceptions import ExperimentError, WorkloadError
+from repro.spec import (
+    DEFAULT_HEAVY_ROUNDS,
+    STREAMING_NODE_THRESHOLD,
+    WORKLOAD_TIERS,
+    XXLARGE_HEAVY_ROUNDS,
+    ExperimentSpec,
+    LatencySpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.sweep.matrix import (
+    SweepScenario,
+    load_spec_shard,
+    smoke_sweep_matrix,
+    sweep_workload_spec,
+    validate_algorithms,
+    write_spec_shard,
+)
+from repro.topology import star
+from repro.workload.driver import ExperimentDriver, run_experiment
+from repro.workload.generator import WorkloadGenerator
+
+#: Capability attributes every algorithm must declare on its own class.
+CAPABILITY_ATTRS = (
+    "dense_message_traffic",
+    "max_recommended_nodes",
+    "storage_class",
+    "token_based",
+)
+
+
+def _outcome(result):
+    return (
+        result.entry_order,
+        result.completed_entries,
+        result.total_messages,
+        round(result.finished_at, 9),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# round trip
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ExperimentSpec(
+            algorithm="dag",
+            topology=TopologySpec(kind="star", n=1000),
+            workload=WorkloadSpec(tier="heavy", rounds=10),
+            collect_metrics=False,
+        ),
+        ExperimentSpec(
+            algorithm="maekawa",
+            topology=TopologySpec(kind="tree", n=31),
+            workload=WorkloadSpec(tier="light", total_requests=64),
+            latency=LatencySpec(kind="uniform", low=0.5, high=2.0, seed=3),
+            scheduler="ring",
+            seed=17,
+        ),
+        ExperimentSpec(
+            algorithm="raymond",
+            topology=TopologySpec(kind="random", n=64, seed=7, compact=False),
+            workload=WorkloadSpec(tier="diurnal"),
+            latency=LatencySpec(kind="exponential", mean=1.5, seed=1),
+            record_trace=True,
+        ),
+        ExperimentSpec(
+            algorithm="centralized",
+            topology=TopologySpec(kind="line", n=50),
+            workload=WorkloadSpec(
+                tier="heavy",
+                rounds=XXLARGE_HEAVY_ROUNDS,
+                streaming=True,
+                chunk_requests=32,
+            ),
+            scheduler="heap",
+        ),
+        ExperimentSpec(
+            algorithm="suzuki-kasami",
+            topology=TopologySpec(kind="star", n=9),
+            workload=WorkloadSpec(tier="hotspot"),
+            latency=LatencySpec(kind="constant", value=2.0),
+        ),
+    ],
+)
+def test_spec_json_round_trip(spec):
+    assert ExperimentSpec.from_json(spec.canonical_json()) == spec
+
+
+def test_canonical_json_is_stable_and_sorted():
+    spec = ExperimentSpec.parse("dag", "star:50", "heavy")
+    first = spec.canonical_json()
+    assert first == ExperimentSpec.from_json(first).canonical_json()
+    data = json.loads(first)
+    assert list(data) == sorted(data)
+    assert data["schema"] == "experiment-spec/v1"
+
+
+def test_spec_file_round_trip(tmp_path):
+    spec = ExperimentSpec.parse("raymond", "tree:31", "bursty", seed=4)
+    path = tmp_path / "spec.json"
+    spec.save(str(path))
+    assert ExperimentSpec.load(str(path)) == spec
+
+
+def test_from_dict_rejects_unknown_fields_and_schema():
+    spec = ExperimentSpec.parse("dag", "star:9", "light")
+    data = json.loads(spec.canonical_json())
+    data["surprise"] = 1
+    with pytest.raises(ExperimentError, match="unknown fields"):
+        ExperimentSpec.from_dict(data)
+    data = json.loads(spec.canonical_json())
+    data["schema"] = "experiment-spec/v999"
+    with pytest.raises(ExperimentError, match="schema"):
+        ExperimentSpec.from_dict(data)
+    with pytest.raises(ExperimentError, match="not valid JSON"):
+        ExperimentSpec.from_json("{nope")
+
+
+def test_spec_validation_lists_known_names():
+    with pytest.raises(ExperimentError, match="centralized"):
+        ExperimentSpec.parse("typo", "star:9", "heavy")
+    with pytest.raises(ExperimentError, match="line"):
+        TopologySpec(kind="hypercube", n=8)
+    with pytest.raises(ExperimentError, match="diurnal"):
+        WorkloadSpec(tier="sawtooth")
+    with pytest.raises(ExperimentError, match="ring"):
+        ExperimentSpec.parse("dag", "star:9", "heavy", scheduler="lifo")
+    with pytest.raises(ExperimentError, match="constant"):
+        LatencySpec(kind="normal")
+
+
+def test_workload_spec_field_constraints():
+    with pytest.raises(ExperimentError):
+        WorkloadSpec(tier="light", rounds=3)  # rounds are heavy-only
+    with pytest.raises(ExperimentError):
+        WorkloadSpec(tier="heavy", total_requests=10)  # heavy sized by rounds
+    with pytest.raises(ExperimentError):
+        WorkloadSpec(tier="light", streaming=True)  # only heavy streams
+    with pytest.raises(ExperimentError):
+        WorkloadSpec(tier="heavy", rounds=0)
+    with pytest.raises(ExperimentError):
+        WorkloadSpec(tier="heavy", chunk_requests=0)
+
+
+def test_parse_shorthand_forms():
+    spec = ExperimentSpec.parse("dag", "star:1000", "heavy")
+    assert spec.topology == TopologySpec(kind="star", n=1000)
+    assert spec.workload == WorkloadSpec(tier="heavy")
+    assert ExperimentSpec.parse("dag", "random:64:7", "light").topology.seed == 7
+    assert ExperimentSpec.parse("dag", "line:50", "heavy:5").workload.rounds == 5
+    for bad in ("star", "star:ten", "star:9:1:2"):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.parse("dag", bad, "heavy")
+    with pytest.raises(ExperimentError):
+        ExperimentSpec.parse("dag", "star:9", "heavy:many")
+
+
+# --------------------------------------------------------------------------- #
+# capability completeness + registry queries
+# --------------------------------------------------------------------------- #
+def test_every_algorithm_declares_capabilities_explicitly():
+    for name, system_class in registry.items():
+        for attr in CAPABILITY_ATTRS:
+            declared = any(
+                attr in klass.__dict__
+                for klass in system_class.__mro__
+                if klass is not MutexSystem and klass is not object
+            )
+            assert declared, f"{name} inherits {attr} instead of declaring it"
+        assert system_class.storage_class in STORAGE_CLASSES
+        assert system_class.storage_description, f"{name} lacks a storage description"
+
+
+def test_registry_capabilities_reflect_class_attributes():
+    caps = registry.capabilities("raymond")
+    assert caps.name == "raymond"
+    assert caps.token_based is True
+    assert caps.storage_class == "queue"
+    assert caps.max_recommended_nodes == 100_000
+    assert caps.supports_scale(100_000)
+    assert not caps.supports_scale(100_001)
+    unbounded = registry.capabilities("dag")
+    assert unbounded.max_recommended_nodes is None
+    assert unbounded.supports_scale(10**9)
+    with pytest.raises(KeyError, match="unknown algorithm"):
+        registry.capabilities("typo")
+
+
+def test_scale_queries_reproduce_tier_memberships():
+    # The memberships the hand-maintained tuples used to pin, now derived
+    # from per-class capability declarations.
+    assert registry.names_for_scale(50) == list(registry.names())
+    assert registry.names_for_scale(10_000) == ["centralized", "raymond", "dag"]
+    assert registry.names_for_scale(100_000) == ["centralized", "raymond", "dag"]
+    assert registry.names_for_scale(1_000_000) == ["centralized", "dag"]
+
+
+def test_dense_traffic_declarations_drive_scheduler_selection():
+    topology = star(30)
+    workload = WorkloadGenerator(topology.nodes, seed=1).heavy_demand(rounds=2)
+    for name in ("dag", "lamport"):
+        system = registry.get(name)(topology, collect_metrics=False)
+        driver = ExperimentDriver(system, workload)
+        expected = "ring" if registry.capabilities(name).dense_message_traffic else "heap"
+        assert driver.system.engine.scheduler_kind == expected
+
+
+def test_validate_algorithms_lists_registry_entries():
+    validate_algorithms(None)
+    validate_algorithms(["dag", "raymond"])
+    with pytest.raises(WorkloadError, match=r"\['typo'\].*centralized"):
+        validate_algorithms(["dag", "typo"])
+    with pytest.raises(WorkloadError):
+        smoke_sweep_matrix(algorithms=["nope"])
+
+
+# --------------------------------------------------------------------------- #
+# spec-vs-legacy replay byte identity
+# --------------------------------------------------------------------------- #
+def test_spec_replays_sweep_smoke_matrix_identically():
+    # Every smoke cell: the scenario's canonical spec must replay the legacy
+    # construction (registry class + topology builder + tier generator)
+    # event for event.
+    from repro.sweep.matrix import build_sweep_topology, build_sweep_workload
+
+    for scenario in smoke_sweep_matrix():
+        topology = build_sweep_topology(scenario.kind, scenario.n)
+        workload = build_sweep_workload(topology, scenario.workload, seed=scenario.seed)
+        legacy = run_experiment(
+            scenario.algorithm,
+            topology,
+            workload,
+            collect_metrics=scenario.collect_metrics,
+        )
+        via_spec = scenario.experiment_spec().run()
+        assert _outcome(via_spec) == _outcome(legacy), scenario.name
+
+
+def test_spec_matches_hand_built_tier_definitions():
+    # Independent spelling of the frozen tier parameterisations: if a spec
+    # default drifts, this fails even though both entry points now share
+    # builders.
+    topology = star(40)
+    seed = SweepScenario("dag", "star", 40, "heavy").seed
+    hand = WorkloadGenerator(topology.nodes, seed=seed).heavy_demand(rounds=5)
+    via_spec = sweep_workload_spec("heavy", 40).build(topology, seed=seed)
+    assert tuple(via_spec) == tuple(hand)
+
+    bench_hand = WorkloadGenerator(topology.nodes, seed=0).heavy_demand(
+        rounds=DEFAULT_HEAVY_ROUNDS
+    )
+    bench_spec = bench_workload_spec("heavy", 40).build(topology, seed=0)
+    assert tuple(bench_spec) == tuple(bench_hand)
+
+    light_hand = WorkloadGenerator(topology.nodes, seed=3).poisson(
+        total_requests=80, mean_interarrival=5.0
+    )
+    light_spec = WorkloadSpec(tier="light").build(topology, seed=3)
+    assert tuple(light_spec) == tuple(light_hand)
+
+
+def test_bench_cell_spec_replays_legacy_dag_run():
+    from repro.baselines.dag_adapter import DagSystem
+    from repro.bench.throughput import build_topology, build_workload
+
+    cell = ScenarioSpec("star", 100, "heavy")
+    topology = build_topology(cell.kind, cell.n)
+    workload = build_workload(topology, cell.demand)
+    legacy_system = DagSystem(topology, collect_metrics=False)
+    legacy = ExperimentDriver(legacy_system, workload).run()
+
+    spec = cell.experiment_spec()
+    driver = ExperimentDriver.from_spec(spec)
+    via_spec = driver.run()
+    assert _outcome(via_spec) == _outcome(legacy)
+    assert driver.system.engine.processed_events == legacy_system.engine.processed_events
+
+
+def test_streaming_heavy_spec_matches_materialised_schedule():
+    # The spec's streamed heavy form yields the identical request schedule
+    # as the materialised form it replaces above the node threshold.
+    topology = star(50)
+    streamed = WorkloadSpec(
+        tier="heavy", rounds=2, streaming=True, chunk_requests=16
+    ).build(topology, seed=0)
+    materialised = WorkloadSpec(tier="heavy", rounds=2).build(topology, seed=0)
+    assert tuple(streamed) == tuple(materialised)
+    spec_threshold_cell = bench_workload_spec("heavy", STREAMING_NODE_THRESHOLD)
+    assert spec_threshold_cell.streaming is True
+    assert spec_threshold_cell.rounds == XXLARGE_HEAVY_ROUNDS
+
+
+def test_run_experiment_accepts_a_spec():
+    spec = ExperimentSpec.parse("dag", "star:20", "heavy:2")
+    direct = spec.run()
+    via_run = run_experiment(spec)
+    assert _outcome(via_run) == _outcome(direct)
+    with pytest.raises(ExperimentError, match="only the spec"):
+        run_experiment(spec, star(5))
+    with pytest.raises(ExperimentError, match="needs a topology"):
+        run_experiment("dag")
+
+
+def test_spec_latency_and_seed_are_part_of_the_outcome():
+    base = ExperimentSpec.parse("dag", "star:20", "light")
+    other_seed = ExperimentSpec.parse("dag", "star:20", "light", seed=5)
+    slow = ExperimentSpec(
+        algorithm="dag",
+        topology=base.topology,
+        workload=base.workload,
+        latency=LatencySpec(kind="constant", value=2.0),
+    )
+    assert _outcome(base.run()) == _outcome(base.run())  # reproducible
+    assert _outcome(base.run()) != _outcome(other_seed.run())
+    assert base.run().finished_at < slow.run().finished_at
+
+
+# --------------------------------------------------------------------------- #
+# spec shards
+# --------------------------------------------------------------------------- #
+def test_spec_shard_round_trip(tmp_path):
+    matrix = smoke_sweep_matrix(algorithms=["dag", "raymond"])
+    path = tmp_path / "shard.json"
+    write_spec_shard(matrix, str(path))
+    assert load_spec_shard(str(path)) == matrix
+
+
+def test_spec_shard_rejects_tampering(tmp_path):
+    matrix = smoke_sweep_matrix(algorithms=["dag"])
+    path = tmp_path / "shard.json"
+    write_spec_shard(matrix, str(path))
+    document = json.loads(path.read_text())
+
+    tampered = json.loads(json.dumps(document))
+    tampered["scenarios"][0]["seed"] += 1
+    path.write_text(json.dumps(tampered))
+    with pytest.raises(WorkloadError, match="mislabelled"):
+        load_spec_shard(str(path))
+
+    tampered = json.loads(json.dumps(document))
+    tampered["scenarios"][0]["workload"]["rounds"] = 99
+    path.write_text(json.dumps(tampered))
+    with pytest.raises(WorkloadError, match="frozen"):
+        load_spec_shard(str(path))
+
+    path.write_text(json.dumps({"schema": "other/v1", "scenarios": []}))
+    with pytest.raises(WorkloadError, match="spec-shard"):
+        load_spec_shard(str(path))
+
+
+def test_committed_example_spec_replays_legacy_acceptance_cell():
+    # The acceptance contract: examples/specs/dag_star1000_heavy.json must
+    # reproduce the legacy run_experiment call's entry order and counts.
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "examples" / "specs"
+    spec = ExperimentSpec.load(str(path / "dag_star1000_heavy.json"))
+    assert spec == ScenarioSpec("star", 1000, "heavy").experiment_spec()
+
+    from repro.bench.throughput import build_topology, build_workload
+
+    topology = build_topology("star", 1000)
+    workload = build_workload(topology, "heavy")
+    legacy = run_experiment("dag", topology, workload, collect_metrics=False)
+    driver = ExperimentDriver.from_spec(spec)
+    via_spec = driver.run()
+    assert _outcome(via_spec) == _outcome(legacy)
+
+
+def test_all_committed_example_specs_load_and_round_trip():
+    from pathlib import Path
+
+    spec_dir = Path(__file__).resolve().parent.parent / "examples" / "specs"
+    paths = sorted(spec_dir.glob("*.json"))
+    assert len(paths) >= 3, "examples/specs should ship at least 3 spec files"
+    for path in paths:
+        spec = ExperimentSpec.load(str(path))
+        # Committed files are in canonical form: load -> dump is the identity.
+        assert spec.canonical_json() == path.read_text()
+
+
+def test_spec_shard_rejects_foreign_latency_and_trace(tmp_path):
+    # The tamper check covers every outcome-affecting field, not just the
+    # workload tier: a shard declaring a latency model (or trace mode) the
+    # sweep's frozen cells do not use must be refused, not silently dropped.
+    matrix = smoke_sweep_matrix(algorithms=["dag"])
+    path = tmp_path / "shard.json"
+    write_spec_shard(matrix, str(path))
+    document = json.loads(path.read_text())
+
+    tampered = json.loads(json.dumps(document))
+    tampered["scenarios"][0]["latency"] = LatencySpec(kind="uniform").to_dict()
+    path.write_text(json.dumps(tampered))
+    with pytest.raises(WorkloadError, match="frozen"):
+        load_spec_shard(str(path))
+
+    tampered = json.loads(json.dumps(document))
+    tampered["scenarios"][0]["record_trace"] = True
+    path.write_text(json.dumps(tampered))
+    with pytest.raises(WorkloadError, match="frozen"):
+        load_spec_shard(str(path))
+
+    tampered = json.loads(json.dumps(document))
+    tampered["scenarios"][0]["topology"]["seed"] = 5
+    path.write_text(json.dumps(tampered))
+    with pytest.raises(WorkloadError, match="frozen"):
+        load_spec_shard(str(path))
+
+
+def test_run_experiment_spec_rejects_every_overriding_argument():
+    spec = ExperimentSpec.parse("dag", "star:9", "heavy:1")
+    with pytest.raises(ExperimentError, match="pass only the spec"):
+        run_experiment(spec, scheduler="ring")
+    with pytest.raises(ExperimentError, match="pass only the spec"):
+        run_experiment(spec, collect_metrics=False)
+    with pytest.raises(ExperimentError, match="pass only the spec"):
+        run_experiment(spec, record_trace=True)

@@ -157,3 +157,59 @@ def test_round_robin_orders_nodes_in_turn():
     assert nodes_in_order == list(NODES) + list(NODES)
     with pytest.raises(WorkloadError):
         generator.round_robin(rounds=0)
+
+
+def test_diurnal_counts_and_monotone_arrivals():
+    generator = WorkloadGenerator(NODES, seed=21)
+    workload = generator.diurnal(total_requests=80)
+    assert len(workload) == 80
+    assert set(workload.nodes) <= set(NODES)
+    times = [request.arrival_time for request in workload]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+def test_diurnal_is_deterministic_per_seed():
+    first = WorkloadGenerator(NODES, seed=22).diurnal(total_requests=40)
+    second = WorkloadGenerator(NODES, seed=22).diurnal(total_requests=40)
+    assert first.requests == second.requests
+    third = WorkloadGenerator(NODES, seed=23).diurnal(total_requests=40)
+    assert first.requests != third.requests
+
+
+def test_diurnal_rate_actually_swings():
+    # With a strong amplitude, arrivals inside peak half-periods must
+    # outnumber arrivals inside trough half-periods.
+    period = 100.0
+    workload = WorkloadGenerator(NODES, seed=24).diurnal(
+        total_requests=400, period=period, mean_interarrival=1.0, amplitude=1.0
+    )
+    peak = trough = 0
+    for request in workload:
+        phase = (request.arrival_time % period) / period
+        if phase < 0.5:
+            peak += 1  # sin positive: above-base rate
+        else:
+            trough += 1
+    assert peak > trough * 2
+
+
+def test_diurnal_restricted_to_subset_of_nodes():
+    workload = WorkloadGenerator(NODES, seed=25).diurnal(total_requests=30, nodes=[1, 5])
+    assert set(workload.nodes) <= {1, 5}
+
+
+def test_diurnal_validates_arguments():
+    generator = WorkloadGenerator(NODES, seed=26)
+    with pytest.raises(WorkloadError):
+        generator.diurnal(total_requests=-1)
+    with pytest.raises(WorkloadError):
+        generator.diurnal(total_requests=10, period=0.0)
+    with pytest.raises(WorkloadError):
+        generator.diurnal(total_requests=10, mean_interarrival=0.0)
+    with pytest.raises(WorkloadError):
+        generator.diurnal(total_requests=10, amplitude=1.5)
+
+
+def test_diurnal_zero_requests_is_empty():
+    assert len(WorkloadGenerator(NODES, seed=27).diurnal(total_requests=0)) == 0
