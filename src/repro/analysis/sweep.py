@@ -14,15 +14,25 @@ from typing import Any, Dict, List, Tuple
 
 from repro.analysis.report import format_table
 
-ConditionKey = Tuple[str, int, str]
+#: (topology kind, n, workload tier) for fault-free cells; fault-injected
+#: cells append the fault profile name as a fourth element, so they group
+#: into their own conditions without changing the fault-free key shape.
+ConditionKey = Tuple[Any, ...]
+
+
+def _row_condition(row: Dict[str, Any]) -> ConditionKey:
+    base = (row["kind"], row["n"], row["workload"])
+    profile = row.get("fault_profile")
+    return base + (profile,) if profile else base
 
 
 def sweep_conditions(document: Dict[str, Any]) -> List[ConditionKey]:
-    """All (topology kind, n, workload tier) conditions present, sorted."""
-    seen = {
-        (row["kind"], row["n"], row["workload"])
-        for row in document.get("scenarios", [])
-    }
+    """All experimental conditions present, sorted.
+
+    Fault-injected cells form their own conditions (keyed by profile name),
+    so a degradation table never mixes faulted and fault-free rows.
+    """
+    seen = {_row_condition(row) for row in document.get("scenarios", [])}
     return sorted(seen)
 
 
@@ -34,33 +44,44 @@ def condition_rows(
     Failed scenarios (crashed / error / timeout) keep a row so a comparison
     table can never silently drop an algorithm.
     """
+    condition = tuple(condition)
+    faulted = len(condition) == 4
     rows: List[Dict[str, Any]] = []
     for scenario in document.get("scenarios", []):
-        if (scenario["kind"], scenario["n"], scenario["workload"]) != condition:
+        if _row_condition(scenario) != condition:
             continue
         if scenario["status"] != "ok":
-            rows.append(
-                {
-                    "algorithm": scenario["algorithm"],
-                    "entries": "-",
-                    "messages": "-",
-                    "messages_per_entry": "-",
-                    "mean_waiting_time": "-",
-                    "status": scenario["status"].upper(),
-                }
-            )
+            row = {
+                "algorithm": scenario["algorithm"],
+                "entries": "-",
+                "messages": "-",
+                "messages_per_entry": "-",
+                "mean_waiting_time": "-",
+                "status": scenario["status"].upper(),
+            }
+            if faulted:
+                row["unserved"] = "-"
+                row["total_faults"] = "-"
+            rows.append(row)
             continue
         waiting = scenario.get("mean_waiting_time")
-        rows.append(
-            {
-                "algorithm": scenario["algorithm"],
-                "entries": scenario["entries"],
-                "messages": scenario["messages"],
-                "messages_per_entry": scenario["messages_per_entry"],
-                "mean_waiting_time": round(waiting, 3) if waiting is not None else "-",
-                "status": "ok",
-            }
-        )
+        row = {
+            "algorithm": scenario["algorithm"],
+            "entries": scenario["entries"],
+            "messages": scenario["messages"],
+            "messages_per_entry": scenario["messages_per_entry"],
+            "mean_waiting_time": round(waiting, 3) if waiting is not None else "-",
+            "status": "ok",
+        }
+        if faulted:
+            # Degradation columns: how many nodes the injected faults starved
+            # and how many messages were affected.
+            faults = scenario.get("faults") or {}
+            row["unserved"] = faults.get("unserved_nodes", "-")
+            row["total_faults"] = faults.get("total_faults", "-")
+            if faults.get("protocol_error"):
+                row["status"] = "protocol-error"
+        rows.append(row)
     rows.sort(
         key=lambda row: (
             isinstance(row["messages_per_entry"], str),  # failures last
@@ -77,12 +98,12 @@ def format_sweep_tables(document: Dict[str, Any]) -> str:
     """One ranked comparison table per experimental condition."""
     sections: List[str] = []
     for condition in sweep_conditions(document):
-        kind, n, workload = condition
+        kind, n, workload = condition[:3]
+        title = f"{kind} topology, N={n}, {workload} workload"
+        if len(condition) == 4:
+            title += f", faults={condition[3]}"
         sections.append(
-            format_table(
-                condition_rows(document, condition),
-                title=f"{kind} topology, N={n}, {workload} workload",
-            )
+            format_table(condition_rows(document, condition), title=title)
         )
     failures = document.get("failures", [])
     if failures:

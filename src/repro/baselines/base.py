@@ -219,6 +219,7 @@ class MutexSystem(abc.ABC):
         record_trace: bool = False,
         collect_metrics: bool = True,
         on_enter: Optional[EnterCallback] = None,
+        network_factory: Optional[Type[Network]] = None,
     ) -> None:
         self.topology = topology
         self.engine = SimulationEngine()
@@ -229,7 +230,11 @@ class MutexSystem(abc.ABC):
             MetricsCollector() if collect_metrics else None
         )
         self.trace = TraceRecorder(enabled=record_trace)
-        self.network = Network(
+        # ``network_factory`` swaps the substrate under every algorithm
+        # uniformly (fault-carrying specs pass FaultInjectingNetwork); a
+        # subclassed network always takes the observed delivery path.
+        network_class = network_factory if network_factory is not None else Network
+        self.network = network_class(
             self.engine,
             latency=latency,
             metrics=self.metrics,

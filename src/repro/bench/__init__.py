@@ -18,6 +18,19 @@ from repro.bench.baselines import (
     run_baseline_scenario,
     run_calibrated_baseline_benchmark,
 )
+from repro.bench.faults import (
+    DEGRADATION_ALGORITHMS,
+    DEGRADATION_PROFILES,
+    FAULT_BENCH_SCHEMA,
+    FaultScenarioSpec,
+    check_fault_baseline,
+    default_fault_matrix,
+    deterministic_fault_document,
+    recovery_matrix,
+    run_fault_benchmark,
+    run_fault_scenario,
+    smoke_fault_matrix,
+)
 from repro.bench.setup_cost import (
     construction_matrix,
     run_setup_benchmark,
@@ -52,27 +65,38 @@ __all__ = [
     "BASELINE_ALGORITHMS",
     "BaselineScenarioResult",
     "BaselineScenarioSpec",
+    "DEGRADATION_ALGORITHMS",
+    "DEGRADATION_PROFILES",
+    "FAULT_BENCH_SCHEMA",
+    "FaultScenarioSpec",
     "ScenarioResult",
     "ScenarioSpec",
     "baseline_default_matrix",
     "baseline_smoke_matrix",
     "bench_workload_spec",
     "check_against_baseline",
+    "check_fault_baseline",
     "construction_matrix",
+    "default_fault_matrix",
     "default_matrix",
+    "deterministic_fault_document",
     "determinism_fingerprint",
     "fast_path_consistent",
     "large_matrix",
     "min_merge_documents",
+    "recovery_matrix",
     "run_baseline_benchmark",
     "run_baseline_scenario",
     "run_calibrated_baseline_benchmark",
     "run_benchmark",
     "run_calibrated_benchmark",
+    "run_fault_benchmark",
+    "run_fault_scenario",
     "run_scenario",
     "run_setup_benchmark",
     "run_setup_scenario",
     "schedulers_equivalent",
+    "smoke_fault_matrix",
     "smoke_matrix",
     "xlarge_matrix",
     "xxlarge_matrix",

@@ -28,6 +28,7 @@ from repro.analysis.theory import (
 )
 from repro.baselines import registry
 from repro.core.inspector import implicit_queue
+from repro.spec import FAULT_PROFILES
 from repro.core.protocol import DagMutexProtocol
 from repro.topology import (
     balanced_tree,
@@ -228,6 +229,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.setup_only:
         return _bench_setup_only(args)
+    if args.faults:
+        return _bench_faults(args)
     if args.baselines:
         return _bench_baselines(args)
     if args.smoke:
@@ -343,10 +346,17 @@ def _bench_setup_only(args: argparse.Namespace) -> int:
         xxlarge_matrix,
     )
 
-    if args.baselines or args.calibrate is not None or args.profile or args.check:
+    if (
+        args.baselines
+        or args.faults
+        or args.calibrate is not None
+        or args.profile
+        or args.check
+    ):
         print(
             "error: --setup-only stands scenarios up without draining them; "
-            "it has no baselines/calibration/profile/regression-check modes",
+            "it has no baselines/faults/calibration/profile/regression-check "
+            "modes",
             file=sys.stderr,
         )
         return 2
@@ -376,6 +386,61 @@ def _bench_setup_only(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {args.output}")
+    return status
+
+
+def _bench_faults(args: argparse.Namespace) -> int:
+    """The ``repro bench --faults`` path: degradation + recovery matrix."""
+    import json
+
+    from repro.bench import (
+        check_fault_baseline,
+        run_fault_benchmark,
+        smoke_fault_matrix,
+    )
+    from repro.bench.throughput import load_json
+
+    if args.baselines or args.calibrate is not None or args.profile:
+        print(
+            "error: --faults is its own matrix (single deterministic run per "
+            "cell); it has no baselines/calibration/profile modes",
+            file=sys.stderr,
+        )
+        return 2
+    if args.large or args.xlarge or args.xxlarge:
+        print(
+            "error: --faults has no large tiers; its matrix already includes "
+            "the 100k-node recovery cell (drop --large/--xlarge/--xxlarge)",
+            file=sys.stderr,
+        )
+        return 2
+    matrix = smoke_fault_matrix() if args.smoke else None
+    document = run_fault_benchmark(
+        matrix=matrix, scheduler=args.scheduler, verbose=True
+    )
+
+    status = 0
+    if args.check:
+        committed = load_json(args.check)
+        problems = check_fault_baseline(
+            document["scenarios"], committed, tolerance=args.tolerance
+        )
+        if problems:
+            print(f"Fault-bench check against {args.check} FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print(
+                f"Fault-bench check against {args.check} passed "
+                "(deterministic fields exact, rate floor "
+                f"{args.tolerance:.0%})."
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"Wrote {args.output}")
     return status
@@ -446,6 +511,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import (
         default_sweep_matrix,
         deterministic_document,
+        fault_sweep_matrix,
         large_sweep_matrix,
         load_spec_shard,
         merge_documents,
@@ -512,7 +578,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     algorithms = args.algorithms if args.algorithms else None
     try:
         if args.from_specs:
-            if algorithms or args.smoke or args.large or args.xlarge or args.xxlarge:
+            if (
+                algorithms
+                or args.smoke
+                or args.large
+                or args.xlarge
+                or args.xxlarge
+                or args.faults
+            ):
                 print(
                     "error: --from-specs carries the whole matrix; tier flags "
                     "and --algorithms do not apply to it",
@@ -520,6 +593,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 )
                 return 2
             matrix = load_spec_shard(args.from_specs)
+        elif args.faults:
+            matrix = fault_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
         elif args.smoke:
             matrix = smoke_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
         elif args.large:
@@ -638,6 +713,12 @@ def cmd_run(args: argparse.Namespace) -> int:
                 scheduler=args.scheduler,
                 collect_metrics=not args.no_metrics,
             )
+        if args.faults is not None:
+            import dataclasses
+
+            # replace() re-runs __post_init__, so profile/algorithm
+            # compatibility (e.g. recovery is DAG-only) is validated here.
+            spec = dataclasses.replace(spec, faults=FAULT_PROFILES[args.faults])
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -674,7 +755,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.mean_waiting_time is not None:
         print(f"mean waiting time: {result.mean_waiting_time:.3f}")
     print(f"entry order sha256: {digest}")
+    if result.fault_summary is not None:
+        _print_fault_summary(result.fault_summary)
     return 0
+
+
+def _print_fault_summary(summary: dict) -> None:
+    """Render an ExperimentResult's injected-fault section."""
+    counts = summary.get("counts") or {}
+    injected = ", ".join(
+        f"{key}={value}" for key, value in sorted(counts.items()) if value
+    )
+    print(f"faults injected: {injected or 'none'} "
+          f"(total {summary.get('total_faults', 0)})")
+    crashed = summary.get("crashed_nodes") or []
+    if crashed:
+        print(f"crashed nodes: {crashed} "
+              f"(unserved: {summary.get('unserved_nodes')}, "
+              f"lost requests: {summary.get('lost_requests')})")
+    if summary.get("protocol_error"):
+        print(f"protocol error under faults: {summary['protocol_error']}")
+    print(f"fault log sha256: {summary.get('fault_log_sha256')}")
+    recovery = summary.get("recovery")
+    if recovery:
+        liveness = recovery.get("time_to_liveness")
+        print(
+            f"recovery: token lost at t={recovery.get('token_lost_at')}, "
+            f"regenerated at t={recovery.get('regenerated_at')} "
+            f"(new holder {recovery.get('new_holder')}, "
+            f"{recovery.get('reissued')} requests re-issued), "
+            + (
+                f"time to liveness {liveness}"
+                if liveness is not None
+                else "no entry observed after regeneration"
+            )
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -773,6 +888,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand form: run on the unobserved fast path "
              "(no per-entry timing statistics, identical event order)",
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        choices=sorted(FAULT_PROFILES),
+        help="inject one of the named fault profiles (seeded message drops, "
+             "crash-stop of the token holder, crash + DAG token "
+             "regeneration); the injected fault stream replays "
+             "byte-identically for the same spec",
+    )
     run.add_argument("--max-events", type=int, default=5_000_000,
                      help="event budget for the replay")
     run.add_argument("--save-spec", default=None,
@@ -830,6 +954,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark the 8 baseline algorithms instead of the DAG matrix "
              "(document: BENCH_baselines.json)",
+    )
+    bench.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-tier matrix instead: degradation under injected "
+             "faults for every algorithm plus the DAG token-regeneration "
+             "recovery cells at n=50 and n=100k "
+             "(document: BENCH_faults.json)",
     )
     bench.add_argument(
         "--calibrate",
@@ -898,6 +1030,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="xlarge matrix plus the 1M-node tier (O(1)-state algorithms "
              "only: centralized + dag)",
+    )
+    sweep_tier.add_argument(
+        "--faults",
+        action="store_true",
+        help="fault tier: every algorithm under the injected fault profiles "
+             "(token loss vs quorum starvation) plus the DAG crash-recover "
+             "cell; deterministic output is byte-identical across worker "
+             "counts and schedulers",
     )
     sweep.add_argument("--workers", type=int, default=2,
                        help="concurrent child processes (default 2)")

@@ -1,0 +1,111 @@
+"""Token regeneration for the DAG protocol after a token-losing fault.
+
+The paper assumes the token cannot be lost (reliable network, no failures),
+so it offers no recovery procedure.  This module supplies the minimal one the
+fault experiments need: once a :class:`~repro.sim.faults.FaultController`
+has *proved* the token lost — no live node holds it and no PRIVILEGE is in
+flight — :func:`regenerate_token` mints a replacement and rebuilds a
+consistent request DAG among the live nodes.
+
+The procedure is deliberately centralized (the simulator has a global view;
+a distributed election is out of scope for the reproduction) but preserves
+the protocol's invariants from the first post-recovery event:
+
+1. **Fence the network.**  Every in-flight message predates the loss; any of
+   them could resurrect stale state — worst of all a REQUEST that later pulls
+   a *second* token toward a node the new DAG knows nothing about.  The
+   injector's fence discards them all, so the proof obligation "at most one
+   token" holds by construction.
+2. **Elect a holder deterministically**: the lowest-id live node with an
+   outstanding request, or the lowest-id live node if none are requesting.
+3. **Reorient the DAG**: every live node's NEXT points at the new holder and
+   FOLLOW is cleared — exactly the shape of a freshly initialized system
+   (Theorem 1's acyclicity is immediate: the graph is a star into the sink).
+4. **Grant or hold**: a requesting holder enters its CS directly; an idle
+   holder sets HOLDING.
+5. **Re-issue lost requests**: every other live requesting node re-sends its
+   own REQUEST, in node-id order.  Their FOLLOW chains then rebuild through
+   the normal P2 handling — no special-case delivery logic exists anywhere
+   downstream of this function.
+
+Crashed nodes are left untouched: their state is stale by definition, and
+the reoriented live DAG routes around them.  A node that restarts later
+rejoins with its pre-crash pointers, which is safe (its messages route
+toward the live sink eventually) though possibly suboptimal — matching the
+crash-stop model's "restart restores participation only" contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.messages import Request
+from repro.exceptions import ExperimentError
+from repro.sim.faults import FaultInjectingNetwork
+
+
+def regenerate_token(system, network: FaultInjectingNetwork) -> Dict[str, Any]:
+    """Mint a replacement token on ``system`` after a proven token loss.
+
+    Args:
+        system: a ``DagSystem`` whose token is lost.
+        network: the fault injector carrying the crash set and the fence.
+
+    Returns:
+        A dict with the election outcome: ``new_holder``,
+        ``granted_immediately`` (the holder was itself requesting and entered
+        its CS directly), and ``reissued`` (how many live requests were
+        re-sent).
+
+    Raises:
+        ExperimentError: if every node is crashed.
+    """
+    crashed = network._crashed
+    live = [
+        node for node_id, node in system.nodes.items() if node_id not in crashed
+    ]
+    if not live:
+        raise ExperimentError("cannot regenerate a token: every node is crashed")
+
+    # Step 1: nothing sent before this instant may ever be delivered.
+    network.fence()
+
+    requesting = sorted(
+        (node for node in live if node.requesting), key=lambda node: node.node_id
+    )
+    holder = requesting[0] if requesting else min(live, key=lambda node: node.node_id)
+
+    # Step 3: star DAG into the new sink.
+    for node in live:
+        if node is holder:
+            continue
+        node.next_node = holder.node_id
+        node.follow = None
+    holder.next_node = None
+    holder.follow = None
+
+    # Step 4.
+    if holder.requesting:
+        holder.requesting = False
+        holder.holding = False
+        holder._enter_critical_section()
+        granted = True
+    else:
+        holder.holding = True
+        granted = False
+
+    # Step 5: the re-sent REQUESTs carry post-fence sequence numbers, so they
+    # are delivered normally and chain FOLLOW pointers through P2.
+    reissued = 0
+    for node in requesting:
+        if node is holder:
+            continue
+        node.next_node = None
+        node.send(holder.node_id, Request(node.node_id, node.node_id))
+        reissued += 1
+
+    return {
+        "new_holder": holder.node_id,
+        "granted_immediately": granted,
+        "reissued": reissued,
+    }

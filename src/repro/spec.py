@@ -230,6 +230,220 @@ class WorkloadSpec:
 LATENCY_KINDS = ("constant", "uniform", "exponential")
 
 
+#: Sentinel crash target: resolve "the node currently holding the token" at
+#: the crash's fire time (token-based algorithms; falls back to the
+#: topology's initial holder when the token is in flight or untracked).
+TOKEN_HOLDER = "token-holder"
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash-stop event: kill ``node`` at virtual ``time``.
+
+    ``node`` is a node id or the :data:`TOKEN_HOLDER` sentinel, resolved when
+    the crash fires.  A crashed node neither sends nor receives; messages
+    already in flight to it are lost, and messages sent to it while down stay
+    lost even if ``restart`` later revives it (crash-stop, not pause — see
+    ``FaultInjectingNetwork.restart``).
+    """
+
+    node: Union[int, str]
+    time: float
+    restart: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.node, str) and self.node != TOKEN_HOLDER:
+            raise ExperimentError(
+                f"crash target must be a node id or {TOKEN_HOLDER!r}, got {self.node!r}"
+            )
+        if self.time < 0:
+            raise ExperimentError(f"crash time must be >= 0, got {self.time}")
+        if self.restart is not None and self.restart <= self.time:
+            raise ExperimentError(
+                f"restart time {self.restart} must be after the crash time {self.time}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"node": self.node, "time": self.time, "restart": self.restart}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "CrashSpec":
+        return CrashSpec(**_validated_dict(CrashSpec, data, "crash spec"))
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One partition window: sever the ``a``/``b`` channel during it.
+
+    Messages sent on a partitioned channel are silently lost (they are not
+    queued for the heal).  ``symmetric`` severs both directions; ``heal=None``
+    leaves the partition in place for the rest of the run.
+    """
+
+    a: int
+    b: int
+    start: float
+    heal: Optional[float] = None
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ExperimentError(f"partition endpoints must differ, got {self.a} twice")
+        if self.start < 0:
+            raise ExperimentError(f"partition start must be >= 0, got {self.start}")
+        if self.heal is not None and self.heal <= self.start:
+            raise ExperimentError(
+                f"heal time {self.heal} must be after the partition start {self.start}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "start": self.start,
+            "heal": self.heal,
+            "symmetric": self.symmetric,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "PartitionSpec":
+        return PartitionSpec(**_validated_dict(PartitionSpec, data, "partition spec"))
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Token-regeneration policy for the DAG protocol after token loss.
+
+    ``delay`` is how long (virtual time) after a crash or a dropped
+    permission message the controller first checks for token loss;
+    ``check_interval`` is the recheck spacing while a PRIVILEGE is still in
+    flight (a token in transit is not lost).  Recovery elects the lowest-id
+    live requesting node, reorients every live node's NEXT toward it, and
+    re-issues the surviving requests — time-to-liveness is measured from the
+    loss to the first critical-section entry after regeneration.
+    """
+
+    delay: float = 5.0
+    check_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ExperimentError(f"recovery delay must be > 0, got {self.delay}")
+        if self.check_interval <= 0:
+            raise ExperimentError(
+                f"recovery check_interval must be > 0, got {self.check_interval}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"delay": self.delay, "check_interval": self.check_interval}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RecoverySpec":
+        return RecoverySpec(**_validated_dict(RecoverySpec, data, "recovery spec"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic failure & churn schedule for one experiment.
+
+    Every fault is driven by virtual time or by a ``SeededRNG`` stream derived
+    from ``seed`` and the experiment's name, so an identical spec replays
+    byte-identically — including the ``FaultLog`` — on any machine, scheduler,
+    or sweep worker count.
+
+    Attributes:
+        drop_rate: per-message Bernoulli drop probability in ``[0, 1)``,
+            drawn at send time from the name-derived stream.
+        drop_privilege: drop the first N permission-carrying messages
+            (PRIVILEGE and its baseline analogues: grants, replies, acks,
+            quorum locks) — the token-loss / permission-starvation probe.
+        drop_request: drop the first N request-carrying messages — the
+            originator-starvation probe.
+        crashes: crash-stop schedule (see :class:`CrashSpec`).
+        partitions: partition + heal windows (see :class:`PartitionSpec`).
+        recovery: token-regeneration policy (DAG algorithm only).
+        worker_crash: sweep-level fault — the child process executing the
+            scenario dies before running (exercises the sharded runner's
+            crash isolation; no effect on in-process replays).
+        seed: fault-stream seed (combined with the experiment name).
+    """
+
+    drop_rate: float = 0.0
+    drop_privilege: int = 0
+    drop_request: int = 0
+    crashes: Tuple[CrashSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    recovery: Optional[RecoverySpec] = None
+    worker_crash: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ExperimentError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}"
+            )
+        if self.drop_privilege < 0 or self.drop_request < 0:
+            raise ExperimentError(
+                "drop_privilege and drop_request must be >= 0, got "
+                f"{self.drop_privilege} and {self.drop_request}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "drop_rate": self.drop_rate,
+            "drop_privilege": self.drop_privilege,
+            "drop_request": self.drop_request,
+            "crashes": [crash.to_dict() for crash in self.crashes],
+            "partitions": [window.to_dict() for window in self.partitions],
+            "recovery": self.recovery.to_dict() if self.recovery is not None else None,
+            "worker_crash": self.worker_crash,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultSpec":
+        payload = _validated_dict(FaultSpec, data, "fault spec")
+        payload["crashes"] = tuple(
+            CrashSpec.from_dict(entry) for entry in payload.get("crashes") or ()
+        )
+        payload["partitions"] = tuple(
+            PartitionSpec.from_dict(entry) for entry in payload.get("partitions") or ()
+        )
+        if payload.get("recovery") is not None:
+            payload["recovery"] = RecoverySpec.from_dict(payload["recovery"])
+        return FaultSpec(**payload)
+
+
+#: The frozen fault profiles the sweep and bench fault tiers share.  Profile
+#: definitions are part of the committed fault-tier contract (scenario names
+#: embed the profile, and seeds derive from names): extend with new profiles
+#: instead of editing existing ones.
+FAULT_PROFILES: Dict[str, FaultSpec] = {
+    # Random loss at two rates: every algorithm degrades, but differently —
+    # token-based schemes lose the token (one drop can starve everyone),
+    # permission-based schemes starve per-request.
+    "drop1": FaultSpec(drop_rate=0.01),
+    "drop5": FaultSpec(drop_rate=0.05),
+    # Targeted loss of the first permission-carrying message: the paper's
+    # "a dropped PRIVILEGE starves every later requester" observation,
+    # contrasted against the quorum/broadcast baselines.
+    "lose-privilege": FaultSpec(drop_privilege=1),
+    # Targeted loss of the first request: starves exactly its originator.
+    "lose-request": FaultSpec(drop_request=1),
+    # Kill whoever holds the token at t=25 (mid-run for the heavy tiers).
+    "crash-holder": FaultSpec(crashes=(CrashSpec(node=TOKEN_HOLDER, time=25.0),)),
+    # Same crash, but the DAG protocol regenerates the token and recovers.
+    "crash-recover": FaultSpec(
+        crashes=(CrashSpec(node=TOKEN_HOLDER, time=25.0),),
+        recovery=RecoverySpec(delay=5.0),
+    ),
+    # Sweep-level fault: the child process dies before reporting a row.
+    "worker-crash": FaultSpec(worker_crash=True),
+}
+
+
 @dataclass(frozen=True)
 class LatencySpec:
     """A serializable latency model choice.
@@ -302,6 +516,7 @@ class ExperimentSpec:
     seed: int = 0
     collect_metrics: bool = True
     record_trace: bool = False
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in registry.names():
@@ -311,6 +526,17 @@ class ExperimentSpec:
         if self.scheduler not in SCHEDULER_MODES:
             raise ExperimentError(
                 _unknown("scheduler", self.scheduler, SCHEDULER_MODES)
+            )
+        if (
+            self.faults is not None
+            and self.faults.recovery is not None
+            and self.algorithm != "dag"
+        ):
+            # Token regeneration reorients NEXT/FOLLOW scalars, which only
+            # the paper's protocol has; the baselines fail as published.
+            raise ExperimentError(
+                "fault recovery (token regeneration) is implemented for the "
+                f"'dag' algorithm only, not {self.algorithm!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -340,11 +566,21 @@ class ExperimentSpec:
         workload.
         """
         system_class = registry.get(self.algorithm)
+        kwargs: Dict[str, Any] = {}
+        if self.faults is not None:
+            # A fault-carrying spec runs on the injecting network (always the
+            # observed delivery path; fault runs trade the fast path for
+            # interception).  The controller arming the schedule is built by
+            # ExperimentDriver.from_spec.
+            from repro.sim.faults import FaultInjectingNetwork
+
+            kwargs["network_factory"] = FaultInjectingNetwork
         return system_class(
             topology,
             latency=self.latency.build() if self.latency is not None else None,
             record_trace=self.record_trace,
             collect_metrics=self.collect_metrics,
+            **kwargs,
         )
 
     def build(self) -> Tuple[MutexSystem, Union[Workload, StreamingWorkload]]:
@@ -354,12 +590,15 @@ class ExperimentSpec:
         return self.build_system(topology), workload
 
     def run(self, *, max_events: int = 5_000_000):
-        """Build and replay the experiment; returns an ``ExperimentResult``."""
+        """Build and replay the experiment; returns an ``ExperimentResult``.
+
+        Delegates to ``ExperimentDriver.from_spec`` so fault-carrying specs
+        get their :class:`~repro.sim.faults.FaultController` armed in exactly
+        one place.
+        """
         from repro.workload.driver import ExperimentDriver
 
-        system, workload = self.build()
-        driver = ExperimentDriver(system, workload, scheduler=self.scheduler)
-        return driver.run(max_events=max_events)
+        return ExperimentDriver.from_spec(self).run(max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -375,6 +614,7 @@ class ExperimentSpec:
             "seed": self.seed,
             "collect_metrics": self.collect_metrics,
             "record_trace": self.record_trace,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
         }
 
     def canonical_json(self) -> str:
@@ -400,6 +640,8 @@ class ExperimentSpec:
         payload["workload"] = WorkloadSpec.from_dict(payload["workload"])
         if payload.get("latency") is not None:
             payload["latency"] = LatencySpec.from_dict(payload["latency"])
+        if payload.get("faults") is not None:
+            payload["faults"] = FaultSpec.from_dict(payload["faults"])
         return ExperimentSpec(**payload)
 
     @staticmethod

@@ -10,6 +10,7 @@ count or scheduling; ``repro sweep`` is the CLI entry point.
 """
 
 from repro.sweep.matrix import (
+    FAULT_TIER_PROFILES,
     LARGE_TIER_ALGORITHMS,
     SPEC_SHARD_SCHEMA,
     SWEEP_ALGORITHMS,
@@ -18,6 +19,7 @@ from repro.sweep.matrix import (
     build_sweep_topology,
     build_sweep_workload,
     default_sweep_matrix,
+    fault_sweep_matrix,
     large_sweep_matrix,
     load_spec_shard,
     scenario_seed,
@@ -43,6 +45,7 @@ from repro.sweep.worker import (
 )
 
 __all__ = [
+    "FAULT_TIER_PROFILES",
     "LARGE_TIER_ALGORITHMS",
     "SPEC_SHARD_SCHEMA",
     "SWEEP_ALGORITHMS",
@@ -51,6 +54,7 @@ __all__ = [
     "build_sweep_topology",
     "build_sweep_workload",
     "default_sweep_matrix",
+    "fault_sweep_matrix",
     "large_sweep_matrix",
     "load_spec_shard",
     "scenario_seed",

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.baselines import registry
 from repro.exceptions import WorkloadError
 from repro.spec import (
+    FAULT_PROFILES,
     STREAMING_NODE_THRESHOLD,
     WORKLOAD_TIERS,
     XXLARGE_HEAVY_ROUNDS,
@@ -98,6 +99,11 @@ class SweepScenario:
     smoke job cross-checks by diffing heap and ring deterministic documents.
     It deliberately does not contribute to :attr:`name` (and therefore the
     seed), so forced-scheduler runs replay the exact same workloads.
+
+    ``faults`` names a :data:`~repro.spec.FAULT_PROFILES` entry; a fault cell
+    is its own scenario (the profile suffixes :attr:`name`, so the cell gets
+    its own name-derived seed and its own row) — fault tiers are additive and
+    never perturb committed fault-free documents.
     """
 
     algorithm: str
@@ -106,10 +112,21 @@ class SweepScenario:
     workload: str
     collect_metrics: bool = True
     scheduler: str = "auto"
+    faults: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and self.faults not in FAULT_PROFILES:
+            raise WorkloadError(
+                f"unknown fault profile {self.faults!r}; "
+                f"known: {sorted(FAULT_PROFILES)}"
+            )
 
     @property
     def name(self) -> str:
-        return f"{self.algorithm}-{self.kind}-n{self.n}-{self.workload}"
+        base = f"{self.algorithm}-{self.kind}-n{self.n}-{self.workload}"
+        if self.faults is not None:
+            return f"{base}+{self.faults}"
+        return base
 
     @property
     def seed(self) -> int:
@@ -137,6 +154,7 @@ class SweepScenario:
             scheduler=self.scheduler,
             seed=self.seed,
             collect_metrics=self.collect_metrics,
+            faults=FAULT_PROFILES[self.faults] if self.faults is not None else None,
         )
 
     @staticmethod
@@ -148,6 +166,20 @@ class SweepScenario:
         shard file would silently replay a different workload under the same
         row name.
         """
+        faults = None
+        if spec.faults is not None:
+            # Reverse-map to the frozen profile table: sweep fault cells run
+            # named profiles only, so an ad-hoc FaultSpec in a shard file is
+            # rejected rather than run under a name that does not carry it.
+            for profile_name, profile in FAULT_PROFILES.items():
+                if spec.faults == profile:
+                    faults = profile_name
+                    break
+            if faults is None:
+                raise WorkloadError(
+                    "spec carries a FaultSpec that matches no named fault "
+                    f"profile; known profiles: {sorted(FAULT_PROFILES)}"
+                )
         scenario = SweepScenario(
             algorithm=spec.algorithm,
             kind=spec.topology.kind,
@@ -155,6 +187,7 @@ class SweepScenario:
             workload=spec.workload.tier,
             collect_metrics=spec.collect_metrics,
             scheduler=spec.scheduler,
+            faults=faults,
         )
         if spec.seed != scenario.seed:
             raise WorkloadError(
@@ -244,6 +277,49 @@ def load_spec_shard(path: str) -> List[SweepScenario]:
         SweepScenario.from_experiment_spec(ExperimentSpec.from_dict(entry))
         for entry in document.get("scenarios", [])
     ]
+
+
+#: Fault profiles every algorithm faces in the fault tier.  ``crash-recover``
+#: is excluded here: token regeneration is defined only for the DAG protocol,
+#: so it gets a single dedicated cell appended by :func:`fault_sweep_matrix`.
+FAULT_TIER_PROFILES = (
+    "drop1",
+    "drop5",
+    "lose-privilege",
+    "lose-request",
+    "crash-holder",
+)
+
+
+def fault_sweep_matrix(
+    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+) -> List[SweepScenario]:
+    """The fault tier: every algorithm under the same injected fault load.
+
+    One condition (star topology, n=50, heavy demand — the densest fault-free
+    cell of the default matrix) crossed with the frozen fault profiles, so
+    the merged document answers the robustness question directly: seeded
+    random drops and targeted PRIVILEGE/REQUEST losses show token loss
+    (DAG/Raymond/Suzuki-Kasami starve) against quorum starvation (the
+    permission-based baselines stall or trip protocol errors), and the
+    crash-holder profile kills whichever node holds the token/lock at t=25.
+    The DAG algorithm additionally runs the ``crash-recover`` profile — the
+    same kill followed by token regeneration — as the recovery contrast cell.
+    """
+    validate_algorithms(algorithms)
+    names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
+    matrix = [
+        SweepScenario(algorithm, "star", 50, "heavy", scheduler=scheduler, faults=profile)
+        for algorithm in names
+        for profile in FAULT_TIER_PROFILES
+    ]
+    if "dag" in names:
+        matrix.append(
+            SweepScenario(
+                "dag", "star", 50, "heavy", scheduler=scheduler, faults="crash-recover"
+            )
+        )
+    return matrix
 
 
 def default_sweep_matrix(

@@ -24,13 +24,17 @@ import time
 import traceback
 from typing import Any, Dict
 
+from repro.spec import FAULT_PROFILES
 from repro.sweep.matrix import SweepScenario
 from repro.topology.metrics import diameter
 from repro.workload.driver import ExperimentDriver
 
-#: Fault-injection hook for the crash-isolation tests: when this environment
-#: variable names a scenario, its child process dies with :data:`CRASH_EXIT_CODE`
-#: before running anything (the sweep-level analogue of ``repro.sim.faults``).
+#: Deprecated fault-injection hook for the crash-isolation tests: when this
+#: environment variable names a scenario, its child process dies with
+#: :data:`CRASH_EXIT_CODE` before running anything.  Superseded by the
+#: structured path — a scenario whose fault profile sets
+#: ``FaultSpec.worker_crash`` (the ``"worker-crash"`` profile) — and kept as
+#: an alias for one release; the runner warns when it is set.
 CRASH_ENV = "REPRO_SWEEP_CRASH_SCENARIO"
 CRASH_EXIT_CODE = 17
 
@@ -59,11 +63,21 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
     workload = experiment.workload.build(topology, seed=experiment.seed)
     start = time.perf_counter()
     system = experiment.build_system(topology)
-    driver = ExperimentDriver(system, workload, scheduler=experiment.scheduler)
+    faults = None
+    if experiment.faults is not None:
+        from repro.sim.faults import FaultController
+
+        # Named after the ExperimentSpec (not the sweep row) so the injected
+        # fault stream is identical to a `repro run --spec` replay of the
+        # exported shard — the byte-identity CI gate depends on it.
+        faults = FaultController(experiment.faults, name=experiment.name)
+    driver = ExperimentDriver(
+        system, workload, scheduler=experiment.scheduler, faults=faults
+    )
     result = driver.run(max_events=MAX_EVENTS_PER_SCENARIO)
     wall = time.perf_counter() - start
     events = system.engine.processed_events
-    return {
+    row: Dict[str, Any] = {
         "scenario": spec.name,
         "algorithm": spec.algorithm,
         "kind": spec.kind,
@@ -95,6 +109,12 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
             "scheduler": system.engine.scheduler_kind,
         },
     }
+    if spec.faults is not None:
+        # Added only on fault cells so fault-free documents stay byte-
+        # identical to earlier releases.
+        row["fault_profile"] = spec.faults
+        row["faults"] = result.fault_summary
+    return row
 
 
 def error_row(spec: SweepScenario, status: str, **extra: Any) -> Dict[str, Any]:
@@ -109,6 +129,8 @@ def error_row(spec: SweepScenario, status: str, **extra: Any) -> Dict[str, Any]:
         "status": status,
         "timing": {},
     }
+    if spec.faults is not None:
+        row["fault_profile"] = spec.faults
     row.update(extra)
     return row
 
@@ -121,7 +143,12 @@ def child_main(spec_dict: Dict[str, Any], connection) -> None:
     crash-isolation case) leaves the parent without a row.
     """
     spec = SweepScenario.from_dict(spec_dict)
+    if spec.faults is not None and FAULT_PROFILES[spec.faults].worker_crash:
+        # The structured worker-crash fault: the harness-level analogue of a
+        # node crash, used by the crash-isolation tests.
+        os._exit(CRASH_EXIT_CODE)
     if os.environ.get(CRASH_ENV) == spec.name:
+        # Deprecated alias for the structured path above.
         os._exit(CRASH_EXIT_CODE)
     try:
         row = execute_scenario(spec)

@@ -12,15 +12,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Type, Union
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Type, Union
 
 from repro.baselines.base import MutexSystem, registry
-from repro.exceptions import ExperimentError, WorkloadError
+from repro.exceptions import ExperimentError, ProtocolError, WorkloadError
 from repro.sim.latency import LatencyModel
 from repro.sim.schedulers import RING_ARRIVAL_THRESHOLD, make_scheduler
 from repro.topology.base import Topology
 from repro.workload.requests import CSRequest, Workload
 from repro.workload.streaming import StreamingWorkload
+
+if TYPE_CHECKING:
+    from repro.sim.faults import FaultController
 
 
 @dataclass
@@ -41,6 +44,12 @@ class ExperimentResult:
         max_sync_delay: largest synchronization delay observed.
         entry_order: nodes in the order they entered the critical section.
         finished_at: virtual time at which the last event was processed.
+        fault_summary: present only on fault-injected runs — the
+            :class:`~repro.sim.faults.FaultController` summary (per-category
+            fault counts, fault-log sha256, crashed nodes, recovery outcome)
+            merged with the driver's own casualty counters (requests lost at
+            crashed nodes, nodes left unserved or backlogged, any
+            ProtocolError the faults provoked).
     """
 
     algorithm: str
@@ -55,6 +64,7 @@ class ExperimentResult:
     max_sync_delay: Optional[float]
     entry_order: List[int]
     finished_at: float
+    fault_summary: Optional[Dict[str, Any]] = None
 
     @property
     def mean_sync_delay(self) -> Optional[float]:
@@ -64,8 +74,13 @@ class ExperimentResult:
         return sum(self.sync_delays) / len(self.sync_delays)
 
     def summary_row(self) -> Dict[str, Any]:
-        """Compact dictionary used by comparison tables."""
-        return {
+        """Compact dictionary used by comparison tables.
+
+        Fault-free rows are unchanged from earlier releases; fault-injected
+        runs append a ``faults`` column so existing documents stay
+        byte-identical.
+        """
+        row = {
             "algorithm": self.algorithm,
             "entries": self.completed_entries,
             "messages": self.total_messages,
@@ -80,6 +95,9 @@ class ExperimentResult:
                 else None
             ),
         }
+        if self.fault_summary is not None:
+            row["faults"] = self.fault_summary
+        return row
 
 
 class ExperimentDriver:
@@ -116,9 +134,16 @@ class ExperimentDriver:
         workload: Workload,
         *,
         scheduler: str = "auto",
+        faults: Optional["FaultController"] = None,
     ) -> None:
         self.system = system
         self.workload = workload
+        self.faults = faults
+        # Set when the controller arms: the injector the crash-stop gates in
+        # _issue_or_queue/_release consult.  None on fault-free runs, so the
+        # hot paths pay a single identity test.
+        self._fault_network = None
+        self._lost_requests = 0
         self.entry_order: List[int] = []
         self._nodes = system.nodes  # direct map: skip system.node() per event
         # Requests waiting because their node is still busy with an earlier
@@ -171,9 +196,17 @@ class ExperimentDriver:
 
         The spec carries the scheduler choice too, so
         ``ExperimentDriver.from_spec(spec).run()`` is the whole replay.
+        A spec with a :class:`~repro.spec.FaultSpec` gets a
+        :class:`~repro.sim.faults.FaultController` seeded from the spec,
+        armed when :meth:`run` starts.
         """
         system, workload = spec.build()
-        return cls(system, workload, scheduler=spec.scheduler)
+        faults = None
+        if spec.faults is not None:
+            from repro.sim.faults import FaultController
+
+            faults = FaultController(spec.faults, name=spec.name)
+        return cls(system, workload, scheduler=spec.scheduler, faults=faults)
 
     # ------------------------------------------------------------------ #
     # running
@@ -184,20 +217,50 @@ class ExperimentDriver:
         Raises:
             ExperimentError: if some requests are never granted (deadlock or
                 starvation in the algorithm under test) or the event budget is
-                exhausted.
+                exhausted.  On fault-injected runs incompleteness is the
+                *measurement*, not an error: unserved and backlogged nodes are
+                reported in ``fault_summary`` instead of raising, and a
+                :class:`~repro.exceptions.ProtocolError` provoked by the
+                faults ends the run and is recorded the same way.
         """
         engine = self.system.engine
+        faults = self.faults
+        if faults is not None:
+            # Armed after the scheduler is fixed (in __init__) and before the
+            # arrivals load, so fault events claim the same engine sequence
+            # numbers on every replay, whatever the scheduler or worker count.
+            faults.arm(self.system, self)
+            self._fault_network = faults.network
         self._load_arrivals(engine)
         # Drive through the system's run() (not the engine directly) so that
         # systems which interleave invariant checking with event processing
         # keep doing so under the driver.
-        processed = self.system.run(max_events=max_events)
-        if engine.pending_events > 0:
+        protocol_error: Optional[str] = None
+        try:
+            processed = self.system.run(max_events=max_events)
+        except ProtocolError as exc:
+            if faults is None:
+                raise
+            # Faults can legitimately provoke protocol violations in the
+            # baselines (e.g. a dropped reply desynchronizing a quorum); the
+            # violation is part of the degradation measurement.
+            protocol_error = str(exc)
+            processed = engine.processed_events
+        if engine.pending_events > 0 and protocol_error is None:
             raise ExperimentError(
                 f"{self.system.algorithm_name}: event budget of {max_events} exhausted "
                 f"after {processed} events; the run did not finish"
             )
-        self._verify_completion()
+        fault_summary: Optional[Dict[str, Any]] = None
+        if faults is not None:
+            unserved, backlog = self._completion_state()
+            fault_summary = faults.summary()
+            fault_summary["lost_requests"] = self._lost_requests
+            fault_summary["unserved_nodes"] = len(unserved)
+            fault_summary["backlogged_nodes"] = len(backlog)
+            fault_summary["protocol_error"] = protocol_error
+        else:
+            self._verify_completion()
         metrics = self.system.metrics
         if metrics is not None:
             return ExperimentResult(
@@ -213,6 +276,7 @@ class ExperimentDriver:
                 max_sync_delay=metrics.max_sync_delay,
                 entry_order=list(self.entry_order),
                 finished_at=engine.now,
+                fault_summary=fault_summary,
             )
         # Metrics-free (fast path) run: derive the counts the substrate still
         # tracks for free; per-entry timing statistics are unavailable.
@@ -231,6 +295,7 @@ class ExperimentDriver:
             max_sync_delay=None,
             entry_order=list(self.entry_order),
             finished_at=engine.now,
+            fault_summary=fault_summary,
         )
 
     # ------------------------------------------------------------------ #
@@ -320,6 +385,12 @@ class ExperimentDriver:
 
     def _issue_or_queue(self, request: CSRequest) -> None:
         node_id = request.node
+        fault_network = self._fault_network
+        if fault_network is not None and node_id in fault_network._crashed:
+            # Crash-stop: a dead node issues nothing.  The request is counted
+            # as lost rather than backlogged — a restart does not resurrect it.
+            self._lost_requests += 1
+            return
         node = self._nodes[node_id]
         if node_id in self._active or node.requesting or node.in_critical_section:
             backlog = self._backlog
@@ -336,6 +407,8 @@ class ExperimentDriver:
 
     def _handle_enter(self, node_id: int, time: float) -> None:
         self.entry_order.append(node_id)
+        if self.faults is not None:
+            self.faults.note_entry(node_id, time)
         request = self._active.get(node_id)
         duration = request.cs_duration if request is not None else 1.0
         # Inline schedule_lite: one release per critical-section entry makes
@@ -346,6 +419,13 @@ class ExperimentDriver:
         engine._push((engine._now + duration, 0, sequence, self._release, node_id))
 
     def _release(self, node_id: int) -> None:
+        fault_network = self._fault_network
+        if fault_network is not None and node_id in fault_network._crashed:
+            # The node died inside its critical section: it never releases,
+            # and the token (if it held one) died with it — exactly the
+            # liveness hole recovery exists to measure.  Its backlog stays
+            # queued and is reported as backlogged at the end of the run.
+            return
         self._nodes[node_id].release_cs()
         self._active.pop(node_id, None)
         backlog = self._backlog
@@ -361,13 +441,17 @@ class ExperimentDriver:
             del backlog[node_id]
         self._issue_or_queue(request)
 
-    def _verify_completion(self) -> None:
+    def _completion_state(self) -> "tuple[List[int], List[int]]":
         unserved = [
             node_id
             for node_id, node in self.system.nodes.items()
             if node.requesting or node.in_critical_section
         ]
         backlog = sorted(node for node, queue in self._backlog.items() if queue)
+        return unserved, backlog
+
+    def _verify_completion(self) -> None:
+        unserved, backlog = self._completion_state()
         if unserved or backlog:
             raise ExperimentError(
                 f"{self.system.algorithm_name}: workload did not complete; "

@@ -1,0 +1,103 @@
+"""Fault-tier sweep: scenario validation, matrix, worker-crash isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.spec import FAULT_PROFILES
+from repro.sweep import (
+    CRASH_EXIT_CODE,
+    SweepScenario,
+    canonical_json,
+    deterministic_document,
+    execute_scenario,
+    fault_sweep_matrix,
+    run_sweep,
+)
+
+
+# --------------------------------------------------------------------------- #
+# scenario surface
+# --------------------------------------------------------------------------- #
+def test_fault_profile_names_are_validated():
+    SweepScenario("dag", "star", 9, "heavy", faults="drop1")
+    with pytest.raises(WorkloadError):
+        SweepScenario("dag", "star", 9, "heavy", faults="no-such-profile")
+
+
+def test_fault_scenarios_get_their_own_name_and_seed():
+    plain = SweepScenario("dag", "star", 9, "heavy")
+    faulted = SweepScenario("dag", "star", 9, "heavy", faults="drop1")
+    assert faulted.name == plain.name + "+drop1"
+    assert faulted.seed != plain.seed  # seeds derive from names
+
+
+def test_round_trip_through_experiment_spec_keeps_the_profile():
+    scenario = SweepScenario("dag", "star", 9, "heavy", faults="crash-recover")
+    spec = scenario.experiment_spec()
+    assert spec.faults == FAULT_PROFILES["crash-recover"]
+    assert SweepScenario.from_experiment_spec(spec).faults == "crash-recover"
+
+
+def test_fault_row_carries_profile_and_summary():
+    row = execute_scenario(SweepScenario("dag", "star", 9, "heavy", faults="drop5"))
+    assert row["status"] == "ok"
+    assert row["fault_profile"] == "drop5"
+    assert row["faults"]["total_faults"] >= 1
+    assert len(row["faults"]["fault_log_sha256"]) == 64
+    # Fault-free rows keep the pre-fault-tier shape.
+    plain = execute_scenario(SweepScenario("dag", "star", 9, "heavy"))
+    assert "fault_profile" not in plain and "faults" not in plain
+
+
+# --------------------------------------------------------------------------- #
+# the fault tier matrix
+# --------------------------------------------------------------------------- #
+def test_fault_sweep_matrix_covers_profiles_by_algorithm():
+    matrix = fault_sweep_matrix(algorithms=["dag", "maekawa"])
+    names = {scenario.name for scenario in matrix}
+    # Every message-fault profile for every algorithm...
+    for algorithm in ("dag", "maekawa"):
+        for profile in ("drop1", "drop5", "lose-privilege", "lose-request",
+                        "crash-holder"):
+            assert f"{algorithm}-star-n50-heavy+{profile}" in names
+    # ...plus the DAG-only recovery cell.
+    assert "dag-star-n50-heavy+crash-recover" in names
+    assert not any("maekawa" in n and "crash-recover" in n for n in names)
+
+
+def test_fault_sweep_is_byte_identical_across_worker_counts():
+    matrix = fault_sweep_matrix(algorithms=["dag"])
+    one = run_sweep(matrix, workers=1)
+    many = run_sweep(list(reversed(matrix)), workers=3)
+    assert one["failures"] == [] and many["failures"] == []
+    assert canonical_json(deterministic_document(one)) == canonical_json(
+        deterministic_document(many)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# structured worker-crash (the env-var hack's replacement)
+# --------------------------------------------------------------------------- #
+def test_worker_crash_profile_kills_the_child_not_the_sweep():
+    crashing = SweepScenario("dag", "star", 9, "heavy", faults="worker-crash")
+    survivor = SweepScenario("dag", "star", 9, "bursty")
+    document = run_sweep([crashing, survivor], workers=2)
+    by_name = {row["scenario"]: row for row in document["scenarios"]}
+    crashed = by_name[crashing.name]
+    assert crashed["status"] == "crashed"
+    assert crashed["exitcode"] == CRASH_EXIT_CODE
+    assert crashed["fault_profile"] == "worker-crash"
+    assert by_name[survivor.name]["status"] == "ok"
+    assert document["failures"] == [crashing.name]
+
+
+def test_deprecated_crash_env_still_works_but_warns(monkeypatch):
+    from repro.sweep import CRASH_ENV
+
+    target = SweepScenario("dag", "star", 9, "heavy")
+    monkeypatch.setenv(CRASH_ENV, target.name)
+    with pytest.warns(DeprecationWarning, match="worker-crash"):
+        document = run_sweep([target], workers=1)
+    assert document["scenarios"][0]["status"] == "crashed"

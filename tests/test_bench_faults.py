@@ -1,0 +1,103 @@
+"""Fault-tier benchmark harness: rows, baseline gate, determinism."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.bench import (
+    DEGRADATION_ALGORITHMS,
+    FAULT_BENCH_SCHEMA,
+    FaultScenarioSpec,
+    check_fault_baseline,
+    default_fault_matrix,
+    deterministic_fault_document,
+    run_fault_benchmark,
+    run_fault_scenario,
+    smoke_fault_matrix,
+)
+from repro.baselines import registry
+
+#: Small cells keep these tests fast; the committed document uses n=50/100k.
+SMALL_DEGRADATION = FaultScenarioSpec("dag", 9, "drop5")
+SMALL_RECOVERY = FaultScenarioSpec("dag", 9, "crash-recover")
+
+
+def test_matrices_cover_all_algorithms_and_the_recovery_tiers():
+    assert set(DEGRADATION_ALGORITHMS) == set(registry.names())
+    names = [spec.name for spec in default_fault_matrix()]
+    assert len(names) == len(set(names))
+    for algorithm in registry.names():
+        assert f"{algorithm}-star-n50-heavy+drop1" in names
+        assert f"{algorithm}-star-n50-heavy+crash-holder" in names
+    assert "dag-star-n50-heavy+crash-recover" in names
+    assert "dag-star-n100000-heavy+crash-recover" in names
+    # The smoke subset is a strict subset with the n=50 recovery cell.
+    smoke = [spec.name for spec in smoke_fault_matrix()]
+    assert set(smoke) < set(names)
+    assert "dag-star-n50-heavy+crash-recover" in smoke
+
+
+def test_degradation_row_shape():
+    row = run_fault_scenario(SMALL_DEGRADATION)
+    assert row["scenario"] == "dag-star-n9-heavy+drop5"
+    assert row["entries"] >= 0 and row["events"] > 0
+    assert row["total_faults"] >= 1
+    assert len(row["fault_log_sha256"]) == 64
+    assert "recovery" not in row
+    assert set(row["timing"]) == {"wall_seconds", "events_per_sec", "scheduler"}
+
+
+def test_recovery_row_reports_time_to_liveness():
+    row = run_fault_scenario(SMALL_RECOVERY)
+    recovery = row["recovery"]
+    assert recovery["time_to_liveness"] > 0
+    assert recovery["regenerated_at"] > recovery["token_lost_at"]
+    assert row["unserved_nodes"] == 1  # only the crashed holder goes unserved
+
+
+def test_rows_are_deterministic_across_schedulers():
+    heap = run_fault_scenario(SMALL_RECOVERY, scheduler="heap")
+    ring = run_fault_scenario(SMALL_RECOVERY, scheduler="ring")
+    assert heap["timing"]["scheduler"] == "heap"
+    assert ring["timing"]["scheduler"] == "ring"
+    heap_det = {key: value for key, value in heap.items() if key != "timing"}
+    ring_det = {key: value for key, value in ring.items() if key != "timing"}
+    assert heap_det == ring_det
+
+
+def test_document_and_deterministic_projection():
+    document = run_fault_benchmark(matrix=[SMALL_DEGRADATION])
+    assert document["schema"] == FAULT_BENCH_SCHEMA
+    stripped = deterministic_fault_document(document)
+    assert "generated_by" not in stripped
+    assert all("timing" not in row for row in stripped["scenarios"])
+    again = deterministic_fault_document(
+        run_fault_benchmark(matrix=[SMALL_DEGRADATION])
+    )
+    assert stripped == again
+
+
+def test_check_fault_baseline_gates_deterministic_fields_exactly():
+    document = run_fault_benchmark(matrix=[SMALL_DEGRADATION, SMALL_RECOVERY])
+    assert check_fault_baseline(document["scenarios"], document) == []
+
+    drifted = copy.deepcopy(document)
+    drifted["scenarios"][0]["entries"] += 1
+    problems = check_fault_baseline(document["scenarios"], drifted)
+    assert len(problems) == 1 and "entries" in problems[0]
+
+    regressed = copy.deepcopy(document)
+    regressed["scenarios"][1]["recovery"]["time_to_liveness"] += 1.0
+    problems = check_fault_baseline(document["scenarios"], regressed)
+    assert len(problems) == 1 and "time_to_liveness" in problems[0]
+
+    # Unknown scenarios in the fresh run are ignored (matrix growth is not a
+    # regression); rate drops below the floor are.
+    assert check_fault_baseline(document["scenarios"], {"scenarios": []}) == []
+    slow = copy.deepcopy(document)
+    for row in slow["scenarios"]:
+        row["timing"]["events_per_sec"] *= 100
+    problems = check_fault_baseline(
+        document["scenarios"], slow, tolerance=0.5
+    )
+    assert problems and all("ev/s" in problem for problem in problems)

@@ -192,7 +192,7 @@ def test_bench_setup_only_requires_a_large_tier(capsys):
     # And it stands things up instead of draining, so the drain-mode flags
     # are refused outright.
     assert main(["bench", "--setup-only", "--xxlarge", "--calibrate", "2"]) == 2
-    assert "no baselines/calibration" in capsys.readouterr().err
+    assert "no baselines/faults/calibration" in capsys.readouterr().err
     assert main(["bench", "--setup-only", "--xxlarge", "--profile"]) == 2
     capsys.readouterr()
 
@@ -349,3 +349,68 @@ def test_sweep_merge_rejects_non_document_inputs(capsys, tmp_path):
     bogus.write_text("[1, 2, 3]")
     assert main(["sweep", "--merge", str(bogus)]) == 2
     assert "not a sweep result document" in capsys.readouterr().err
+
+
+def test_run_with_a_fault_profile(capsys):
+    code, out = run_cli(
+        capsys, "run", "dag", "star:9", "heavy", "--faults", "crash-recover"
+    )
+    assert code == 0
+    assert "faults injected" in out
+    assert "crashed nodes" in out
+    assert "fault log sha256" in out
+    assert "time to liveness" in out
+
+
+def test_run_rejects_recovery_profiles_on_non_dag_algorithms(capsys):
+    code = main(
+        ["run", "raymond", "star:9", "heavy", "--faults", "crash-recover"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "dag" in captured.err
+
+
+def test_bench_faults_smoke_with_self_check(capsys, tmp_path):
+    output = tmp_path / "BENCH_faults.fresh.json"
+    code, out = run_cli(
+        capsys, "bench", "--faults", "--smoke", "--output", str(output)
+    )
+    assert code == 0
+    assert output.exists()
+    assert "crash-recover" in out
+    # A fresh run checked against itself passes the exact gate.
+    code, out = run_cli(
+        capsys,
+        "bench", "--faults", "--smoke",
+        "--check", str(output), "--tolerance", "0.9",
+    )
+    assert code == 0
+    assert "passed" in out
+
+
+def test_bench_faults_rejects_incompatible_modes(capsys):
+    code, _ = run_cli(capsys, "bench", "--faults", "--baselines")
+    assert code == 2
+    code, _ = run_cli(capsys, "bench", "--faults", "--xlarge")
+    assert code == 2
+
+
+def test_sweep_faults_tier_runs_and_is_deterministic(capsys, tmp_path):
+    first = tmp_path / "faults1.json"
+    second = tmp_path / "faults2.json"
+    code, _ = run_cli(
+        capsys,
+        "sweep", "--faults", "--algorithms", "dag",
+        "--workers", "2", "--no-tables",
+        "--deterministic-output", str(first),
+    )
+    assert code == 0
+    code, _ = run_cli(
+        capsys,
+        "sweep", "--faults", "--algorithms", "dag",
+        "--workers", "1", "--scheduler", "ring", "--no-tables",
+        "--deterministic-output", str(second),
+    )
+    assert code == 0
+    assert first.read_bytes() == second.read_bytes()
