@@ -792,6 +792,55 @@ def _print_fault_summary(summary: dict) -> None:
         )
 
 
+def cmd_lockbench(args: argparse.Namespace) -> int:
+    """Benchmark the networked lock service (see benchmarks/README.md)."""
+    import json
+
+    from repro.bench.throughput import load_json
+    from repro.runtime.lockbench import (
+        check_lockbench_baseline,
+        default_lockbench_matrix,
+        run_calibrated_lockbench,
+        run_lockbench,
+        smoke_lockbench_matrix,
+    )
+
+    matrix = smoke_lockbench_matrix() if args.smoke else default_lockbench_matrix()
+    if args.calibrate is not None:
+        document = run_calibrated_lockbench(
+            matrix=matrix, runs=args.calibrate, verbose=True
+        )
+    else:
+        document = run_lockbench(matrix=matrix, verbose=True)
+
+    status = 0
+    if args.check:
+        committed = load_json(args.check)
+        problems = check_lockbench_baseline(
+            document["scenarios"],
+            committed,
+            tolerance=args.tolerance,
+            latency_tolerance=args.latency_tolerance,
+        )
+        if problems:
+            print(f"Lockbench check against {args.check} FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print(
+                f"Lockbench check against {args.check} passed "
+                f"(op counts exact, rate floor {args.tolerance:.0%}, "
+                f"p99 ceiling +{args.latency_tolerance:.0%})."
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Wrote {args.output}")
+    return status
+
+
 # --------------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------------- #
@@ -1105,6 +1154,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-tables", action="store_true",
                        help="skip the per-condition comparison tables")
     sweep.set_defaults(func=cmd_sweep)
+
+    lockbench = subparsers.add_parser(
+        "lockbench",
+        help="benchmark the networked lock service (sharded processes, "
+             "socket clients; document: BENCH_runtime.json)",
+    )
+    lockbench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI cell only: 1000 concurrent sessions, 2 shards, 64 keys",
+    )
+    lockbench.add_argument(
+        "--calibrate",
+        type=int,
+        default=None,
+        metavar="RUNS",
+        help="run the matrix RUNS times and min-merge (slowest rate, largest "
+             "latency) into a committed floor",
+    )
+    lockbench.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="compare against a committed BENCH_runtime.json; non-zero exit "
+             "on regression",
+    )
+    lockbench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed locks/sec drop below the committed floor (default 0.5)",
+    )
+    lockbench.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=3.0,
+        help="allowed acquire-p99 rise over the committed ceiling as a "
+             "fraction (default 3.0, i.e. 4x)",
+    )
+    lockbench.add_argument("--output", default=None,
+                           help="write the document to this JSON file")
+    lockbench.set_defaults(func=cmd_lockbench)
 
     return parser
 

@@ -1,24 +1,65 @@
 """asyncio runtime: the DAG algorithm as a usable concurrency primitive.
 
 The simulator measures the algorithm; this package *runs* it.  Each node is an
-asyncio task exchanging messages over an in-memory transport with per-sender
-FIFO delivery (the paper's network assumptions), and the public surface is a
-familiar lock API:
+asyncio task exchanging messages over a transport with per-sender FIFO
+delivery (the paper's network assumptions) — in-memory within one event loop,
+or length-prefixed JSON frames over unix/TCP sockets across processes — and
+the public surface is a familiar lock API:
 
     async with cluster.lock(node_id):
         ...  # critical section
 
-See ``examples/distributed_counter.py`` for a complete program.
+On top of the node runtime sits a networked, sharded lock service
+(:mod:`repro.runtime.service`): one DAG token tree per lock key,
+consistent-hashed across shard processes, driven by thousands of concurrent
+client sessions and benchmarked by ``repro lockbench``
+(:mod:`repro.runtime.lockbench`).
+
+See ``examples/distributed_counter.py`` and
+``examples/lock_service_quickstart.py`` for complete programs.
 """
 
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.lock import DistributedLock
+from repro.runtime.lockbench import (
+    LockBenchScenario,
+    check_lockbench_baseline,
+    default_lockbench_matrix,
+    min_merge_lockbench_documents,
+    run_calibrated_lockbench,
+    run_lockbench,
+    run_lockbench_scenario,
+    smoke_lockbench_matrix,
+)
 from repro.runtime.node_runtime import AsyncDagNode
-from repro.runtime.transport import InMemoryTransport
+from repro.runtime.service import (
+    LockClient,
+    LockServiceCluster,
+    LockServiceShard,
+    LockSession,
+    shard_for_key,
+)
+from repro.runtime.transport import Envelope, InMemoryTransport
+from repro.runtime.transport_socket import SocketTransport
 
 __all__ = [
+    "Envelope",
     "InMemoryTransport",
+    "SocketTransport",
     "AsyncDagNode",
     "LocalCluster",
     "DistributedLock",
+    "LockClient",
+    "LockServiceCluster",
+    "LockServiceShard",
+    "LockSession",
+    "shard_for_key",
+    "LockBenchScenario",
+    "check_lockbench_baseline",
+    "default_lockbench_matrix",
+    "min_merge_lockbench_documents",
+    "run_calibrated_lockbench",
+    "run_lockbench",
+    "run_lockbench_scenario",
+    "smoke_lockbench_matrix",
 ]

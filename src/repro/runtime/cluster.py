@@ -25,6 +25,10 @@ class LocalCluster:
         topology: the logical tree and initial token holder.
         delay: optional per-message delay callable ``(sender, receiver) -> seconds``
             passed to the transport, e.g. to exaggerate contention in demos.
+        transport: optional pre-built transport (e.g. a started
+            :class:`~repro.runtime.transport_socket.SocketTransport`) to run
+            the nodes on; mutually exclusive with ``delay``, which configures
+            the default in-memory transport.
     """
 
     def __init__(
@@ -32,9 +36,12 @@ class LocalCluster:
         topology: Topology,
         *,
         delay: Optional[Callable[[int, int], float]] = None,
+        transport=None,
     ) -> None:
+        if transport is not None and delay is not None:
+            raise LockError("pass either a pre-built transport or delay, not both")
         self.topology = topology
-        self.transport = InMemoryTransport(delay=delay)
+        self.transport = transport if transport is not None else InMemoryTransport(delay=delay)
         pointers = topology.next_pointers()
         self.nodes: Dict[int, AsyncDagNode] = {
             node_id: AsyncDagNode(

@@ -1,0 +1,323 @@
+"""The lock-service benchmark: wall-clock truth for the networked runtime.
+
+The simulator's benchmarks measure the protocol in virtual time; this one
+measures the whole service — socket framing, shard processes, per-key DAG
+token trees — under a seeded concurrent workload: ``clients`` sessions, each
+issuing ``ops`` acquire/release pairs against ``locks`` keys consistent-hashed
+across ``shards`` worker processes.  Reported per scenario:
+
+* ``locks_per_sec`` — completed acquire/release pairs per wall second;
+* acquire-latency percentiles (p50/p99, milliseconds) — request sent to
+  grant received, under full contention;
+* deterministic op counts (``ops_total``, ``errors``) — gated exactly.
+
+``BENCH_runtime.json`` at the repository root is the committed reference.
+Regenerate with::
+
+    repro lockbench --calibrate 3 --output BENCH_runtime.json
+
+Calibration mirrors the throughput harness's min-merge: rates keep the
+*slowest* run (a conservative floor for the CI gate) and latency percentiles
+keep the *largest* observation (a conservative ceiling), so the committed
+document never encodes a lucky run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import LockError
+from repro.runtime.service import LockClient, LockServiceCluster
+from repro.sim.rng import SeededRNG
+from repro.spec import RuntimeSpec, TopologySpec
+
+LOCKBENCH_SCHEMA = "bench-runtime/v1"
+
+#: Default p99 ceiling: a fresh run's p99 may be at most ``(1 + latency
+#: tolerance)`` times the committed one.  Latency on shared CI runners is far
+#: noisier than throughput, hence the generous default.
+DEFAULT_LATENCY_TOLERANCE = 3.0
+
+
+@dataclass(frozen=True)
+class LockBenchScenario:
+    """One cell of the lock-service benchmark matrix.
+
+    ``clients`` is the number of *concurrent sessions* (all in flight at
+    once, multiplexed over ``channels`` connections per shard); ``ops`` is
+    acquire/release pairs per session; ``agents`` shapes the per-key token
+    tree through the same :class:`~repro.spec.TopologySpec` names the
+    simulator uses.
+    """
+
+    shards: int
+    clients: int
+    locks: int
+    ops: int
+    agents: int = 4
+    topology_kind: str = "star"
+    socket: str = "unix"
+    channels: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.locks < 1 or self.ops < 1:
+            raise LockError(
+                "clients, locks and ops must all be >= 1, got "
+                f"{self.clients}/{self.locks}/{self.ops}"
+            )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.socket}-s{self.shards}-c{self.clients}"
+            f"-k{self.locks}-o{self.ops}"
+        )
+
+    def runtime_spec(self) -> RuntimeSpec:
+        """The service-side description (the spec-to-runtime bridge)."""
+        return RuntimeSpec(
+            algorithm="dag",
+            topology=TopologySpec(kind=self.topology_kind, n=self.agents),
+            shards=self.shards,
+            socket=self.socket,
+        )
+
+
+def smoke_lockbench_matrix() -> List[LockBenchScenario]:
+    """The CI cell: 1k concurrent sessions over a 2-shard, 64-key namespace."""
+    return [LockBenchScenario(shards=2, clients=1000, locks=64, ops=10)]
+
+
+def default_lockbench_matrix() -> List[LockBenchScenario]:
+    """The committed matrix: single-shard hot path, the 1k-session acceptance
+    cell, and a wider 4-shard spread."""
+    return [
+        LockBenchScenario(shards=1, clients=100, locks=16, ops=20),
+        LockBenchScenario(shards=2, clients=1000, locks=64, ops=10),
+        LockBenchScenario(shards=4, clients=1000, locks=256, ops=10),
+    ]
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+async def _drive_sessions(
+    scenario: LockBenchScenario, addresses: Sequence[Any]
+) -> Dict[str, Any]:
+    """All sessions concurrently; returns latencies + error count + wall."""
+    client = LockClient(addresses, channels=scenario.channels)
+    await client.connect()
+    latencies: List[float] = []
+    errors = 0
+
+    async def run_session(session_id: int) -> None:
+        nonlocal errors
+        rng = SeededRNG(scenario.seed, label=f"lockbench/session-{session_id}")
+        session = client.session(session_id)
+        for _ in range(scenario.ops):
+            key = f"lock-{rng.randint(0, scenario.locks - 1)}"
+            started = time.perf_counter()
+            try:
+                await session.acquire(key)
+            except LockError:
+                errors += 1
+                continue
+            latencies.append(time.perf_counter() - started)
+            try:
+                await session.release(key)
+            except LockError:
+                errors += 1
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(run_session(session_id) for session_id in range(scenario.clients))
+    )
+    wall = time.perf_counter() - started
+    await client.close()
+    return {"latencies": latencies, "errors": errors, "wall": wall}
+
+
+def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
+    """Start the shard processes, drive the workload, assemble the row.
+
+    Deterministic fields (``ops_total``, ``errors``) live at the top level;
+    host-dependent measurements live under ``"timing"`` — the same split as
+    every other bench document, so gates know which fields tolerate noise.
+    """
+    spec = scenario.runtime_spec()
+    with LockServiceCluster(spec) as cluster:
+        outcome = asyncio.run(_drive_sessions(scenario, cluster.addresses))
+    latencies = sorted(outcome["latencies"])
+    completed = len(latencies)
+    wall = outcome["wall"]
+    return {
+        "scenario": scenario.name,
+        "shards": scenario.shards,
+        "clients": scenario.clients,
+        "locks": scenario.locks,
+        "ops_per_client": scenario.ops,
+        "agents": scenario.agents,
+        "socket": scenario.socket,
+        "runtime_spec": spec.name,
+        "ops_total": scenario.clients * scenario.ops,
+        "ops_completed": completed,
+        "errors": outcome["errors"],
+        "timing": {
+            "wall_seconds": round(wall, 4),
+            "locks_per_sec": round(completed / wall, 1) if wall > 0 else 0.0,
+            "acquire_p50_ms": round(_quantile(latencies, 0.50) * 1000, 3),
+            "acquire_p99_ms": round(_quantile(latencies, 0.99) * 1000, 3),
+            "acquire_mean_ms": (
+                round(sum(latencies) / completed * 1000, 3) if completed else 0.0
+            ),
+            "acquire_max_ms": round(latencies[-1] * 1000, 3) if latencies else 0.0,
+        },
+    }
+
+
+def run_lockbench(
+    *,
+    matrix: Optional[Sequence[LockBenchScenario]] = None,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the matrix and assemble the ``BENCH_runtime.json`` document."""
+    scenarios = list(matrix) if matrix is not None else default_lockbench_matrix()
+    rows: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        row = run_lockbench_scenario(scenario)
+        rows.append(row)
+        if verbose:
+            timing = row["timing"]
+            print(
+                f"{row['scenario']:<28} {timing['locks_per_sec']:>10,.0f} locks/s   "
+                f"p50 {timing['acquire_p50_ms']:>8.2f} ms   "
+                f"p99 {timing['acquire_p99_ms']:>8.2f} ms   "
+                f"errors {row['errors']}"
+            )
+    return {
+        "schema": LOCKBENCH_SCHEMA,
+        "generated_by": "repro lockbench",
+        "scenarios": rows,
+    }
+
+
+def min_merge_lockbench_documents(
+    documents: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Conservative merge for calibration: slowest rates, largest latencies.
+
+    Deterministic fields must agree across the runs (the workload is seeded;
+    disagreement means ops failed nondeterministically and the merge raises).
+    """
+    if not documents:
+        raise ValueError("min_merge_lockbench_documents needs at least one document")
+    merged = copy.deepcopy(documents[0])
+    for document in documents[1:]:
+        if len(document["scenarios"]) != len(merged["scenarios"]):
+            raise ValueError("documents cover different scenario matrices")
+        for row, other in zip(merged["scenarios"], document["scenarios"]):
+            if row["scenario"] != other["scenario"]:
+                raise ValueError(
+                    f"scenario order mismatch: {row['scenario']!r} vs "
+                    f"{other['scenario']!r}"
+                )
+            for field in ("ops_total", "ops_completed", "errors"):
+                if row[field] != other[field]:
+                    raise ValueError(
+                        f"{row['scenario']}: {field} {row[field]} != "
+                        f"{other[field]} (lock workload no longer deterministic?)"
+                    )
+            timing, other_timing = row["timing"], other["timing"]
+            if other_timing["locks_per_sec"] < timing["locks_per_sec"]:
+                timing["locks_per_sec"] = other_timing["locks_per_sec"]
+                timing["wall_seconds"] = other_timing["wall_seconds"]
+            for field in (
+                "acquire_p50_ms",
+                "acquire_p99_ms",
+                "acquire_mean_ms",
+                "acquire_max_ms",
+            ):
+                timing[field] = max(timing[field], other_timing[field])
+    return merged
+
+
+def run_calibrated_lockbench(
+    *,
+    matrix: Optional[Sequence[LockBenchScenario]] = None,
+    runs: int = 3,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the matrix ``runs`` times and min-merge into a committed floor."""
+    if runs < 1:
+        raise ValueError(f"calibration needs at least 1 run, got {runs}")
+    documents = []
+    for index in range(runs):
+        if verbose:
+            print(f"--- calibration run {index + 1}/{runs} ---")
+        documents.append(run_lockbench(matrix=matrix, verbose=verbose))
+    return min_merge_lockbench_documents(documents)
+
+
+def check_lockbench_baseline(
+    current: Iterable[Dict[str, Any]],
+    committed: Dict[str, Any],
+    *,
+    tolerance: float = 0.5,
+    latency_tolerance: float = DEFAULT_LATENCY_TOLERANCE,
+) -> List[str]:
+    """Compare fresh lockbench rows against the committed reference.
+
+    ``ops_total``/``ops_completed``/``errors`` are exact (the workload is
+    seeded and every op must succeed); ``locks_per_sec`` may drop at most
+    ``tolerance`` below the committed floor; the acquire p99 may rise to at
+    most ``(1 + latency_tolerance)`` times the committed ceiling.
+    """
+    committed_by_name = {
+        row["scenario"]: row for row in committed.get("scenarios", [])
+    }
+    problems: List[str] = []
+    for row in current:
+        reference = committed_by_name.get(row["scenario"])
+        if reference is None:
+            continue
+        for field in ("ops_total", "ops_completed", "errors"):
+            if row.get(field) != reference.get(field):
+                problems.append(
+                    f"{row['scenario']}: {field} {row.get(field)!r} != committed "
+                    f"{reference.get(field)!r}"
+                )
+        timing = row.get("timing") or {}
+        reference_timing = reference.get("timing") or {}
+        floor = reference_timing.get("locks_per_sec", 0.0) * (1.0 - tolerance)
+        rate = timing.get("locks_per_sec")
+        if rate is not None and rate < floor:
+            problems.append(
+                f"{row['scenario']}: {rate:,.0f} locks/s is below "
+                f"{floor:,.0f} (committed "
+                f"{reference_timing['locks_per_sec']:,.0f} - {tolerance:.0%})"
+            )
+        ceiling = reference_timing.get("acquire_p99_ms", 0.0) * (
+            1.0 + latency_tolerance
+        )
+        p99 = timing.get("acquire_p99_ms")
+        if p99 is not None and ceiling > 0 and p99 > ceiling:
+            problems.append(
+                f"{row['scenario']}: acquire p99 {p99:.2f} ms exceeds "
+                f"{ceiling:.2f} ms (committed "
+                f"{reference_timing['acquire_p99_ms']:.2f} ms + "
+                f"{latency_tolerance:.0%})"
+            )
+    return problems

@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.core.messages import Privilege, Request
 from repro.exceptions import LockError, ProtocolError
-from repro.runtime.transport import Envelope, InMemoryTransport
+from repro.runtime.transport import Envelope
 
 
 class AsyncDagNode:
@@ -27,7 +27,10 @@ class AsyncDagNode:
 
     Args:
         node_id: this node's identifier.
-        transport: the shared in-memory transport.
+        transport: any transport with the ``register``/``send`` surface —
+            :class:`~repro.runtime.transport.InMemoryTransport` within one
+            event loop, :class:`~repro.runtime.transport_socket.
+            SocketTransport` across processes.
         holding: whether this node starts with the token.
         next_node: initial ``NEXT`` pointer (``None`` iff ``holding``).
     """
@@ -35,7 +38,7 @@ class AsyncDagNode:
     def __init__(
         self,
         node_id: int,
-        transport: InMemoryTransport,
+        transport,
         *,
         holding: bool,
         next_node: Optional[int],

@@ -1,0 +1,722 @@
+"""A networked, sharded lock service over the DAG protocol.
+
+The multi-lock namespace the ROADMAP calls the "millions of users" story made
+literal: every lock *key* is its own little mutual-exclusion problem, solved
+by its own DAG token tree (shaped by the same :class:`~repro.spec.TopologySpec`
+names the simulator uses), and the key namespace is consistent-hashed across
+``shards`` worker processes.  Client sessions speak length-prefixed JSON
+frames (the :mod:`repro.runtime.transport_socket` wire format) over unix or
+TCP sockets:
+
+    acquire {key, session, id}  ->  {id, ok}        (blocks until granted)
+    release {key, session, id}  ->  {id, ok}
+    stats   {id}                ->  {id, ok, stats}
+    shutdown {id}               ->  {id, ok}        (graceful shard exit)
+
+Inside a shard, each key's tree is a set of :class:`AsyncDagNode` *agents*
+over an in-process transport; a client acquire claims a free agent (one
+outstanding protocol request per agent, the paper's P1 precondition) and runs
+:class:`~repro.runtime.lock.DistributedLock` against it, so concurrent
+sessions on the same key are serialised by real REQUEST/PRIVILEGE traffic.
+
+The shard pool reuses the sweep runner's process pattern: one short-lived
+``multiprocessing.Process`` per shard with a private readiness pipe, the
+parent multiplexing on :func:`multiprocessing.connection.wait` — a shard that
+dies before binding costs an error, not a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import os
+import socket as socket_module
+import tempfile
+import time
+from functools import lru_cache
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import LockError, RuntimeTransportError
+from repro.runtime.lock import DistributedLock
+from repro.runtime.node_runtime import AsyncDagNode
+from repro.runtime.transport import InMemoryTransport
+from repro.runtime.transport_socket import (
+    FRAME_HEADER,
+    Address,
+    encode_frame,
+    read_frame,
+)
+from repro.spec import RuntimeSpec
+
+#: Virtual nodes per shard on the consistent-hash ring.  Enough that key load
+#: stays within a few percent of uniform for any realistic shard count.
+RING_VNODES = 64
+
+#: How long `LockServiceCluster.start` waits for every shard to bind.
+READY_TIMEOUT_SECONDS = 30.0
+
+
+# --------------------------------------------------------------------------- #
+# consistent hashing
+# --------------------------------------------------------------------------- #
+def _hash64(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+@lru_cache(maxsize=32)
+def _ring(shards: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The sorted hash ring for ``shards``: (point, owner) as parallel tuples."""
+    points = sorted(
+        (_hash64(f"shard:{shard}:vnode:{vnode}"), shard)
+        for shard in range(shards)
+        for vnode in range(RING_VNODES)
+    )
+    return tuple(p for p, _ in points), tuple(s for _, s in points)
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """The shard owning ``key``: first ring point clockwise of the key's hash.
+
+    Pure function of ``(key, shards)`` via sha256, so every client and every
+    shard agrees on ownership with no coordination (and no dependence on
+    ``PYTHONHASHSEED``).
+    """
+    if shards < 1:
+        raise LockError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    hashes, owners = _ring(shards)
+    index = bisect.bisect_right(hashes, _hash64(f"key:{key}"))
+    return owners[index % len(owners)]
+
+
+# --------------------------------------------------------------------------- #
+# per-key token tree
+# --------------------------------------------------------------------------- #
+class _KeyedLock:
+    """One lock key's DAG token tree plus its agent pool.
+
+    Agents are the tree's nodes; a session acquire claims an agent (at most
+    one outstanding request per agent — procedure P1's precondition) and
+    acquires the distributed lock through it.  The token stays wherever the
+    last holder left it, so a hot key converges to zero-message re-entry,
+    exactly like the simulated protocol.
+    """
+
+    __slots__ = ("key", "transport", "nodes", "_busy", "_rotor", "_handles")
+
+    def __init__(self, key: str, spec: RuntimeSpec) -> None:
+        self.key = key
+        topology = spec.build_lock_topology()
+        self.transport = InMemoryTransport()
+        pointers = topology.next_pointers()
+        self.nodes: List[AsyncDagNode] = [
+            AsyncDagNode(
+                node_id,
+                self.transport,
+                holding=(node_id == topology.token_holder),
+                next_node=pointers[node_id],
+            )
+            for node_id in topology.nodes
+        ]
+        for node in self.nodes:
+            node.start()
+        self._busy = [asyncio.Lock() for _ in self.nodes]
+        self._rotor = 0
+        self._handles: Dict[int, DistributedLock] = {}
+
+    async def acquire(self) -> int:
+        """Claim an agent and enter the key's critical section; returns a ticket."""
+        index = None
+        for offset in range(len(self.nodes)):
+            candidate = (self._rotor + offset) % len(self.nodes)
+            if not self._busy[candidate].locked():
+                index = candidate
+                break
+        if index is None:
+            index = self._rotor
+        self._rotor = (index + 1) % len(self.nodes)
+        await self._busy[index].acquire()
+        handle = DistributedLock(self.nodes[index])
+        try:
+            await handle.acquire()
+        except BaseException:
+            self._busy[index].release()
+            raise
+        self._handles[index] = handle
+        return index
+
+    async def release(self, ticket: int) -> None:
+        handle = self._handles.pop(ticket)
+        await handle.release()
+        self._busy[ticket].release()
+
+    async def close(self) -> None:
+        for node in self.nodes:
+            await node.stop()
+        await self.transport.close()
+
+
+# --------------------------------------------------------------------------- #
+# the shard server
+# --------------------------------------------------------------------------- #
+class LockServiceShard:
+    """One worker process's slice of the lock namespace.
+
+    Owns the keys the consistent hash assigns to ``index`` and serves the
+    frame protocol for them.  Acquires run as their own tasks so one blocked
+    session never stalls a connection's other sessions; a dropped connection
+    releases everything its sessions held (and lets in-flight acquires finish,
+    then releases them immediately — a DAG request, once sent, must be served).
+    """
+
+    def __init__(self, spec: RuntimeSpec, index: int) -> None:
+        if not 0 <= index < spec.shards:
+            raise LockError(f"shard index {index} outside 0..{spec.shards - 1}")
+        self.spec = spec
+        self.index = index
+        self.address: Optional[Address] = None
+        self._locks: Dict[str, _KeyedLock] = {}
+        self._holders: Dict[str, Tuple[int, int]] = {}  # key -> (conn, session)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._conn_counter = 0
+        self._op_tasks: set = set()
+        self.stats: Dict[str, int] = {
+            "acquires": 0,
+            "releases": 0,
+            "errors": 0,
+            "exclusion_violations": 0,
+            "abandoned": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, address: Address) -> None:
+        """Bind the shard's listening socket (port 0 -> ephemeral, recorded)."""
+        if isinstance(address, (tuple, list)):
+            host, port = address
+            self._server = await asyncio.start_server(self._serve_connection, host, port)
+            bound = self._server.sockets[0].getsockname()
+            self.address = (str(host), bound[1])
+        else:
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=address
+            )
+            self.address = str(address)
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._op_tasks):
+            if not task.done():
+                # Ops finish fast once their token arrives; give them a beat
+                # rather than cancelling mid-protocol.
+                try:
+                    await asyncio.wait_for(task, timeout=1.0)
+                except (asyncio.TimeoutError, Exception):
+                    task.cancel()
+        for keyed in self._locks.values():
+            await keyed.close()
+        self._locks.clear()
+
+    # ------------------------------------------------------------------ #
+    # the frame protocol
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_counter += 1
+        conn_id = self._conn_counter
+        write_lock = asyncio.Lock()
+        held: Dict[Tuple[int, str], int] = {}  # (session, key) -> ticket
+        state = {"open": True}
+
+        async def reply(payload: Dict[str, Any]) -> None:
+            if not state["open"]:
+                return
+            async with write_lock:
+                try:
+                    writer.write(encode_frame(payload))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    state["open"] = False
+
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except RuntimeTransportError:
+                    break
+                if frame is None:
+                    break
+                if frame.get("op") == "shutdown":
+                    await reply({"id": frame.get("id"), "ok": True})
+                    self._shutdown.set()
+                    break
+                task = asyncio.create_task(
+                    self._handle_op(frame, conn_id, held, state, reply)
+                )
+                self._op_tasks.add(task)
+                task.add_done_callback(self._op_tasks.discard)
+        finally:
+            state["open"] = False
+            # Release everything this connection's sessions still hold; an
+            # in-flight acquire sees state["open"] is False when granted and
+            # releases itself (counted under "abandoned").
+            for (session, key), ticket in list(held.items()):
+                del held[(session, key)]
+                self._holders.pop(key, None)
+                keyed = self._locks.get(key)
+                if keyed is not None:
+                    self.stats["abandoned"] += 1
+                    await keyed.release(ticket)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_op(
+        self,
+        frame: Dict[str, Any],
+        conn_id: int,
+        held: Dict[Tuple[int, str], int],
+        state: Dict[str, bool],
+        reply,
+    ) -> None:
+        op = frame.get("op")
+        op_id = frame.get("id")
+        try:
+            if op == "stats":
+                await reply(
+                    {
+                        "id": op_id,
+                        "ok": True,
+                        "stats": {
+                            **self.stats,
+                            "shard": self.index,
+                            "keys": len(self._locks),
+                            "held": len(self._holders),
+                        },
+                    }
+                )
+                return
+            key = frame.get("key")
+            session = frame.get("session", 0)
+            if op not in ("acquire", "release"):
+                raise LockError(f"unknown op {op!r}")
+            if not isinstance(key, str) or not key:
+                raise LockError("op needs a non-empty string 'key'")
+            owner = shard_for_key(key, self.spec.shards)
+            if owner != self.index:
+                raise LockError(
+                    f"key {key!r} belongs to shard {owner}, not {self.index} "
+                    "(client routing bug)"
+                )
+            if op == "acquire":
+                await self._acquire(key, int(session), conn_id, held, state)
+                await reply({"id": op_id, "ok": True})
+            else:
+                await self._release(key, int(session), conn_id, held)
+                await reply({"id": op_id, "ok": True})
+        except LockError as exc:
+            self.stats["errors"] += 1
+            await reply({"id": op_id, "ok": False, "error": str(exc)})
+
+    async def _acquire(
+        self,
+        key: str,
+        session: int,
+        conn_id: int,
+        held: Dict[Tuple[int, str], int],
+        state: Dict[str, bool],
+    ) -> None:
+        if (session, key) in held:
+            raise LockError(f"session {session} already holds {key!r}")
+        keyed = self._locks.get(key)
+        if keyed is None:
+            keyed = _KeyedLock(key, self.spec)
+            self._locks[key] = keyed
+        ticket = await keyed.acquire()
+        if not state["open"]:
+            # The connection died while we waited for the token: the grant
+            # has no owner any more, so hand the token straight back.
+            self.stats["abandoned"] += 1
+            await keyed.release(ticket)
+            return
+        if key in self._holders:
+            # The per-key tree + agent pool make this unreachable; counting
+            # rather than asserting keeps the service observable if a future
+            # change breaks the invariant.
+            self.stats["exclusion_violations"] += 1
+        self._holders[key] = (conn_id, session)
+        held[(session, key)] = ticket
+        self.stats["acquires"] += 1
+
+    async def _release(
+        self,
+        key: str,
+        session: int,
+        conn_id: int,
+        held: Dict[Tuple[int, str], int],
+    ) -> None:
+        ticket = held.pop((session, key), None)
+        if ticket is None:
+            raise LockError(f"session {session} does not hold {key!r}")
+        self._holders.pop(key, None)
+        keyed = self._locks[key]
+        await keyed.release(ticket)
+        self.stats["releases"] += 1
+
+
+def _shard_main(spec_dict: Dict[str, Any], index: int, address, pipe) -> None:
+    """Child-process entry point: bind, report readiness, serve, exit."""
+    spec = RuntimeSpec.from_dict(spec_dict)
+
+    async def _serve() -> None:
+        shard = LockServiceShard(spec, index)
+        try:
+            await shard.start(address)
+        except Exception as exc:  # pragma: no cover - bind failures
+            pipe.send(("error", f"{type(exc).__name__}: {exc}"))
+            pipe.close()
+            return
+        pipe.send(("ready", shard.address))
+        pipe.close()
+        await shard.serve_until_shutdown()
+
+    asyncio.run(_serve())
+
+
+# --------------------------------------------------------------------------- #
+# the parent-side cluster controller
+# --------------------------------------------------------------------------- #
+class LockServiceCluster:
+    """Starts ``spec.shards`` shard processes and tears them down again.
+
+    Synchronous on purpose (start/stop bracket an ``asyncio.run`` client
+    phase).  Usable as a context manager::
+
+        with LockServiceCluster(RuntimeSpec(shards=2)) as cluster:
+            asyncio.run(drive(cluster.addresses))
+    """
+
+    def __init__(
+        self,
+        spec: RuntimeSpec,
+        *,
+        socket_dir: Optional[str] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.spec = spec
+        self.addresses: List[Address] = []
+        self._host = host
+        self._socket_dir = socket_dir
+        self._own_socket_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+
+    def start(self) -> None:
+        if self._processes:
+            raise LockError("cluster is already started")
+        context = multiprocessing.get_context()
+        if self.spec.socket == "unix" and self._socket_dir is None:
+            self._own_socket_dir = tempfile.TemporaryDirectory(prefix="repro-locks-")
+            self._socket_dir = self._own_socket_dir.name
+        readers = []
+        for index in range(self.spec.shards):
+            if self.spec.socket == "unix":
+                address: Address = os.path.join(self._socket_dir, f"shard-{index}.sock")
+            else:
+                address = (self._host, 0)
+            reader, writer = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_main,
+                args=(self.spec.to_dict(), index, address, writer),
+                daemon=True,
+            )
+            process.start()
+            writer.close()
+            readers.append(reader)
+            self._processes.append(process)
+        # Sweep-runner pattern: multiplex the readiness pipes with a deadline
+        # so a shard that dies before binding surfaces as an error, not a hang.
+        self.addresses = [None] * self.spec.shards  # type: ignore[list-item]
+        deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+        pending = {reader: index for index, reader in enumerate(readers)}
+        try:
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LockError(
+                        f"shards {sorted(pending.values())} did not report "
+                        f"ready within {READY_TIMEOUT_SECONDS}s"
+                    )
+                for reader in mp_connection.wait(list(pending), timeout=remaining):
+                    index = pending.pop(reader)
+                    try:
+                        status, detail = reader.recv()
+                    except EOFError:
+                        status, detail = "error", "shard died before binding"
+                    if status != "ready":
+                        raise LockError(f"shard {index} failed to start: {detail}")
+                    self.addresses[index] = (
+                        tuple(detail) if isinstance(detail, (list, tuple)) else detail
+                    )
+        except Exception:
+            self.stop()
+            raise
+        finally:
+            for reader in readers:
+                reader.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown frame per shard, then terminate stragglers."""
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                continue
+            address = self.addresses[index] if index < len(self.addresses) else None
+            if address is not None:
+                _send_shutdown(address)
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._processes = []
+        self.addresses = []
+        if self._own_socket_dir is not None:
+            self._own_socket_dir.cleanup()
+            self._own_socket_dir = None
+            self._socket_dir = None
+
+    def __enter__(self) -> "LockServiceCluster":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def _send_shutdown(address: Address) -> None:
+    """Fire one shutdown frame over a plain blocking socket (best effort)."""
+    try:
+        if isinstance(address, tuple):
+            sock = socket_module.create_connection(address, timeout=5.0)
+        else:
+            sock = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+            sock.settimeout(5.0)
+            sock.connect(address)
+        with sock:
+            sock.sendall(encode_frame({"op": "shutdown", "id": 0}))
+            # Wait for the ack (or EOF) so the frame is not lost in a reset.
+            try:
+                sock.recv(FRAME_HEADER.size + 64)
+            except OSError:
+                pass
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# the client
+# --------------------------------------------------------------------------- #
+class LockClient:
+    """An async client multiplexing many sessions over few connections.
+
+    ``channels`` connections are opened per shard; sessions are assigned to
+    channels round-robin, and every op carries a session id plus a client-wide
+    op id, so thousands of concurrent sessions share a handful of sockets
+    (the per-peer connection reuse story, client-side).
+    """
+
+    def __init__(self, addresses: Sequence[Address], *, channels: int = 8) -> None:
+        if not addresses:
+            raise LockError("LockClient needs at least one shard address")
+        if channels < 1:
+            raise LockError(f"channels must be >= 1, got {channels}")
+        self._addresses = list(addresses)
+        self._channels = channels
+        self._conns: Dict[Tuple[int, int], _ClientConnection] = {}
+        self._op_counter = 0
+        self._closed = False
+
+    @property
+    def shards(self) -> int:
+        return len(self._addresses)
+
+    async def connect(self) -> None:
+        """Open every channel eagerly (lazy open also happens per send)."""
+        for shard in range(self.shards):
+            for channel in range(self._channels):
+                await self._connection(shard, channel)
+
+    async def close(self) -> None:
+        self._closed = True
+        for conn in self._conns.values():
+            await conn.close()
+        self._conns.clear()
+
+    async def __aenter__(self) -> "LockClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    async def acquire(self, key: str, *, session: int = 0) -> None:
+        await self._call(
+            {"op": "acquire", "key": key, "session": session}, key=key, session=session
+        )
+
+    async def release(self, key: str, *, session: int = 0) -> None:
+        await self._call(
+            {"op": "release", "key": key, "session": session}, key=key, session=session
+        )
+
+    async def stats(self, shard: int) -> Dict[str, Any]:
+        conn = await self._connection(shard, 0)
+        response = await conn.call(self._next_id(), {"op": "stats"})
+        return response["stats"]
+
+    def session(self, session_id: int) -> "LockSession":
+        return LockSession(self, session_id)
+
+    async def _call(self, frame: Dict[str, Any], *, key: str, session: int) -> None:
+        if self._closed:
+            raise LockError("client is closed")
+        shard = shard_for_key(key, self.shards)
+        conn = await self._connection(shard, session % self._channels)
+        response = await conn.call(self._next_id(), frame)
+        if not response.get("ok"):
+            raise LockError(response.get("error", "lock service error"))
+
+    def _next_id(self) -> int:
+        self._op_counter += 1
+        return self._op_counter
+
+    async def _connection(self, shard: int, channel: int) -> "_ClientConnection":
+        conn = self._conns.get((shard, channel))
+        if conn is None:
+            conn = _ClientConnection(self._addresses[shard])
+            await conn.open()
+            self._conns[(shard, channel)] = conn
+        return conn
+
+
+class _ClientConnection:
+    """One framed connection: a writer lock out, a reader task routing in."""
+
+    def __init__(self, address: Address) -> None:
+        self._address = address
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: Dict[int, asyncio.Future] = {}
+
+    async def open(self) -> None:
+        if isinstance(self._address, tuple):
+            self._reader, self._writer = await asyncio.open_connection(
+                self._address[0], self._address[1]
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self._address
+            )
+        self._reader_task = asyncio.create_task(self._route_responses())
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def call(self, op_id: int, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._writer is None:
+            raise LockError("connection is not open")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[op_id] = future
+        payload = dict(frame)
+        payload["id"] = op_id
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_frame(payload))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(op_id, None)
+
+    async def _route_responses(self) -> None:
+        error: Exception = LockError("lock service connection closed")
+        try:
+            while True:
+                assert self._reader is not None
+                response = await read_frame(self._reader)
+                if response is None:
+                    break
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (RuntimeTransportError, ConnectionError, OSError) as exc:
+            error = LockError(f"lock service connection failed: {exc}")
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+
+
+class LockSession:
+    """One logical client session: a session id bound to a shared client."""
+
+    __slots__ = ("_client", "session_id")
+
+    def __init__(self, client: LockClient, session_id: int) -> None:
+        self._client = client
+        self.session_id = session_id
+
+    async def acquire(self, key: str) -> None:
+        await self._client.acquire(key, session=self.session_id)
+
+    async def release(self, key: str) -> None:
+        await self._client.release(key, session=self.session_id)
+
+    def locked(self, key: str) -> "_SessionLockContext":
+        return _SessionLockContext(self, key)
+
+
+class _SessionLockContext:
+    __slots__ = ("_session", "_key")
+
+    def __init__(self, session: LockSession, key: str) -> None:
+        self._session = session
+        self._key = key
+
+    async def __aenter__(self) -> None:
+        await self._session.acquire(self._key)
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self._session.release(self._key)

@@ -1,0 +1,410 @@
+"""TCP / unix-socket transport behind the runtime's :class:`Envelope` API.
+
+This is the networked counterpart of :class:`repro.runtime.transport.
+InMemoryTransport`: the same ``register`` / ``send`` surface, so an
+:class:`~repro.runtime.node_runtime.AsyncDagNode` runs unchanged whether its
+peers live in the same event loop or in another process on the other end of a
+socket.  The related repos this package leapfrogs (``nodeServer.py`` /
+``nodeSend.py`` per node) open one connection per message; here every directed
+*process pair* keeps one connection alive and streams frames over it.
+
+Wire format — shared with the lock-service protocol (:mod:`repro.runtime.
+service`) — is length-prefixed JSON: a 4-byte big-endian frame length followed
+by a UTF-8 JSON document.  Protocol messages serialise through a small codec
+table (:data:`MESSAGE_CODECS`) so the frames stay readable on the wire and the
+transport stays independent of pickle.
+
+Delivery guarantees match the paper's network assumptions exactly as the
+in-memory transport implements them: per-channel FIFO (one writer task per
+destination address drains its outbox in send order; TCP/unix streams preserve
+it) and at-most-once (a frame lost to a dead peer is lost, not replayed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.core.messages import Privilege, Request
+from repro.exceptions import RuntimeTransportError
+from repro.runtime.transport import Envelope
+
+#: A transport address: a unix-socket path or a ``(host, port)`` TCP pair.
+Address = Union[str, Tuple[str, int]]
+
+#: Frame header: one unsigned 32-bit big-endian payload length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload.  Lock-service operations and
+#: protocol messages are tens of bytes; anything near this limit is a
+#: corrupted stream, and refusing it keeps a bad header from allocating
+#: gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Reconnect backoff for the per-peer writer tasks (seconds).  Short first
+#: retry so a peer restart costs little; capped so a dead peer does not
+#: busy-loop.
+RECONNECT_DELAY_INITIAL = 0.05
+RECONNECT_DELAY_MAX = 1.0
+RECONNECT_ATTEMPTS = 40
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one JSON payload as a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise RuntimeTransportError(
+            f"peer closed mid-header ({len(exc.partial)}/{FRAME_HEADER.size} bytes)"
+        ) from None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RuntimeTransportError(
+            f"frame header announces {length} bytes (limit {MAX_FRAME_BYTES}); "
+            "corrupted stream?"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise RuntimeTransportError(
+            f"peer closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RuntimeTransportError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise RuntimeTransportError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# protocol-message codec
+# --------------------------------------------------------------------------- #
+#: type tag -> (encode(message) -> fields, decode(fields) -> message).
+MESSAGE_CODECS: Dict[str, Tuple[Any, Any]] = {
+    "request": (
+        lambda message: {"sender": message.sender, "origin": message.origin},
+        lambda fields: Request(sender=fields["sender"], origin=fields["origin"]),
+    ),
+    "privilege": (
+        lambda message: {},
+        lambda fields: Privilege(),
+    ),
+}
+
+_TYPE_TAGS = {Request: "request", Privilege: "privilege"}
+
+
+def encode_message(message: Any) -> Dict[str, Any]:
+    """Protocol message -> JSON-safe dict with a ``type`` tag."""
+    tag = _TYPE_TAGS.get(type(message))
+    if tag is None:
+        raise RuntimeTransportError(
+            f"no wire codec for message type {type(message).__name__}; "
+            f"known: {sorted(MESSAGE_CODECS)}"
+        )
+    payload = MESSAGE_CODECS[tag][0](message)
+    payload["type"] = tag
+    return payload
+
+
+def decode_message(payload: Dict[str, Any]) -> Any:
+    """JSON dict -> protocol message (inverse of :func:`encode_message`)."""
+    tag = payload.get("type")
+    codec = MESSAGE_CODECS.get(tag)
+    if codec is None:
+        raise RuntimeTransportError(
+            f"unknown wire message type {tag!r}; known: {sorted(MESSAGE_CODECS)}"
+        )
+    fields = {key: value for key, value in payload.items() if key != "type"}
+    return codec[1](fields)
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """One protocol envelope as a wire frame."""
+    return encode_frame(
+        {
+            "sender": envelope.sender,
+            "receiver": envelope.receiver,
+            "message": encode_message(envelope.message),
+        }
+    )
+
+
+def decode_envelope(payload: Dict[str, Any]) -> Envelope:
+    """Wire frame payload -> :class:`Envelope`."""
+    try:
+        return Envelope(
+            sender=int(payload["sender"]),
+            receiver=int(payload["receiver"]),
+            message=decode_message(payload["message"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RuntimeTransportError(f"malformed envelope frame: {exc!r}") from None
+
+
+def _normalise(address: Address) -> Address:
+    """Hashable canonical form (JSON round-trips tuples as lists)."""
+    if isinstance(address, (list, tuple)):
+        host, port = address
+        return (str(host), int(port))
+    return str(address)
+
+
+async def _open_connection(address: Address):
+    if isinstance(address, tuple):
+        return await asyncio.open_connection(address[0], address[1])
+    return await asyncio.open_unix_connection(address)
+
+
+class SocketTransport:
+    """Connects asyncio nodes across processes through stream sockets.
+
+    One instance per process: it listens on ``address`` for frames addressed
+    to its *local* nodes (the ones that called :meth:`register`) and keeps one
+    outbound connection per remote peer address, reused for every message and
+    re-established transparently if the peer restarts.  Sends between two
+    local nodes never touch a socket.
+
+    Args:
+        address: this process's listen address (unix path or ``(host, port)``).
+        peers: node id -> address for every node in the system, including the
+            local ones (their entries must equal ``address``).
+
+    Usage::
+
+        transport = SocketTransport(path_a, peers={1: path_a, 2: path_b})
+        transport.register(1)
+        await transport.start()
+        ...
+        await transport.close()
+    """
+
+    def __init__(self, address: Address, peers: Mapping[int, Address]) -> None:
+        self._address = _normalise(address)
+        self._peers: Dict[int, Address] = {
+            int(node): _normalise(peer) for node, peer in peers.items()
+        }
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._outboxes: Dict[Address, asyncio.Queue] = {}
+        self._writers: Dict[Address, asyncio.Task] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._reader_tasks: set = set()
+        self._messages_sent = 0
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # InMemoryTransport surface
+    # ------------------------------------------------------------------ #
+    @property
+    def messages_sent(self) -> int:
+        """Total messages accepted by this process's transport."""
+        return self._messages_sent
+
+    @property
+    def node_ids(self) -> Iterable[int]:
+        """Identifiers of the locally registered nodes."""
+        return list(self._inboxes)
+
+    @property
+    def address(self) -> Address:
+        """The listen address (after :meth:`start`, the bound one)."""
+        return self._address
+
+    def register(self, node_id: int) -> asyncio.Queue:
+        """Create and return the inbox queue for a *local* node."""
+        if node_id in self._inboxes:
+            raise RuntimeTransportError(f"node {node_id} is already registered")
+        peer = self._peers.get(node_id)
+        if peer is not None and peer != self._address:
+            raise RuntimeTransportError(
+                f"node {node_id} is mapped to peer address {peer!r}, not this "
+                f"transport's {self._address!r}"
+            )
+        self._peers[node_id] = self._address
+        inbox: asyncio.Queue = asyncio.Queue()
+        self._inboxes[node_id] = inbox
+        return inbox
+
+    def send(self, sender: int, receiver: int, message: Any) -> None:
+        """Send ``message``; local delivery is direct, remote is framed."""
+        if self._closed:
+            raise RuntimeTransportError("transport is closed")
+        destination = self._peers.get(receiver)
+        if destination is None:
+            raise RuntimeTransportError(f"unknown receiver node {receiver}")
+        self._messages_sent += 1
+        envelope = Envelope(sender=sender, receiver=receiver, message=message)
+        if destination == self._address:
+            inbox = self._inboxes.get(receiver)
+            if inbox is None:
+                raise RuntimeTransportError(
+                    f"node {receiver} maps to this process but is not registered"
+                )
+            inbox.put_nowait(envelope)
+            return
+        if not self._started:
+            raise RuntimeTransportError(
+                "transport is not started; await start() before remote sends"
+            )
+        outbox = self._outboxes.get(destination)
+        if outbox is None:
+            outbox = asyncio.Queue()
+            self._outboxes[destination] = outbox
+            self._writers[destination] = asyncio.create_task(
+                self._drain_outbox(destination, outbox),
+                name=f"socket-writer-{destination}",
+            )
+        outbox.put_nowait(encode_envelope(envelope))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket (idempotent)."""
+        if self._server is not None:
+            return
+        if isinstance(self._address, tuple):
+            host, port = self._address
+            self._server = await asyncio.start_server(self._serve_peer, host, port)
+            # Port 0 binds an ephemeral port; record the real one so peers
+            # built from ``transport.address`` reach us.
+            bound = self._server.sockets[0].getsockname()
+            self._address = (host, bound[1])
+        else:
+            self._server = await asyncio.start_unix_server(
+                self._serve_peer, path=self._address
+            )
+        self._started = True
+
+    async def close(self) -> None:
+        """Flush outboxes best-effort, then tear everything down."""
+        self._closed = True
+        # Give each writer one chance to drain what is already queued: clean
+        # shutdown means "stop accepting work", not "drop accepted work".
+        for destination, outbox in list(self._outboxes.items()):
+            writer = self._writers.get(destination)
+            if writer is None or writer.done():
+                continue
+            try:
+                await asyncio.wait_for(outbox.join(), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+        for writer in self._writers.values():
+            writer.cancel()
+        for writer in list(self._writers.values()):
+            try:
+                await writer
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._writers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for task in list(self._reader_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._reader_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    async def _serve_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                envelope = decode_envelope(payload)
+                inbox = self._inboxes.get(envelope.receiver)
+                if inbox is None:
+                    raise RuntimeTransportError(
+                        f"received a frame for node {envelope.receiver}, which is "
+                        "not registered on this transport"
+                    )
+                inbox.put_nowait(envelope)
+        except (RuntimeTransportError, ConnectionError):
+            # A peer that dies mid-frame costs its in-flight messages, which
+            # is the at-most-once contract; the listener stays up.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _drain_outbox(self, destination: Address, outbox: asyncio.Queue) -> None:
+        """One writer per peer address: connect once, stream frames in order."""
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                frame = await outbox.get()
+                try:
+                    while True:
+                        if writer is None:
+                            writer = await self._connect(destination)
+                        try:
+                            writer.write(frame)
+                            await writer.drain()
+                            break
+                        except (ConnectionError, OSError):
+                            # Peer restarted between frames: drop the dead
+                            # connection and retry this frame on a fresh one.
+                            writer.close()
+                            writer = None
+                finally:
+                    outbox.task_done()
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _connect(self, destination: Address) -> asyncio.StreamWriter:
+        delay = RECONNECT_DELAY_INITIAL
+        for attempt in range(RECONNECT_ATTEMPTS):
+            try:
+                _, writer = await _open_connection(destination)
+                return writer
+            except (ConnectionError, OSError):
+                if attempt == RECONNECT_ATTEMPTS - 1:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, RECONNECT_DELAY_MAX)
+        raise RuntimeTransportError(f"unreachable peer {destination!r}")

@@ -441,6 +441,15 @@ FAULT_PROFILES: Dict[str, FaultSpec] = {
     ),
     # Sweep-level fault: the child process dies before reporting a row.
     "worker-crash": FaultSpec(worker_crash=True),
+    # Sever the hub<->first-leaf channel mid-run, then heal it: messages sent
+    # during the window are lost (both directions), traffic after the heal
+    # flows again.  On the fault tier's star-n50 heavy condition this probes
+    # how each algorithm rides out a transient link outage — the PR 6
+    # plumbing (PartitionSpec + heal windows) exercised by a committed
+    # profile for the first time.
+    "partition-heal": FaultSpec(
+        partitions=(PartitionSpec(a=1, b=2, start=5.0, heal=15.0),)
+    ),
 }
 
 
@@ -722,3 +731,116 @@ class ExperimentSpec:
 def run_spec(spec: ExperimentSpec, *, max_events: int = 5_000_000):
     """Function form of :meth:`ExperimentSpec.run` (mirrors ``run_experiment``)."""
     return spec.run(max_events=max_events)
+
+
+#: Socket families the networked runtime can serve on.
+SOCKET_KINDS = ("unix", "tcp")
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """The spec-to-runtime bridge: one description of a networked lock service.
+
+    The simulator measures the protocol in virtual time; the runtime
+    (:mod:`repro.runtime.service`) serves it over real sockets.  Both are
+    driven by the *same* names: ``algorithm`` is a registry name (the runtime
+    implements the paper's ``dag`` protocol) and ``topology`` is the standard
+    :class:`TopologySpec` — it shapes the per-lock-key token tree exactly as
+    it shapes a simulated system, so ``dag`` + ``star:8`` means the same
+    thing under ``repro run`` and under ``repro lockbench``.
+
+    Attributes:
+        algorithm: registry algorithm name; must be token-based and
+            implemented by the asyncio runtime (currently ``"dag"``).
+        topology: the per-lock-key agent tree (kind/size/seed), built through
+            :meth:`TopologySpec.build` like every simulated topology.
+        shards: worker processes the lock namespace is consistent-hashed
+            across.
+        socket: ``"unix"`` or ``"tcp"`` (see :data:`SOCKET_KINDS`).
+    """
+
+    algorithm: str = "dag"
+    topology: TopologySpec = TopologySpec(kind="star", n=8)
+    shards: int = 2
+    socket: str = "unix"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in registry.names():
+            raise ExperimentError(
+                _unknown("algorithm", self.algorithm, tuple(registry.names()))
+            )
+        if self.algorithm != "dag":
+            # The asyncio node runtime implements the paper's protocol; the
+            # baselines have no AsyncNode counterparts (yet).
+            raise ExperimentError(
+                "the networked runtime implements the 'dag' algorithm only, "
+                f"not {self.algorithm!r}"
+            )
+        if self.shards < 1:
+            raise ExperimentError(f"shards must be >= 1, got {self.shards}")
+        if self.socket not in SOCKET_KINDS:
+            raise ExperimentError(_unknown("socket kind", self.socket, SOCKET_KINDS))
+        if self.topology.n < 2:
+            raise ExperimentError(
+                "a lock key's token tree needs >= 2 agent nodes, got "
+                f"{self.topology.n}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Matrix-style identity, mirroring :attr:`ExperimentSpec.name`."""
+        return (
+            f"{self.algorithm}-{self.topology.kind}-n{self.topology.n}"
+            f"-s{self.shards}-{self.socket}"
+        )
+
+    def build_lock_topology(self) -> Topology:
+        """The token tree one lock key runs on (the simulator's builders)."""
+        return self.topology.build()
+
+    # ------------------------------------------------------------------ #
+    # serialization (same conventions as ExperimentSpec)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "runtime-spec/v1",
+            "algorithm": self.algorithm,
+            "topology": self.topology.to_dict(),
+            "shards": self.shards,
+            "socket": self.socket,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RuntimeSpec":
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"runtime spec must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        schema = payload.pop("schema", "runtime-spec/v1")
+        if schema != "runtime-spec/v1":
+            raise ExperimentError(f"unknown runtime spec schema {schema!r}")
+        payload = _validated_dict(RuntimeSpec, payload, "runtime spec")
+        if "topology" in payload:
+            payload["topology"] = TopologySpec.from_dict(payload["topology"])
+        return RuntimeSpec(**payload)
+
+    @staticmethod
+    def from_json(text: str) -> "RuntimeSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"runtime spec is not valid JSON: {exc}") from None
+        return RuntimeSpec.from_dict(data)
+
+    @staticmethod
+    def load(path: str) -> "RuntimeSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return RuntimeSpec.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.canonical_json())

@@ -288,6 +288,7 @@ FAULT_TIER_PROFILES = (
     "lose-privilege",
     "lose-request",
     "crash-holder",
+    "partition-heal",
 )
 
 

@@ -63,3 +63,12 @@ def test_distributed_counter_example(capsys):
     assert "without the lock" in out
     assert "with the lock" in out
     assert "no losses" in out
+
+
+@pytest.mark.network
+def test_lock_service_quickstart_example(capsys):
+    out = run_example("lock_service_quickstart.py", [], capsys)
+    assert "starting lock service dag-star-n4-s2-unix" in out
+    assert "total 400 / expected 400" in out
+    assert "0 exclusion violations" in out
+    assert "clean shutdown." in out

@@ -1,0 +1,165 @@
+"""The lock-service benchmark harness: runs, min-merge, regression gate."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.exceptions import LockError
+from repro.runtime.lockbench import (
+    LockBenchScenario,
+    check_lockbench_baseline,
+    default_lockbench_matrix,
+    min_merge_lockbench_documents,
+    run_lockbench,
+    run_lockbench_scenario,
+    smoke_lockbench_matrix,
+)
+
+
+def tiny() -> LockBenchScenario:
+    return LockBenchScenario(shards=2, clients=6, locks=3, ops=2, channels=2)
+
+
+# --------------------------------------------------------------------------- #
+# scenarios
+# --------------------------------------------------------------------------- #
+def test_scenario_names_and_validation():
+    scenario = tiny()
+    assert scenario.name == "unix-s2-c6-k3-o2"
+    spec = scenario.runtime_spec()
+    assert spec.algorithm == "dag" and spec.shards == 2
+    assert spec.name == "dag-star-n4-s2-unix"
+    with pytest.raises(LockError):
+        LockBenchScenario(shards=1, clients=0, locks=1, ops=1)
+
+
+def test_smoke_matrix_is_the_acceptance_cell():
+    (cell,) = smoke_lockbench_matrix()
+    assert cell.clients >= 1000  # the >= 1k concurrent sessions criterion
+    assert cell.shards >= 2
+    assert cell.socket == "unix"
+    assert cell in default_lockbench_matrix()
+
+
+# --------------------------------------------------------------------------- #
+# a real (tiny) run
+# --------------------------------------------------------------------------- #
+@pytest.mark.network
+def test_tiny_scenario_completes_every_op():
+    row = run_lockbench_scenario(tiny())
+    assert row["ops_total"] == 12
+    assert row["ops_completed"] == 12
+    assert row["errors"] == 0
+    timing = row["timing"]
+    assert timing["locks_per_sec"] > 0
+    assert 0 < timing["acquire_p50_ms"] <= timing["acquire_p99_ms"]
+    assert timing["acquire_p99_ms"] <= timing["acquire_max_ms"]
+
+
+@pytest.mark.network
+def test_run_lockbench_assembles_the_document():
+    document = run_lockbench(matrix=[tiny()])
+    assert document["schema"] == "bench-runtime/v1"
+    assert [row["scenario"] for row in document["scenarios"]] == ["unix-s2-c6-k3-o2"]
+
+
+# --------------------------------------------------------------------------- #
+# min-merge calibration
+# --------------------------------------------------------------------------- #
+def synthetic_document(rate: float, p99: float) -> dict:
+    return {
+        "schema": "bench-runtime/v1",
+        "scenarios": [
+            {
+                "scenario": "unix-s2-c6-k3-o2",
+                "ops_total": 12,
+                "ops_completed": 12,
+                "errors": 0,
+                "timing": {
+                    "wall_seconds": 12 / rate,
+                    "locks_per_sec": rate,
+                    "acquire_p50_ms": p99 / 2,
+                    "acquire_p99_ms": p99,
+                    "acquire_mean_ms": p99 / 2,
+                    "acquire_max_ms": p99 * 1.1,
+                },
+            }
+        ],
+    }
+
+
+def test_min_merge_keeps_slowest_rate_and_largest_latency():
+    merged = min_merge_lockbench_documents(
+        [synthetic_document(2000.0, 5.0), synthetic_document(1500.0, 9.0)]
+    )
+    timing = merged["scenarios"][0]["timing"]
+    assert timing["locks_per_sec"] == 1500.0
+    assert timing["acquire_p99_ms"] == 9.0
+    assert timing["acquire_max_ms"] == pytest.approx(9.9)
+
+
+def test_min_merge_rejects_deterministic_drift():
+    drifted = synthetic_document(2000.0, 5.0)
+    drifted["scenarios"][0]["errors"] = 3
+    with pytest.raises(ValueError, match="errors"):
+        min_merge_lockbench_documents([synthetic_document(2000.0, 5.0), drifted])
+
+
+def test_min_merge_rejects_mismatched_matrices():
+    other = synthetic_document(2000.0, 5.0)
+    other["scenarios"][0]["scenario"] = "unix-s4-c6-k3-o2"
+    with pytest.raises(ValueError, match="mismatch"):
+        min_merge_lockbench_documents([synthetic_document(2000.0, 5.0), other])
+
+
+# --------------------------------------------------------------------------- #
+# the regression gate
+# --------------------------------------------------------------------------- #
+def test_check_passes_identical_documents():
+    committed = synthetic_document(2000.0, 5.0)
+    assert check_lockbench_baseline(committed["scenarios"], committed) == []
+
+
+def test_check_flags_rate_regressions_and_latency_blowups():
+    committed = synthetic_document(2000.0, 5.0)
+    slow = synthetic_document(2000.0, 5.0)
+    slow["scenarios"][0]["timing"]["locks_per_sec"] = 900.0  # below 50% floor
+    problems = check_lockbench_baseline(slow["scenarios"], committed, tolerance=0.5)
+    assert any("locks/s" in problem for problem in problems)
+
+    laggy = synthetic_document(2000.0, 5.0)
+    laggy["scenarios"][0]["timing"]["acquire_p99_ms"] = 25.0  # over 4x ceiling
+    problems = check_lockbench_baseline(
+        laggy["scenarios"], committed, latency_tolerance=3.0
+    )
+    assert any("p99" in problem for problem in problems)
+
+
+def test_check_is_exact_on_op_counts():
+    committed = synthetic_document(2000.0, 5.0)
+    broken = copy.deepcopy(committed)
+    broken["scenarios"][0]["ops_completed"] = 11
+    problems = check_lockbench_baseline(broken["scenarios"], committed)
+    assert any("ops_completed" in problem for problem in problems)
+
+
+def test_check_ignores_scenarios_missing_from_the_committed_document():
+    committed = synthetic_document(2000.0, 5.0)
+    fresh = synthetic_document(100.0, 100.0)
+    fresh["scenarios"][0]["scenario"] = "unix-s8-new-cell"
+    assert check_lockbench_baseline(fresh["scenarios"], committed) == []
+
+
+def test_committed_runtime_document_gates_green_against_itself():
+    """BENCH_runtime.json is a calibrated floor: it must pass its own gate."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_runtime.json"
+    committed = json.loads(path.read_text())
+    assert committed["schema"] == "bench-runtime/v1"
+    names = [row["scenario"] for row in committed["scenarios"]]
+    assert "unix-s2-c1000-k64-o10" in names  # the CI acceptance cell
+    assert check_lockbench_baseline(committed["scenarios"], committed) == []

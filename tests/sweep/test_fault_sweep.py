@@ -60,11 +60,23 @@ def test_fault_sweep_matrix_covers_profiles_by_algorithm():
     # Every message-fault profile for every algorithm...
     for algorithm in ("dag", "maekawa"):
         for profile in ("drop1", "drop5", "lose-privilege", "lose-request",
-                        "crash-holder"):
+                        "crash-holder", "partition-heal"):
             assert f"{algorithm}-star-n50-heavy+{profile}" in names
     # ...plus the DAG-only recovery cell.
     assert "dag-star-n50-heavy+crash-recover" in names
     assert not any("maekawa" in n and "crash-recover" in n for n in names)
+
+
+def test_partition_heal_cell_degrades_then_recovers():
+    # The partition window (hub <-> leaf 2, t=5..15) must actually bite: the
+    # DAG cell completes fewer entries than the fault-free baseline but is
+    # not starved outright, because traffic resumes once the window heals.
+    clean = execute_scenario(SweepScenario("dag", "star", 50, "heavy"))
+    partitioned = execute_scenario(
+        SweepScenario("dag", "star", 50, "heavy", faults="partition-heal")
+    )
+    assert partitioned["fault_profile"] == "partition-heal"
+    assert 0 < partitioned["entries"] < clean["entries"]
 
 
 def test_fault_sweep_is_byte_identical_across_worker_counts():

@@ -414,3 +414,84 @@ def test_sweep_faults_tier_runs_and_is_deterministic(capsys, tmp_path):
     )
     assert code == 0
     assert first.read_bytes() == second.read_bytes()
+
+
+@pytest.mark.network
+def test_lockbench_command_runs_and_gates(capsys, tmp_path, monkeypatch):
+    # Shrink the smoke matrix so the CLI path stays fast under test; the real
+    # 1000-session cell runs in the runtime-smoke CI job.
+    from repro.runtime import lockbench as lockbench_module
+
+    tiny = [
+        lockbench_module.LockBenchScenario(
+            shards=2, clients=5, locks=3, ops=2, channels=2
+        )
+    ]
+    monkeypatch.setattr(lockbench_module, "smoke_lockbench_matrix", lambda: tiny)
+    output = tmp_path / "runtime.json"
+    code, out = run_cli(capsys, "lockbench", "--smoke", "--output", str(output))
+    assert code == 0
+    assert output.exists()
+    assert "unix-s2-c5-k3-o2" in out
+    # A fresh run checked against itself passes the gate...
+    code, out = run_cli(
+        capsys, "lockbench", "--smoke", "--check", str(output),
+    )
+    assert code == 0
+    assert "passed" in out
+    # ...and an impossible committed floor fails it.
+    import json
+
+    committed = json.loads(output.read_text())
+    committed["scenarios"][0]["timing"]["locks_per_sec"] = 10_000_000.0
+    impossible = tmp_path / "impossible.json"
+    impossible.write_text(json.dumps(committed))
+    code, out = run_cli(
+        capsys, "lockbench", "--smoke", "--check", str(impossible),
+    )
+    assert code == 1
+    assert "FAILED" in out
+
+
+def test_lockbench_calibrate_min_merges(capsys, tmp_path, monkeypatch):
+    from repro.runtime import lockbench as lockbench_module
+
+    calls = []
+
+    def fake_run_lockbench(*, matrix=None, verbose=False):
+        calls.append(len(matrix))
+        rate = 2000.0 - 500.0 * len(calls)  # each run slower than the last
+        return {
+            "schema": lockbench_module.LOCKBENCH_SCHEMA,
+            "generated_by": "repro lockbench",
+            "scenarios": [
+                {
+                    "scenario": "unix-s2-c1000-k64-o10",
+                    "ops_total": 10000,
+                    "ops_completed": 10000,
+                    "errors": 0,
+                    "timing": {
+                        "wall_seconds": 1.0,
+                        "locks_per_sec": rate,
+                        "acquire_p50_ms": 1.0,
+                        "acquire_p99_ms": float(len(calls)),
+                        "acquire_mean_ms": 1.0,
+                        "acquire_max_ms": float(len(calls)),
+                    },
+                }
+            ],
+        }
+
+    monkeypatch.setattr(lockbench_module, "run_lockbench", fake_run_lockbench)
+    output = tmp_path / "calibrated.json"
+    code, _ = run_cli(
+        capsys, "lockbench", "--smoke", "--calibrate", "3", "--output", str(output),
+    )
+    assert code == 0
+    import json
+
+    document = json.loads(output.read_text())
+    timing = document["scenarios"][0]["timing"]
+    assert timing["locks_per_sec"] == 500.0  # slowest of the three runs
+    assert timing["acquire_p99_ms"] == 3.0  # largest of the three runs
+    assert calls == [1, 1, 1]

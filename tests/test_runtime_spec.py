@@ -1,0 +1,84 @@
+"""RuntimeSpec: the declarative bridge from ExperimentSpec names to the
+networked runtime (same algorithm registry, same topology builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.spec import SOCKET_KINDS, FAULT_PROFILES, RuntimeSpec, TopologySpec
+from repro.topology import star
+
+
+def test_defaults_and_name():
+    spec = RuntimeSpec()
+    assert spec.algorithm == "dag"
+    assert spec.topology == TopologySpec(kind="star", n=8)
+    assert spec.shards == 2
+    assert spec.socket == "unix"
+    assert spec.name == "dag-star-n8-s2-unix"
+
+
+def test_round_trip_through_dict_and_json():
+    spec = RuntimeSpec(
+        topology=TopologySpec(kind="line", n=5), shards=4, socket="tcp"
+    )
+    assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+    assert RuntimeSpec.from_json(spec.canonical_json()) == spec
+
+
+def test_file_round_trip(tmp_path):
+    spec = RuntimeSpec(shards=3)
+    path = tmp_path / "runtime.json"
+    spec.save(path)
+    assert RuntimeSpec.load(path) == spec
+
+
+def test_canonical_json_is_stable():
+    spec = RuntimeSpec()
+    assert spec.canonical_json() == spec.canonical_json()
+    assert '"schema"' in spec.canonical_json()
+
+
+def test_validation_rejects_bad_fields():
+    with pytest.raises(ExperimentError, match="unknown algorithm"):
+        RuntimeSpec(algorithm="nope")
+    with pytest.raises(ExperimentError, match="'dag' algorithm only"):
+        RuntimeSpec(algorithm="lamport")
+    with pytest.raises(ExperimentError, match="shards"):
+        RuntimeSpec(shards=0)
+    with pytest.raises(ExperimentError, match="socket"):
+        RuntimeSpec(socket="carrier-pigeon")
+    with pytest.raises(ExperimentError, match=">= 2 agent nodes"):
+        RuntimeSpec(topology=TopologySpec(kind="star", n=1))
+    assert SOCKET_KINDS == ("unix", "tcp")
+
+
+def test_from_dict_rejects_foreign_schema_and_unknown_keys():
+    spec = RuntimeSpec()
+    tampered = spec.to_dict()
+    tampered["schema"] = "runtime-spec/v9"
+    with pytest.raises(ExperimentError, match="schema"):
+        RuntimeSpec.from_dict(tampered)
+    extra = spec.to_dict()
+    extra["replicas"] = 3
+    with pytest.raises(ExperimentError, match="unknown"):
+        RuntimeSpec.from_dict(extra)
+
+
+def test_lock_topology_matches_the_simulator_builder():
+    """Same spec names drive both paths: the per-key token tree the runtime
+    builds is exactly the topology the simulator's TopologySpec builds."""
+    spec = RuntimeSpec(topology=TopologySpec(kind="star", n=6))
+    built = spec.build_lock_topology()
+    reference = star(6)
+    assert built.nodes == reference.nodes
+    assert built.token_holder == reference.token_holder
+    assert built.next_pointers() == reference.next_pointers()
+
+
+def test_partition_heal_profile_is_registered():
+    profile = FAULT_PROFILES["partition-heal"]
+    (partition,) = profile.partitions
+    assert partition.start < partition.heal  # a real heal window
+    assert partition.a != partition.b
