@@ -81,12 +81,14 @@ class FaultScenarioSpec:
 
 
 def default_fault_matrix() -> List[FaultScenarioSpec]:
-    """Degradation cells (every algorithm × profile) plus the recovery cells."""
+    """Degradation cells (every algorithm × profile), the DAG churn cell
+    (repeated token-holder kill + restart), plus the recovery cells."""
     matrix = [
         FaultScenarioSpec(algorithm, 50, profile)
         for algorithm in DEGRADATION_ALGORITHMS
         for profile in DEGRADATION_PROFILES
     ]
+    matrix.append(FaultScenarioSpec("dag", 50, "crash-churn"))
     matrix.extend(recovery_matrix())
     return matrix
 

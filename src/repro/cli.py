@@ -800,12 +800,20 @@ def cmd_lockbench(args: argparse.Namespace) -> int:
     from repro.runtime.lockbench import (
         check_lockbench_baseline,
         default_lockbench_matrix,
+        fault_lockbench_matrix,
         run_calibrated_lockbench,
         run_lockbench,
         smoke_lockbench_matrix,
     )
 
-    matrix = smoke_lockbench_matrix() if args.smoke else default_lockbench_matrix()
+    if args.faults:
+        # The chaos matrix replaces the healthy one: a shard dies mid-run and
+        # the rows gate takeover time and availability, not just throughput.
+        matrix = fault_lockbench_matrix()
+    elif args.smoke:
+        matrix = smoke_lockbench_matrix()
+    else:
+        matrix = default_lockbench_matrix()
     if args.calibrate is not None:
         document = run_calibrated_lockbench(
             matrix=matrix, runs=args.calibrate, verbose=True
@@ -1164,6 +1172,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="CI cell only: 1000 concurrent sessions, 2 shards, 64 keys",
+    )
+    lockbench.add_argument(
+        "--faults",
+        action="store_true",
+        help="chaos matrix instead: kill one of two shards mid-run and "
+             "measure time-to-takeover, availability and retry behaviour",
     )
     lockbench.add_argument(
         "--calibrate",

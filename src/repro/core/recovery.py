@@ -37,10 +37,10 @@ crash-stop model's "restart restores participation only" contract.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, FrozenSet, Iterable
 
 from repro.core.messages import Request
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, LockError
 from repro.sim.faults import FaultInjectingNetwork
 
 
@@ -102,6 +102,82 @@ def regenerate_token(system, network: FaultInjectingNetwork) -> Dict[str, Any]:
             continue
         node.next_node = None
         node.send(holder.node_id, Request(node.node_id, node.node_id))
+        reissued += 1
+
+    return {
+        "new_holder": holder.node_id,
+        "granted_immediately": granted,
+        "reissued": reissued,
+    }
+
+
+def regenerate_runtime_token(
+    nodes: Iterable, *, crashed: FrozenSet[int] = frozenset()
+) -> Dict[str, Any]:
+    """The same regeneration procedure for *live* asyncio nodes.
+
+    ``nodes`` are :class:`~repro.runtime.node_runtime.AsyncDagNode` instances
+    (duck-typed: the three protocol variables plus ``requesting`` and the
+    P1 wait event).  The caller owns the fence — it must have stopped or
+    drained anything that could still deliver pre-loss messages — and must
+    have established that the token is gone; this function refuses to mint a
+    second token if any live node still holds or executes.
+
+    Steps 2-5 are shared with :func:`regenerate_token`: elect the lowest-id
+    live requesting node (or the lowest-id live node), star-orient every
+    other live node's NEXT at it, grant directly if the new holder was
+    itself waiting (its P1 wait event fires as if the PRIVILEGE arrived),
+    and re-issue the other live nodes' lost requests in node-id order so
+    their FOLLOW chains rebuild through ordinary P2 handling.
+
+    Returns the same election outcome dict as :func:`regenerate_token`.
+
+    Raises:
+        LockError: if every node is crashed, or the token is not actually
+            lost.
+    """
+    live = sorted(
+        (node for node in nodes if node.node_id not in crashed),
+        key=lambda node: node.node_id,
+    )
+    if not live:
+        raise LockError("cannot regenerate a token: every node is crashed")
+    alive_holders = [
+        node.node_id for node in live if node.holding or node.in_critical_section
+    ]
+    if alive_holders:
+        raise LockError(
+            f"token is not lost: live node(s) {alive_holders} still hold it"
+        )
+
+    requesting = [node for node in live if node.requesting]
+    holder = requesting[0] if requesting else live[0]
+
+    for node in live:
+        if node is holder:
+            continue
+        node.next_node = holder.node_id
+        node.follow = None
+    holder.next_node = None
+    holder.follow = None
+
+    if holder.requesting:
+        # Fire P1's wait point as if the PRIVILEGE had arrived: acquire()
+        # resumes, clears ``requesting`` and enters the critical section.
+        holder._privilege_arrived.set()
+        granted = True
+    else:
+        holder.holding = True
+        granted = False
+
+    reissued = 0
+    for node in requesting:
+        if node is holder:
+            continue
+        node.next_node = None  # P1: a waiting node has no NEXT until granted
+        node._transport.send(
+            node.node_id, holder.node_id, Request(sender=node.node_id, origin=node.node_id)
+        )
         reissued += 1
 
     return {

@@ -62,3 +62,17 @@ class RuntimeTransportError(ReproError):
 
 class LockError(ReproError):
     """Raised for invalid uses of :class:`repro.runtime.lock.DistributedLock`."""
+
+
+class ShardUnavailableError(LockError):
+    """Raised when a lock-service shard cannot be reached (connection refused,
+    reset mid-call, or per-op deadline exceeded).  Retryable: the client's
+    retry loop re-resolves ownership against the latest cluster view and
+    tries again; it escapes only once the retry budget is exhausted."""
+
+
+class LockFencedError(LockError):
+    """Raised when a release carries a grant epoch older than the key's
+    current epoch: the holder's shard died, the key was taken over, and the
+    stale hold was fenced off.  The lock is *not* held any more — the caller
+    must re-acquire before touching the protected resource again."""

@@ -20,11 +20,18 @@ See ``examples/distributed_counter.py`` and
 """
 
 from repro.runtime.cluster import LocalCluster
+from repro.runtime.failover import (
+    ClusterSupervisor,
+    ClusterView,
+    FailoverEvent,
+    owner_for_key,
+)
 from repro.runtime.lock import DistributedLock
 from repro.runtime.lockbench import (
     LockBenchScenario,
     check_lockbench_baseline,
     default_lockbench_matrix,
+    fault_lockbench_matrix,
     min_merge_lockbench_documents,
     run_calibrated_lockbench,
     run_lockbench,
@@ -54,7 +61,12 @@ __all__ = [
     "LockServiceShard",
     "LockSession",
     "shard_for_key",
+    "owner_for_key",
+    "ClusterSupervisor",
+    "ClusterView",
+    "FailoverEvent",
     "LockBenchScenario",
+    "fault_lockbench_matrix",
     "check_lockbench_baseline",
     "default_lockbench_matrix",
     "min_merge_lockbench_documents",

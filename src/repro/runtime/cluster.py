@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
+from repro.core.recovery import regenerate_runtime_token
 from repro.exceptions import LockError
 from repro.runtime.lock import DistributedLock
 from repro.runtime.node_runtime import AsyncDagNode
@@ -97,6 +98,26 @@ class LocalCluster:
         if not self._started:
             raise LockError("cluster is not started; use 'async with LocalCluster(...)'")
         return DistributedLock(self.node(node_id))
+
+    def regenerate_token(
+        self, *, crashed: FrozenSet[int] = frozenset()
+    ) -> Dict[str, Any]:
+        """Mint a replacement token after ``crashed`` nodes took it down.
+
+        The live-cluster twin of the simulator's recovery path
+        (:func:`repro.core.recovery.regenerate_token`): fence first — every
+        undelivered envelope predates the loss, so the live nodes' inboxes
+        are drained — then elect, reorient and re-issue through
+        :func:`~repro.core.recovery.regenerate_runtime_token`.  Call it with
+        the event loop quiesced (no acquire/release racing the reorientation).
+        """
+        crashed = frozenset(crashed)
+        for node_id, node in self.nodes.items():
+            if node_id in crashed:
+                continue
+            while not node._inbox.empty():
+                node._inbox.get_nowait()
+        return regenerate_runtime_token(self.nodes.values(), crashed=crashed)
 
     def token_location(self) -> Optional[int]:
         """The node currently having the token, or ``None`` while in transit."""

@@ -30,10 +30,10 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.exceptions import LockError
+from repro.exceptions import LockError, LockFencedError
 from repro.runtime.service import LockClient, LockServiceCluster
 from repro.sim.rng import SeededRNG
-from repro.spec import RuntimeSpec, TopologySpec
+from repro.spec import RuntimeFaultSpec, RuntimeSpec, ShardCrashSpec, TopologySpec
 
 LOCKBENCH_SCHEMA = "bench-runtime/v1"
 
@@ -63,6 +63,14 @@ class LockBenchScenario:
     socket: str = "unix"
     channels: int = 8
     seed: int = 0
+    #: When set, that shard hard-exits ``crash_at`` seconds into the run (the
+    #: declarative fault, carried by the scenario's :class:`RuntimeSpec`) and
+    #: the row reports failover measurements alongside throughput.
+    crash_shard: Optional[int] = None
+    crash_at: float = 0.75
+    #: Per-op client deadline; failover runs need one so ops parked on the
+    #: dead shard time out and retry instead of waiting forever.
+    op_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1 or self.locks < 1 or self.ops < 1:
@@ -70,21 +78,39 @@ class LockBenchScenario:
                 "clients, locks and ops must all be >= 1, got "
                 f"{self.clients}/{self.locks}/{self.ops}"
             )
+        if self.crash_shard is not None and self.shards < 2:
+            raise LockError("a crash scenario needs >= 2 shards to fail over to")
 
     @property
     def name(self) -> str:
+        suffix = f"+crash{self.crash_shard}" if self.crash_shard is not None else ""
         return (
             f"{self.socket}-s{self.shards}-c{self.clients}"
-            f"-k{self.locks}-o{self.ops}"
+            f"-k{self.locks}-o{self.ops}{suffix}"
         )
 
     def runtime_spec(self) -> RuntimeSpec:
         """The service-side description (the spec-to-runtime bridge)."""
+        faults = None
+        heartbeat_interval = 0.1
+        miss_window = 2.0
+        if self.crash_shard is not None:
+            faults = RuntimeFaultSpec(
+                crashes=(ShardCrashSpec(shard=self.crash_shard, at=self.crash_at),),
+                seed=self.seed,
+            )
+            # A crash cell measures time-to-takeover; tighten the detection
+            # loop so the measurement reflects failover, not the idle default.
+            heartbeat_interval = 0.05
+            miss_window = 0.5
         return RuntimeSpec(
             algorithm="dag",
             topology=TopologySpec(kind=self.topology_kind, n=self.agents),
             shards=self.shards,
             socket=self.socket,
+            faults=faults,
+            heartbeat_interval=heartbeat_interval,
+            miss_window=miss_window,
         )
 
 
@@ -95,11 +121,29 @@ def smoke_lockbench_matrix() -> List[LockBenchScenario]:
 
 def default_lockbench_matrix() -> List[LockBenchScenario]:
     """The committed matrix: single-shard hot path, the 1k-session acceptance
-    cell, and a wider 4-shard spread."""
+    cell, a wider 4-shard spread, and the same acceptance load over TCP."""
     return [
         LockBenchScenario(shards=1, clients=100, locks=16, ops=20),
         LockBenchScenario(shards=2, clients=1000, locks=64, ops=10),
         LockBenchScenario(shards=4, clients=1000, locks=256, ops=10),
+        LockBenchScenario(shards=2, clients=1000, locks=64, ops=10, socket="tcp"),
+    ]
+
+
+def fault_lockbench_matrix() -> List[LockBenchScenario]:
+    """The chaos cell: the 1k-session acceptance load with one of two shards
+    killed mid-run.  Every session must still complete (retry + takeover) and
+    the row records time-to-takeover and the availability gap."""
+    return [
+        LockBenchScenario(
+            shards=2,
+            clients=1000,
+            locks=64,
+            ops=10,
+            crash_shard=1,
+            crash_at=0.75,
+            op_timeout=5.0,
+        )
     ]
 
 
@@ -117,14 +161,23 @@ def _quantile(sorted_values: Sequence[float], q: float) -> float:
 async def _drive_sessions(
     scenario: LockBenchScenario, addresses: Sequence[Any]
 ) -> Dict[str, Any]:
-    """All sessions concurrently; returns latencies + error count + wall."""
-    client = LockClient(addresses, channels=scenario.channels)
+    """All sessions concurrently; returns latencies + error count + wall.
+
+    A release rejected with :class:`LockFencedError` is counted separately
+    from errors: the grant died with its shard (correct failover behaviour,
+    not a workload failure) and the session carries on.
+    """
+    client = LockClient(
+        addresses, channels=scenario.channels, op_timeout=scenario.op_timeout
+    )
     await client.connect()
     latencies: List[float] = []
+    completions: List[float] = []
     errors = 0
+    fenced = 0
 
     async def run_session(session_id: int) -> None:
-        nonlocal errors
+        nonlocal errors, fenced
         rng = SeededRNG(scenario.seed, label=f"lockbench/session-{session_id}")
         session = client.session(session_id)
         for _ in range(scenario.ops):
@@ -135,9 +188,13 @@ async def _drive_sessions(
             except LockError:
                 errors += 1
                 continue
-            latencies.append(time.perf_counter() - started)
+            granted = time.perf_counter()
+            latencies.append(granted - started)
+            completions.append(granted)
             try:
                 await session.release(key)
+            except LockFencedError:
+                fenced += 1
             except LockError:
                 errors += 1
 
@@ -146,8 +203,60 @@ async def _drive_sessions(
         *(run_session(session_id) for session_id in range(scenario.clients))
     )
     wall = time.perf_counter() - started
+    # The shards' own ledger, summed over whatever membership survived: the
+    # server-side cross-check that no key was ever double-granted.
+    shard_stats: List[Dict[str, Any]] = []
+    for shard in sorted(client.view.shards):
+        try:
+            shard_stats.append(await client.stats(shard))
+        except LockError:
+            continue  # raced a death the view has not absorbed yet
     await client.close()
-    return {"latencies": latencies, "errors": errors, "wall": wall}
+    return {
+        "latencies": latencies,
+        "completions": sorted(completions),
+        "errors": errors,
+        "fenced": fenced,
+        "wall": wall,
+        "started": started,
+        "shard_stats": shard_stats,
+        "retry_stats": dict(client.retry_stats),
+    }
+
+
+def _failover_timing(
+    outcome: Dict[str, Any], events: Sequence[Any], wall: float
+) -> Dict[str, Any]:
+    """The fault cell's measurement block (host-dependent, lives in timing).
+
+    ``unavailable_ms`` is the longest gap between consecutive grant
+    completions — the workload-observed outage window around the crash — and
+    ``availability`` is its complement over the whole run.
+    """
+    detection_ms = takeover_ms = 0.0
+    for event in events:
+        detection_ms = max(
+            detection_ms, (event.detected_at - event.last_heartbeat) * 1000
+        )
+        completed = event.completed_at if event.completed_at else event.detected_at
+        takeover_ms = max(takeover_ms, (completed - event.last_heartbeat) * 1000)
+    completions = outcome["completions"]
+    gap = 0.0
+    for before, after in zip(completions, completions[1:]):
+        gap = max(gap, after - before)
+    retry = outcome["retry_stats"]
+    return {
+        "detection_ms": round(detection_ms, 3),
+        "takeover_ms": round(takeover_ms, 3),
+        "unavailable_ms": round(gap * 1000, 3),
+        "availability": round(1.0 - gap / wall, 4) if wall > 0 else 0.0,
+        "takeovers": sum(s.get("takeovers", 0) for s in outcome["shard_stats"]),
+        "abandoned": sum(s.get("abandoned", 0) for s in outcome["shard_stats"]),
+        "ops_retried": retry.get("retries", 0),
+        "ops_rerouted": retry.get("reroutes", 0),
+        "ops_fenced": outcome["fenced"],
+        "deadline_timeouts": retry.get("deadline_timeouts", 0),
+    }
 
 
 def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
@@ -160,10 +269,27 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
     spec = scenario.runtime_spec()
     with LockServiceCluster(spec) as cluster:
         outcome = asyncio.run(_drive_sessions(scenario, cluster.addresses))
+        if scenario.crash_shard is not None:
+            # A short workload can outrun its own crash schedule; wait for
+            # the supervisor to record the declared death before reporting.
+            deadline = time.perf_counter() + scenario.crash_at + 5.0
+            while not cluster.failover_events and time.perf_counter() < deadline:
+                time.sleep(0.02)
+        events = cluster.failover_events
     latencies = sorted(outcome["latencies"])
     completed = len(latencies)
     wall = outcome["wall"]
-    return {
+    timing = {
+        "wall_seconds": round(wall, 4),
+        "locks_per_sec": round(completed / wall, 1) if wall > 0 else 0.0,
+        "acquire_p50_ms": round(_quantile(latencies, 0.50) * 1000, 3),
+        "acquire_p99_ms": round(_quantile(latencies, 0.99) * 1000, 3),
+        "acquire_mean_ms": (
+            round(sum(latencies) / completed * 1000, 3) if completed else 0.0
+        ),
+        "acquire_max_ms": round(latencies[-1] * 1000, 3) if latencies else 0.0,
+    }
+    row = {
         "scenario": scenario.name,
         "shards": scenario.shards,
         "clients": scenario.clients,
@@ -175,17 +301,17 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
         "ops_total": scenario.clients * scenario.ops,
         "ops_completed": completed,
         "errors": outcome["errors"],
-        "timing": {
-            "wall_seconds": round(wall, 4),
-            "locks_per_sec": round(completed / wall, 1) if wall > 0 else 0.0,
-            "acquire_p50_ms": round(_quantile(latencies, 0.50) * 1000, 3),
-            "acquire_p99_ms": round(_quantile(latencies, 0.99) * 1000, 3),
-            "acquire_mean_ms": (
-                round(sum(latencies) / completed * 1000, 3) if completed else 0.0
-            ),
-            "acquire_max_ms": round(latencies[-1] * 1000, 3) if latencies else 0.0,
-        },
+        # The server-side exclusion ledger: any nonzero value fails the gate
+        # outright, with or without a committed reference.
+        "exclusion_violations": sum(
+            stats.get("exclusion_violations", 0) for stats in outcome["shard_stats"]
+        ),
+        "timing": timing,
     }
+    if scenario.crash_shard is not None:
+        row["fault"] = {"crash_shard": scenario.crash_shard, "crash_at": scenario.crash_at}
+        timing["failover"] = _failover_timing(outcome, events, wall)
+    return row
 
 
 def run_lockbench(
@@ -207,6 +333,15 @@ def run_lockbench(
                 f"p99 {timing['acquire_p99_ms']:>8.2f} ms   "
                 f"errors {row['errors']}"
             )
+            failover = timing.get("failover")
+            if failover:
+                print(
+                    f"{'':<28} takeover {failover['takeover_ms']:>7.1f} ms   "
+                    f"availability {failover['availability']:.2%}   "
+                    f"retried {failover['ops_retried']}   "
+                    f"fenced {failover['ops_fenced']}   "
+                    f"violations {row['exclusion_violations']}"
+                )
     return {
         "schema": LOCKBENCH_SCHEMA,
         "generated_by": "repro lockbench",
@@ -240,6 +375,12 @@ def min_merge_lockbench_documents(
                         f"{row['scenario']}: {field} {row[field]} != "
                         f"{other[field]} (lock workload no longer deterministic?)"
                     )
+            for field in ("exclusion_violations",):
+                if row.get(field) != other.get(field):
+                    raise ValueError(
+                        f"{row['scenario']}: {field} {row.get(field)} != "
+                        f"{other.get(field)} (exclusion must hold on every run)"
+                    )
             timing, other_timing = row["timing"], other["timing"]
             if other_timing["locks_per_sec"] < timing["locks_per_sec"]:
                 timing["locks_per_sec"] = other_timing["locks_per_sec"]
@@ -251,6 +392,18 @@ def min_merge_lockbench_documents(
                 "acquire_max_ms",
             ):
                 timing[field] = max(timing[field], other_timing[field])
+            failover, other_failover = (
+                timing.get("failover"),
+                other_timing.get("failover"),
+            )
+            if failover is not None and other_failover is not None:
+                # Conservative ceilings for every failover cost, floor for
+                # availability — the committed row never encodes a lucky run.
+                for field in failover:
+                    if field == "availability":
+                        failover[field] = min(failover[field], other_failover[field])
+                    else:
+                        failover[field] = max(failover[field], other_failover[field])
     return merged
 
 
@@ -283,13 +436,22 @@ def check_lockbench_baseline(
     ``ops_total``/``ops_completed``/``errors`` are exact (the workload is
     seeded and every op must succeed); ``locks_per_sec`` may drop at most
     ``tolerance`` below the committed floor; the acquire p99 may rise to at
-    most ``(1 + latency_tolerance)`` times the committed ceiling.
+    most ``(1 + latency_tolerance)`` times the committed ceiling.  A fault
+    cell's time-to-takeover gets the same ``latency_tolerance`` ceiling.
+
+    ``exclusion_violations`` is absolute: any nonzero count fails, with or
+    without a committed reference — mutual exclusion is the product.
     """
     committed_by_name = {
         row["scenario"]: row for row in committed.get("scenarios", [])
     }
     problems: List[str] = []
     for row in current:
+        if row.get("exclusion_violations"):
+            problems.append(
+                f"{row['scenario']}: {row['exclusion_violations']} exclusion "
+                "violation(s) — a lock key was granted twice"
+            )
         reference = committed_by_name.get(row["scenario"])
         if reference is None:
             continue
@@ -318,6 +480,19 @@ def check_lockbench_baseline(
                 f"{row['scenario']}: acquire p99 {p99:.2f} ms exceeds "
                 f"{ceiling:.2f} ms (committed "
                 f"{reference_timing['acquire_p99_ms']:.2f} ms + "
+                f"{latency_tolerance:.0%})"
+            )
+        failover = (timing.get("failover") or {})
+        reference_failover = reference_timing.get("failover") or {}
+        takeover = failover.get("takeover_ms")
+        takeover_ceiling = reference_failover.get("takeover_ms", 0.0) * (
+            1.0 + latency_tolerance
+        )
+        if takeover is not None and takeover_ceiling > 0 and takeover > takeover_ceiling:
+            problems.append(
+                f"{row['scenario']}: time-to-takeover {takeover:.1f} ms exceeds "
+                f"{takeover_ceiling:.1f} ms (committed "
+                f"{reference_failover['takeover_ms']:.1f} ms + "
                 f"{latency_tolerance:.0%})"
             )
     return problems

@@ -8,10 +8,11 @@ names the simulator uses), and the key namespace is consistent-hashed across
 frames (the :mod:`repro.runtime.transport_socket` wire format) over unix or
 TCP sockets:
 
-    acquire {key, session, id}  ->  {id, ok}        (blocks until granted)
-    release {key, session, id}  ->  {id, ok}
+    acquire {key, session, epoch, id}  ->  {id, ok, epoch}   (blocks until granted)
+    release {key, session, epoch, grant_epoch, id}  ->  {id, ok}
     stats   {id}                ->  {id, ok, stats}
-    shutdown {id}               ->  {id, ok}        (graceful shard exit)
+    view    {id}                ->  {id, ok, epoch, view}    (current membership)
+    shutdown {id}               ->  {id, ok}                 (graceful shard exit)
 
 Inside a shard, each key's tree is a set of :class:`AsyncDagNode` *agents*
 over an in-process transport; a client acquire claims a free agent (one
@@ -19,78 +20,87 @@ outstanding protocol request per agent, the paper's P1 precondition) and runs
 :class:`~repro.runtime.lock.DistributedLock` against it, so concurrent
 sessions on the same key are serialised by real REQUEST/PRIVILEGE traffic.
 
-The shard pool reuses the sweep runner's process pattern: one short-lived
-``multiprocessing.Process`` per shard with a private readiness pipe, the
-parent multiplexing on :func:`multiprocessing.connection.wait` — a shard that
-dies before binding costs an error, not a hang.
+The shard pool reuses the sweep runner's process pattern — one
+``multiprocessing.Process`` per shard with a private control pipe, the parent
+multiplexing on :func:`multiprocessing.connection.wait` — and keeps the pipe
+for the service's whole lifetime: shards heartbeat over it, and the parent's
+:class:`~repro.runtime.failover.ClusterSupervisor` pushes epoch-stamped
+:class:`~repro.runtime.failover.ClusterView` updates back down when a shard
+dies.  Failover is then three local moves:
+
+* a survivor that owns a dead shard's key *takes it over* lazily — the key's
+  token died with its shard, so the fresh tree self-issues a replacement
+  PRIVILEGE through :func:`repro.core.recovery.regenerate_runtime_token`;
+* grants from a previous epoch are *fenced* — a holder that outlived its
+  shard gets :class:`~repro.exceptions.LockFencedError` on release instead
+  of silently corrupting exclusion;
+* the client retries idempotently — every op keeps one id across attempts
+  (shards deduplicate redeliveries), re-resolves ownership from the freshest
+  view it can fetch, and backs off exponentially until the retry budget ends.
 """
 
 from __future__ import annotations
 
 import asyncio
-import bisect
-import hashlib
 import multiprocessing
 import os
 import socket as socket_module
 import tempfile
+import threading
 import time
-from functools import lru_cache
+from collections import OrderedDict
+from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import LockError, RuntimeTransportError
+from repro.core.recovery import regenerate_runtime_token
+from repro.exceptions import (
+    LockError,
+    LockFencedError,
+    RuntimeTransportError,
+    ShardUnavailableError,
+)
+from repro.runtime.failover import (
+    RING_VNODES,
+    ClusterSupervisor,
+    ClusterView,
+    FailoverEvent,
+    _hash64,
+    owner_for_key,
+    shard_for_key,
+)
 from repro.runtime.lock import DistributedLock
 from repro.runtime.node_runtime import AsyncDagNode
 from repro.runtime.transport import InMemoryTransport
 from repro.runtime.transport_socket import (
     FRAME_HEADER,
     Address,
+    backoff_delays,
     encode_frame,
+    open_address_connection,
     read_frame,
 )
+from repro.sim.rng import SeededRNG
 from repro.spec import RuntimeSpec
 
-#: Virtual nodes per shard on the consistent-hash ring.  Enough that key load
-#: stays within a few percent of uniform for any realistic shard count.
-RING_VNODES = 64
+__all__ = [
+    "RING_VNODES",
+    "LockClient",
+    "LockServiceCluster",
+    "LockServiceShard",
+    "LockSession",
+    "owner_for_key",
+    "shard_for_key",
+]
 
 #: How long `LockServiceCluster.start` waits for every shard to bind.
 READY_TIMEOUT_SECONDS = 30.0
 
+#: Completed-op results remembered per shard for duplicate suppression.
+OP_CACHE_SIZE = 65536
 
-# --------------------------------------------------------------------------- #
-# consistent hashing
-# --------------------------------------------------------------------------- #
-def _hash64(text: str) -> int:
-    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
-
-
-@lru_cache(maxsize=32)
-def _ring(shards: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-    """The sorted hash ring for ``shards``: (point, owner) as parallel tuples."""
-    points = sorted(
-        (_hash64(f"shard:{shard}:vnode:{vnode}"), shard)
-        for shard in range(shards)
-        for vnode in range(RING_VNODES)
-    )
-    return tuple(p for p, _ in points), tuple(s for _, s in points)
-
-
-def shard_for_key(key: str, shards: int) -> int:
-    """The shard owning ``key``: first ring point clockwise of the key's hash.
-
-    Pure function of ``(key, shards)`` via sha256, so every client and every
-    shard agrees on ownership with no coordination (and no dependence on
-    ``PYTHONHASHSEED``).
-    """
-    if shards < 1:
-        raise LockError(f"shards must be >= 1, got {shards}")
-    if shards == 1:
-        return 0
-    hashes, owners = _ring(shards)
-    index = bisect.bisect_right(hashes, _hash64(f"key:{key}"))
-    return owners[index % len(owners)]
+#: Default client retry budget: attempts beyond the first per op.
+DEFAULT_MAX_RETRIES = 8
 
 
 # --------------------------------------------------------------------------- #
@@ -104,12 +114,28 @@ class _KeyedLock:
     acquires the distributed lock through it.  The token stays wherever the
     last holder left it, so a hot key converges to zero-message re-entry,
     exactly like the simulated protocol.
+
+    A *takeover* tree is one rebuilt on a survivor after the key's previous
+    shard died: the old token is gone with its process, so the fresh tree is
+    built token-less and :func:`regenerate_runtime_token` self-issues the
+    replacement PRIVILEGE — the PR 6 recovery path, live.
     """
 
-    __slots__ = ("key", "transport", "nodes", "_busy", "_rotor", "_handles")
+    __slots__ = (
+        "key",
+        "transport",
+        "nodes",
+        "created_epoch",
+        "_busy",
+        "_rotor",
+        "_handles",
+    )
 
-    def __init__(self, key: str, spec: RuntimeSpec) -> None:
+    def __init__(
+        self, key: str, spec: RuntimeSpec, *, epoch: int = 0, takeover: bool = False
+    ) -> None:
         self.key = key
+        self.created_epoch = epoch
         topology = spec.build_lock_topology()
         self.transport = InMemoryTransport()
         pointers = topology.next_pointers()
@@ -124,6 +150,12 @@ class _KeyedLock:
         ]
         for node in self.nodes:
             node.start()
+        if takeover:
+            # The token died with the old shard: drop the constructor's
+            # token and mint the replacement through the recovery path.
+            for node in self.nodes:
+                node.holding = False
+            regenerate_runtime_token(self.nodes)
         self._busy = [asyncio.Lock() for _ in self.nodes]
         self._rotor = 0
         self._handles: Dict[int, DistributedLock] = {}
@@ -163,14 +195,35 @@ class _KeyedLock:
 # --------------------------------------------------------------------------- #
 # the shard server
 # --------------------------------------------------------------------------- #
+@dataclass
+class _Hold:
+    """One granted lock: who holds it, on which connection, at which epoch."""
+
+    uid: str
+    key: str
+    session: int
+    ticket: int
+    epoch: int
+    conn_state: Dict[str, bool]
+
+
+@dataclass
+class _Inflight:
+    """One executing acquire op; duplicates join instead of re-executing."""
+
+    future: "asyncio.Future[Dict[str, Any]]"
+    requesters: List[Dict[str, bool]]  #: conn states, in arrival order
+
+
 class LockServiceShard:
     """One worker process's slice of the lock namespace.
 
-    Owns the keys the consistent hash assigns to ``index`` and serves the
-    frame protocol for them.  Acquires run as their own tasks so one blocked
-    session never stalls a connection's other sessions; a dropped connection
-    releases everything its sessions held (and lets in-flight acquires finish,
-    then releases them immediately — a DAG request, once sent, must be served).
+    Owns the keys the current :class:`ClusterView` assigns to ``index`` and
+    serves the frame protocol for them.  Acquires run as their own tasks so
+    one blocked session never stalls a connection's other sessions; a dropped
+    connection releases everything its sessions held (and lets in-flight
+    acquires finish, then releases them immediately — a DAG request, once
+    sent, must be served).
     """
 
     def __init__(self, spec: RuntimeSpec, index: int) -> None:
@@ -181,16 +234,34 @@ class LockServiceShard:
         self.address: Optional[Address] = None
         self._locks: Dict[str, _KeyedLock] = {}
         self._holders: Dict[str, Tuple[int, int]] = {}  # key -> (conn, session)
+        self._held: Dict[Tuple[int, str], _Hold] = {}  # (session, key) -> hold
+        self._inflight: Dict[str, _Inflight] = {}
+        self._op_cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._view = ClusterView(
+            epoch=0, shards={shard: None for shard in range(spec.shards)}
+        )
+        self._prev_view = self._view
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
+        self._control_pipe: Any = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
         self._conn_counter = 0
         self._op_tasks: set = set()
+        faults = spec.faults
+        self._drop_rate = faults.drop_rate if faults is not None else 0.0
+        self._drop_rng = SeededRNG(
+            faults.seed if faults is not None else 0,
+            label=f"runtime-faults/shard-{index}",
+        )
         self.stats: Dict[str, int] = {
             "acquires": 0,
             "releases": 0,
             "errors": 0,
             "exclusion_violations": 0,
             "abandoned": 0,
+            "takeovers": 0,
+            "fenced": 0,
+            "dropped_frames": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -209,11 +280,75 @@ class LockServiceShard:
             )
             self.address = str(address)
 
+    def attach_control(self, pipe: Any) -> None:
+        """Wire the duplex control pipe: heartbeats out, view pushes in.
+
+        The reader side is a daemon thread (a blocking ``recv`` loop) that
+        trampolines messages onto the event loop; everything this shard
+        *sends* — the heartbeat stream and view acks — goes from the loop
+        thread, so the pipe never sees two writers.
+        """
+        self._control_pipe = pipe
+        loop = asyncio.get_running_loop()
+
+        def read_control() -> None:
+            while True:
+                try:
+                    message = pipe.recv()
+                except (EOFError, OSError):
+                    return
+                if isinstance(message, tuple) and message and message[0] == "view":
+                    loop.call_soon_threadsafe(self.adopt_view, message[1])
+
+        threading.Thread(
+            target=read_control, name=f"shard-{self.index}-control", daemon=True
+        ).start()
+        self._heartbeat_task = asyncio.create_task(self._heartbeat())
+
+    async def _heartbeat(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                self._control_pipe.send(("heartbeat", self.index))
+            except (BrokenPipeError, OSError):
+                return  # the parent is gone; nothing left to reassure
+            await asyncio.sleep(self.spec.heartbeat_interval)
+
+    def adopt_view(self, view_dict: Dict[str, Any]) -> None:
+        """Adopt a pushed membership view (ignoring anything older than ours)."""
+        view = ClusterView.from_dict(view_dict)
+        if view.epoch < self._view.epoch:
+            return
+        if view.epoch > self._view.epoch:
+            self._prev_view = self._view
+        self._view = view
+        if self._control_pipe is not None:
+            try:
+                self._control_pipe.send(("view-ack", self.index, view.epoch))
+            except (BrokenPipeError, OSError):
+                pass
+
+    def schedule_faults(self) -> None:
+        """Arm this shard's declarative crash schedule (``spec.faults``)."""
+        if self.spec.faults is None:
+            return
+        loop = asyncio.get_running_loop()
+        for crash in self.spec.faults.crashes:
+            if crash.shard == self.index:
+                # A real crash, not a graceful exit: no teardown, no flushes.
+                loop.call_later(crash.at, os._exit, 1)
+
     async def serve_until_shutdown(self) -> None:
         await self._shutdown.wait()
         await self.close()
 
     async def close(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -239,7 +374,6 @@ class LockServiceShard:
         self._conn_counter += 1
         conn_id = self._conn_counter
         write_lock = asyncio.Lock()
-        held: Dict[Tuple[int, str], int] = {}  # (session, key) -> ticket
         state = {"open": True}
 
         async def reply(payload: Dict[str, Any]) -> None:
@@ -256,17 +390,21 @@ class LockServiceShard:
             while True:
                 try:
                     frame = await read_frame(reader)
-                except RuntimeTransportError:
-                    break
+                except (RuntimeTransportError, ConnectionError, OSError):
+                    break  # a reset peer is just a disconnect
                 if frame is None:
                     break
                 if frame.get("op") == "shutdown":
                     await reply({"id": frame.get("id"), "ok": True})
                     self._shutdown.set()
                     break
-                task = asyncio.create_task(
-                    self._handle_op(frame, conn_id, held, state, reply)
-                )
+                if self._drop_rate > 0.0 and self._drop_rng.random() < self._drop_rate:
+                    # The injected fault: the frame was "lost on the wire".
+                    # The client's deadline fires and its retry (same op id)
+                    # is deduplicated if the original did get through.
+                    self.stats["dropped_frames"] += 1
+                    continue
+                task = asyncio.create_task(self._handle_op(frame, conn_id, state, reply))
                 self._op_tasks.add(task)
                 task.add_done_callback(self._op_tasks.discard)
         finally:
@@ -274,24 +412,37 @@ class LockServiceShard:
             # Release everything this connection's sessions still hold; an
             # in-flight acquire sees state["open"] is False when granted and
             # releases itself (counted under "abandoned").
-            for (session, key), ticket in list(held.items()):
-                del held[(session, key)]
-                self._holders.pop(key, None)
-                keyed = self._locks.get(key)
-                if keyed is not None:
-                    self.stats["abandoned"] += 1
-                    await keyed.release(ticket)
+            for (session, key), hold in list(self._held.items()):
+                if hold.conn_state is state:
+                    self._abandon(hold)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
+    def _abandon(self, hold: _Hold) -> None:
+        """Reclaim a hold whose owner connection died."""
+        self._held.pop((hold.session, hold.key), None)
+        self._holders.pop(hold.key, None)
+        # A retried acquire must re-execute, not replay the cached grant.
+        self._op_cache.pop(hold.uid, None)
+        keyed = self._locks.get(hold.key)
+        if keyed is not None:
+            self.stats["abandoned"] += 1
+            task = asyncio.create_task(keyed.release(hold.ticket))
+            self._op_tasks.add(task)
+            task.add_done_callback(self._op_tasks.discard)
+
+    def _cache_op(self, uid: str, payload: Dict[str, Any]) -> None:
+        self._op_cache[uid] = payload
+        while len(self._op_cache) > OP_CACHE_SIZE:
+            self._op_cache.popitem(last=False)
+
     async def _handle_op(
         self,
         frame: Dict[str, Any],
         conn_id: int,
-        held: Dict[Tuple[int, str], int],
         state: Dict[str, bool],
         reply,
     ) -> None:
@@ -306,9 +457,20 @@ class LockServiceShard:
                         "stats": {
                             **self.stats,
                             "shard": self.index,
+                            "epoch": self._view.epoch,
                             "keys": len(self._locks),
                             "held": len(self._holders),
                         },
+                    }
+                )
+                return
+            if op == "view":
+                await reply(
+                    {
+                        "id": op_id,
+                        "ok": True,
+                        "epoch": self._view.epoch,
+                        "view": self._view.to_dict(),
                     }
                 )
                 return
@@ -318,70 +480,204 @@ class LockServiceShard:
                 raise LockError(f"unknown op {op!r}")
             if not isinstance(key, str) or not key:
                 raise LockError("op needs a non-empty string 'key'")
-            owner = shard_for_key(key, self.spec.shards)
-            if owner != self.index:
-                raise LockError(
-                    f"key {key!r} belongs to shard {owner}, not {self.index} "
-                    "(client routing bug)"
-                )
+            misroute = self._check_route(key, frame)
+            if misroute is not None:
+                misroute["id"] = op_id
+                self.stats["errors"] += 1
+                await reply(misroute)
+                return
+            uid = str(op_id)
             if op == "acquire":
-                await self._acquire(key, int(session), conn_id, held, state)
-                await reply({"id": op_id, "ok": True})
+                payload = await self._acquire_op(uid, key, int(session), conn_id, state)
             else:
-                await self._release(key, int(session), conn_id, held)
-                await reply({"id": op_id, "ok": True})
+                payload = self._release_op(uid, key, int(session), frame)
+            payload = dict(payload)
+            payload["id"] = op_id
+            await reply(payload)
         except LockError as exc:
             self.stats["errors"] += 1
             await reply({"id": op_id, "ok": False, "error": str(exc)})
 
-    async def _acquire(
+    def _check_route(self, key: str, frame: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Ownership check against the current view.
+
+        Same-epoch disagreement is a client routing bug (loud, not
+        retryable); an op routed under an older epoch gets the fresh view to
+        re-resolve against; one routed under a *newer* epoch than ours is
+        asked to retry until our own view catches up.
+        """
+        view = self._view
+        if self.index not in view.shards:
+            # Fenced-off zombie: the supervisor declared us dead (e.g. a
+            # long stall) but the process survived.  Serving anything could
+            # double-grant against our replacement.
+            return {
+                "ok": False,
+                "code": "fenced",
+                "error": f"shard {self.index} was fenced out of the cluster view",
+            }
+        owner = view.owner_for(key)
+        if owner == self.index:
+            return None
+        frame_epoch = int(frame.get("epoch", 0))
+        if frame_epoch == view.epoch:
+            raise LockError(
+                f"key {key!r} belongs to shard {owner}, not {self.index} "
+                "(client routing bug)"
+            )
+        if frame_epoch < view.epoch:
+            return {
+                "ok": False,
+                "code": "wrong-shard",
+                "error": f"key {key!r} belongs to shard {owner} at epoch {view.epoch}",
+                "view": view.to_dict(),
+            }
+        return {
+            "ok": False,
+            "code": "stale-shard",
+            "error": (
+                f"op routed under epoch {frame_epoch} but shard {self.index} "
+                f"is still at {view.epoch}"
+            ),
+        }
+
+    def _keyed_lock(self, key: str) -> _KeyedLock:
+        keyed = self._locks.get(key)
+        if keyed is None:
+            takeover = (
+                self._view.epoch > 0 and self._prev_view.owner_for(key) != self.index
+            )
+            keyed = _KeyedLock(
+                key, self.spec, epoch=self._view.epoch, takeover=takeover
+            )
+            self._locks[key] = keyed
+            if takeover:
+                self.stats["takeovers"] += 1
+        return keyed
+
+    async def _acquire_op(
         self,
+        uid: str,
         key: str,
         session: int,
         conn_id: int,
-        held: Dict[Tuple[int, str], int],
         state: Dict[str, bool],
-    ) -> None:
-        if (session, key) in held:
+    ) -> Dict[str, Any]:
+        cached = self._op_cache.get(uid)
+        if cached is not None:
+            # Duplicate of a completed acquire: re-bind the hold (if it still
+            # stands) to the connection retrying it, then replay the result.
+            hold = self._held.get((session, key))
+            if hold is not None and hold.uid == uid:
+                hold.conn_state = state
+                self._holders[key] = (conn_id, session)
+            return cached
+        existing = self._inflight.get(uid)
+        if existing is not None:
+            # Duplicate of an executing acquire: join it.  The grant binds to
+            # the most recent requester still connected.
+            existing.requesters.append(state)
+            return await asyncio.shield(existing.future)
+        record = _Inflight(
+            future=asyncio.get_running_loop().create_future(), requesters=[state]
+        )
+        self._inflight[uid] = record
+        try:
+            payload, cacheable = await self._do_acquire(
+                uid, key, session, conn_id, record
+            )
+        except LockError as exc:
+            payload = {"ok": False, "error": str(exc)}
+            cacheable = True
+            self.stats["errors"] += 1
+        finally:
+            self._inflight.pop(uid, None)
+        if cacheable:
+            self._cache_op(uid, payload)
+        if not record.future.done():
+            record.future.set_result(payload)
+        return payload
+
+    async def _do_acquire(
+        self,
+        uid: str,
+        key: str,
+        session: int,
+        conn_id: int,
+        record: _Inflight,
+    ) -> Tuple[Dict[str, Any], bool]:
+        held = self._held.get((session, key))
+        if held is not None:
             raise LockError(f"session {session} already holds {key!r}")
-        keyed = self._locks.get(key)
-        if keyed is None:
-            keyed = _KeyedLock(key, self.spec)
-            self._locks[key] = keyed
+        keyed = self._keyed_lock(key)
         ticket = await keyed.acquire()
-        if not state["open"]:
-            # The connection died while we waited for the token: the grant
-            # has no owner any more, so hand the token straight back.
+        owner_state = next(
+            (state for state in reversed(record.requesters) if state["open"]), None
+        )
+        if owner_state is None:
+            # Every connection that asked is gone: the grant has no owner,
+            # so hand the token straight back.  Not cached — a later retry
+            # of this uid must execute a fresh acquire.
             self.stats["abandoned"] += 1
             await keyed.release(ticket)
-            return
+            return {"ok": False, "code": "abandoned", "error": "connection lost"}, False
         if key in self._holders:
             # The per-key tree + agent pool make this unreachable; counting
             # rather than asserting keeps the service observable if a future
             # change breaks the invariant.
             self.stats["exclusion_violations"] += 1
+        epoch = self._view.epoch
         self._holders[key] = (conn_id, session)
-        held[(session, key)] = ticket
+        self._held[(session, key)] = _Hold(
+            uid=uid,
+            key=key,
+            session=session,
+            ticket=ticket,
+            epoch=epoch,
+            conn_state=owner_state,
+        )
         self.stats["acquires"] += 1
+        return {"ok": True, "epoch": epoch}, True
 
-    async def _release(
-        self,
-        key: str,
-        session: int,
-        conn_id: int,
-        held: Dict[Tuple[int, str], int],
-    ) -> None:
-        ticket = held.pop((session, key), None)
-        if ticket is None:
+    def _release_op(
+        self, uid: str, key: str, session: int, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        cached = self._op_cache.get(uid)
+        if cached is not None:
+            return cached
+        hold = self._held.pop((session, key), None)
+        if hold is None:
+            grant_epoch = frame.get("grant_epoch")
+            if grant_epoch is not None and int(grant_epoch) < self._view.epoch:
+                # The grant predates a failover: the holder's shard died and
+                # the key moved on.  Rejecting (rather than "ok") tells the
+                # holder its critical section lost its protection.
+                self.stats["fenced"] += 1
+                payload = {
+                    "ok": False,
+                    "code": "fenced",
+                    "error": (
+                        f"grant for {key!r} at epoch {grant_epoch} was fenced: "
+                        f"the cluster is at epoch {self._view.epoch}"
+                    ),
+                }
+                self._cache_op(uid, payload)
+                return payload
             raise LockError(f"session {session} does not hold {key!r}")
         self._holders.pop(key, None)
+        self._op_cache.pop(hold.uid, None)  # the grant is spent; never replay it
         keyed = self._locks[key]
-        await keyed.release(ticket)
+        task = asyncio.create_task(keyed.release(hold.ticket))
+        self._op_tasks.add(task)
+        task.add_done_callback(self._op_tasks.discard)
         self.stats["releases"] += 1
+        payload = {"ok": True}
+        self._cache_op(uid, payload)
+        return payload
 
 
 def _shard_main(spec_dict: Dict[str, Any], index: int, address, pipe) -> None:
-    """Child-process entry point: bind, report readiness, serve, exit."""
+    """Child-process entry point: bind, report readiness, heartbeat, serve."""
     spec = RuntimeSpec.from_dict(spec_dict)
 
     async def _serve() -> None:
@@ -393,7 +689,8 @@ def _shard_main(spec_dict: Dict[str, Any], index: int, address, pipe) -> None:
             pipe.close()
             return
         pipe.send(("ready", shard.address))
-        pipe.close()
+        shard.attach_control(pipe)
+        shard.schedule_faults()
         await shard.serve_until_shutdown()
 
     asyncio.run(_serve())
@@ -403,13 +700,19 @@ def _shard_main(spec_dict: Dict[str, Any], index: int, address, pipe) -> None:
 # the parent-side cluster controller
 # --------------------------------------------------------------------------- #
 class LockServiceCluster:
-    """Starts ``spec.shards`` shard processes and tears them down again.
+    """Starts ``spec.shards`` shard processes and supervises them until stop.
 
     Synchronous on purpose (start/stop bracket an ``asyncio.run`` client
     phase).  Usable as a context manager::
 
         with LockServiceCluster(RuntimeSpec(shards=2)) as cluster:
             asyncio.run(drive(cluster.addresses))
+
+    While running, a :class:`~repro.runtime.failover.ClusterSupervisor`
+    thread watches every shard's heartbeats and process sentinel;
+    :attr:`view` is the current membership and :attr:`failover_events` the
+    takeover timeline of every death it handled.  :meth:`kill_shard` is the
+    chaos hook: SIGKILL, no goodbye, exactly what the supervisor is for.
     """
 
     def __init__(
@@ -425,6 +728,8 @@ class LockServiceCluster:
         self._socket_dir = socket_dir
         self._own_socket_dir: Optional[tempfile.TemporaryDirectory] = None
         self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._pipes: Dict[int, Any] = {}
+        self._supervisor: Optional[ClusterSupervisor] = None
 
     def start(self) -> None:
         if self._processes:
@@ -433,27 +738,26 @@ class LockServiceCluster:
         if self.spec.socket == "unix" and self._socket_dir is None:
             self._own_socket_dir = tempfile.TemporaryDirectory(prefix="repro-locks-")
             self._socket_dir = self._own_socket_dir.name
-        readers = []
         for index in range(self.spec.shards):
             if self.spec.socket == "unix":
                 address: Address = os.path.join(self._socket_dir, f"shard-{index}.sock")
             else:
                 address = (self._host, 0)
-            reader, writer = context.Pipe(duplex=False)
+            parent_end, child_end = context.Pipe(duplex=True)
             process = context.Process(
                 target=_shard_main,
-                args=(self.spec.to_dict(), index, address, writer),
+                args=(self.spec.to_dict(), index, address, child_end),
                 daemon=True,
             )
             process.start()
-            writer.close()
-            readers.append(reader)
+            child_end.close()
+            self._pipes[index] = parent_end
             self._processes.append(process)
         # Sweep-runner pattern: multiplex the readiness pipes with a deadline
         # so a shard that dies before binding surfaces as an error, not a hang.
         self.addresses = [None] * self.spec.shards  # type: ignore[list-item]
         deadline = time.monotonic() + READY_TIMEOUT_SECONDS
-        pending = {reader: index for index, reader in enumerate(readers)}
+        pending = {pipe: index for index, pipe in self._pipes.items()}
         try:
             while pending:
                 remaining = deadline - time.monotonic()
@@ -462,10 +766,10 @@ class LockServiceCluster:
                         f"shards {sorted(pending.values())} did not report "
                         f"ready within {READY_TIMEOUT_SECONDS}s"
                     )
-                for reader in mp_connection.wait(list(pending), timeout=remaining):
-                    index = pending.pop(reader)
+                for pipe in mp_connection.wait(list(pending), timeout=remaining):
+                    index = pending.pop(pipe)
                     try:
-                        status, detail = reader.recv()
+                        status, detail = pipe.recv()
                     except EOFError:
                         status, detail = "error", "shard died before binding"
                     if status != "ready":
@@ -476,12 +780,52 @@ class LockServiceCluster:
         except Exception:
             self.stop()
             raise
-        finally:
-            for reader in readers:
-                reader.close()
+        view = ClusterView(
+            epoch=0,
+            shards={index: address for index, address in enumerate(self.addresses)},
+        )
+        # Address-complete epoch-0 view first (shards start with ids only),
+        # then hand the pipes to the supervisor for the service's lifetime.
+        for pipe in self._pipes.values():
+            try:
+                pipe.send(("view", view.to_dict()))
+            except (BrokenPipeError, OSError):
+                pass
+        self._supervisor = ClusterSupervisor(
+            channels={
+                index: (self._pipes[index], self._processes[index])
+                for index in self._pipes
+            },
+            view=view,
+            heartbeat_interval=self.spec.heartbeat_interval,
+            miss_window=self.spec.miss_window,
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------ #
+    # supervision surface
+    # ------------------------------------------------------------------ #
+    @property
+    def view(self) -> Optional[ClusterView]:
+        """The supervisor's current membership view (None before start)."""
+        return self._supervisor.view if self._supervisor is not None else None
+
+    @property
+    def failover_events(self) -> List[FailoverEvent]:
+        """Every failover the supervisor has handled, oldest first."""
+        return self._supervisor.events if self._supervisor is not None else []
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL shard ``index`` (the chaos hook; the supervisor notices)."""
+        if not 0 <= index < len(self._processes):
+            raise LockError(f"no shard {index} to kill")
+        self._processes[index].kill()
 
     def stop(self) -> None:
         """Graceful shutdown frame per shard, then terminate stragglers."""
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         for index, process in enumerate(self._processes):
             if not process.is_alive():
                 continue
@@ -495,6 +839,12 @@ class LockServiceCluster:
                 process.join(timeout=5.0)
         self._processes = []
         self.addresses = []
+        for pipe in self._pipes.values():
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        self._pipes = {}
         if self._own_socket_dir is not None:
             self._own_socket_dir.cleanup()
             self._own_socket_dir = None
@@ -535,37 +885,73 @@ class LockClient:
     """An async client multiplexing many sessions over few connections.
 
     ``channels`` connections are opened per shard; sessions are assigned to
-    channels round-robin, and every op carries a session id plus a client-wide
-    op id, so thousands of concurrent sessions share a handful of sockets
-    (the per-peer connection reuse story, client-side).
+    channels round-robin, and every op carries a session id plus a
+    client-unique op id, so thousands of concurrent sessions share a handful
+    of sockets (the per-peer connection reuse story, client-side).
+
+    Failures are survivable by construction: every op keeps its id across
+    attempts (shards deduplicate, so a retry never double-acquires), a
+    connection failure or ``op_timeout`` triggers re-resolution against the
+    freshest cluster view any live shard will serve, and attempts back off
+    exponentially until ``max_retries`` is spent.  A release whose grant was
+    fenced by a failover raises :class:`LockFencedError` — the one failure
+    that must *not* be retried into silence.
     """
 
-    def __init__(self, addresses: Sequence[Address], *, channels: int = 8) -> None:
+    def __init__(
+        self,
+        addresses: Sequence[Address],
+        *,
+        channels: int = 8,
+        op_timeout: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
         if not addresses:
             raise LockError("LockClient needs at least one shard address")
         if channels < 1:
             raise LockError(f"channels must be >= 1, got {channels}")
-        self._addresses = list(addresses)
+        if op_timeout is not None and op_timeout <= 0:
+            raise LockError(f"op_timeout must be > 0, got {op_timeout}")
+        self._view = ClusterView(
+            epoch=0, shards=dict(enumerate(_normalise_address(a) for a in addresses))
+        )
         self._channels = channels
+        self._op_timeout = op_timeout
+        self._max_retries = max_retries
         self._conns: Dict[Tuple[int, int], _ClientConnection] = {}
+        self._dead_conns: List[_ClientConnection] = []
+        self._grants: Dict[Tuple[int, str], int] = {}  # (session, key) -> epoch
+        self._client_id = f"{os.getpid():x}-{os.urandom(4).hex()}"
         self._op_counter = 0
         self._closed = False
+        self.retry_stats: Dict[str, int] = {
+            "retries": 0,
+            "reroutes": 0,
+            "fenced": 0,
+            "deadline_timeouts": 0,
+        }
 
     @property
     def shards(self) -> int:
-        return len(self._addresses)
+        return len(self._view.shards)
+
+    @property
+    def view(self) -> ClusterView:
+        """The membership view this client currently routes under."""
+        return self._view
 
     async def connect(self) -> None:
         """Open every channel eagerly (lazy open also happens per send)."""
-        for shard in range(self.shards):
+        for shard in self._view.shards:
             for channel in range(self._channels):
                 await self._connection(shard, channel)
 
     async def close(self) -> None:
         self._closed = True
-        for conn in self._conns.values():
+        for conn in list(self._conns.values()) + self._dead_conns:
             await conn.close()
         self._conns.clear()
+        self._dead_conns.clear()
 
     async def __aenter__(self) -> "LockClient":
         await self.connect()
@@ -578,43 +964,158 @@ class LockClient:
     # ops
     # ------------------------------------------------------------------ #
     async def acquire(self, key: str, *, session: int = 0) -> None:
-        await self._call(
+        response = await self._call(
             {"op": "acquire", "key": key, "session": session}, key=key, session=session
         )
+        self._grants[(session, key)] = int(response.get("epoch", self._view.epoch))
 
     async def release(self, key: str, *, session: int = 0) -> None:
-        await self._call(
-            {"op": "release", "key": key, "session": session}, key=key, session=session
-        )
+        frame = {"op": "release", "key": key, "session": session}
+        grant_epoch = self._grants.get((session, key))
+        if grant_epoch is not None:
+            frame["grant_epoch"] = grant_epoch
+        try:
+            await self._call(frame, key=key, session=session)
+        finally:
+            self._grants.pop((session, key), None)
 
     async def stats(self, shard: int) -> Dict[str, Any]:
         conn = await self._connection(shard, 0)
-        response = await conn.call(self._next_id(), {"op": "stats"})
+        response = await conn.call(self._next_uid(), {"op": "stats"})
         return response["stats"]
 
     def session(self, session_id: int) -> "LockSession":
         return LockSession(self, session_id)
 
-    async def _call(self, frame: Dict[str, Any], *, key: str, session: int) -> None:
+    # ------------------------------------------------------------------ #
+    # the retry loop
+    # ------------------------------------------------------------------ #
+    async def _call(
+        self, frame: Dict[str, Any], *, key: str, session: int
+    ) -> Dict[str, Any]:
         if self._closed:
             raise LockError("client is closed")
-        shard = shard_for_key(key, self.shards)
-        conn = await self._connection(shard, session % self._channels)
-        response = await conn.call(self._next_id(), frame)
-        if not response.get("ok"):
+        uid = self._next_uid()  # ONE id for every attempt: the dedup handle
+        attempts = 0
+        delays = backoff_delays()
+        last_error: Optional[Exception] = None
+        while attempts <= self._max_retries:
+            view = self._view
+            if not view.shards:
+                raise ShardUnavailableError("no live shards in the cluster view")
+            shard = view.owner_for(key)
+            payload = dict(frame)
+            payload["epoch"] = view.epoch
+            try:
+                conn = await self._connection(shard, session % self._channels)
+                response = await asyncio.wait_for(
+                    conn.call(uid, payload), timeout=self._op_timeout
+                )
+            except asyncio.TimeoutError as exc:
+                self.retry_stats["deadline_timeouts"] += 1
+                last_error = ShardUnavailableError(
+                    f"op on shard {shard} exceeded its {self._op_timeout}s deadline"
+                )
+                last_error.__cause__ = exc
+                attempts += 1
+                self.retry_stats["retries"] += 1
+                await self._refresh_view(suspect=shard)
+                continue  # the timeout already consumed the backoff's worth
+            except (ShardUnavailableError, ConnectionError, OSError) as exc:
+                last_error = (
+                    exc
+                    if isinstance(exc, ShardUnavailableError)
+                    else ShardUnavailableError(f"shard {shard} unreachable: {exc}")
+                )
+                await self._drop_connections(shard)
+                attempts += 1
+                self.retry_stats["retries"] += 1
+                await self._refresh_view(suspect=shard)
+                await asyncio.sleep(next(delays))
+                continue
+            if response.get("ok"):
+                return response
+            code = response.get("code")
+            if code == "wrong-shard":
+                # The shard is ahead of us and attached its view: adopt it
+                # and re-route immediately (no backoff; adoption is
+                # monotonic, so this cannot ping-pong).
+                if "view" in response:
+                    self._adopt_view(ClusterView.from_dict(response["view"]))
+                attempts += 1
+                self.retry_stats["reroutes"] += 1
+                continue
+            if code in ("stale-shard", "abandoned"):
+                # The shard lags our view (or lost our connection mid-grant):
+                # give it a beat to catch up, then retry the same op id.
+                last_error = ShardUnavailableError(response.get("error", code))
+                attempts += 1
+                self.retry_stats["retries"] += 1
+                await asyncio.sleep(next(delays))
+                continue
+            if code == "fenced":
+                self.retry_stats["fenced"] += 1
+                raise LockFencedError(response.get("error", "grant was fenced"))
             raise LockError(response.get("error", "lock service error"))
+        raise last_error if last_error is not None else ShardUnavailableError(
+            f"op {uid} exhausted its {self._max_retries} retries"
+        )
 
-    def _next_id(self) -> int:
+    def _next_uid(self) -> str:
         self._op_counter += 1
-        return self._op_counter
+        return f"{self._client_id}:{self._op_counter}"
+
+    def _adopt_view(self, view: ClusterView) -> None:
+        if view.epoch <= self._view.epoch:
+            return
+        self._view = view
+        dead = [key for key in self._conns if key[0] not in view.shards]
+        for key in dead:
+            conn = self._conns.pop(key, None)
+            if conn is not None:
+                conn.close_nowait()
+                self._dead_conns.append(conn)
+
+    async def _drop_connections(self, shard: int) -> None:
+        # Concurrent retries race to clean up the same shard: pop-with-default
+        # so the losers find nothing rather than KeyError.
+        for key in [key for key in self._conns if key[0] == shard]:
+            conn = self._conns.pop(key, None)
+            if conn is not None:
+                await conn.close()
+
+    async def _refresh_view(self, *, suspect: Optional[int] = None) -> None:
+        """Ask any live shard for its view; adopt the freshest answer."""
+        for shard in sorted(self._view.shards):
+            if shard == suspect:
+                continue
+            try:
+                conn = await self._connection(shard, 0)
+                response = await asyncio.wait_for(
+                    conn.call(self._next_uid(), {"op": "view"}), timeout=2.0
+                )
+            except (ShardUnavailableError, ConnectionError, OSError, asyncio.TimeoutError):
+                continue
+            if response.get("ok") and "view" in response:
+                self._adopt_view(ClusterView.from_dict(response["view"]))
+                return
 
     async def _connection(self, shard: int, channel: int) -> "_ClientConnection":
         conn = self._conns.get((shard, channel))
         if conn is None:
-            conn = _ClientConnection(self._addresses[shard])
+            address = self._view.shards.get(shard)
+            if address is None:
+                raise ShardUnavailableError(f"no address for shard {shard}")
+            conn = _ClientConnection(address)
             await conn.open()
             self._conns[(shard, channel)] = conn
         return conn
+
+
+def _normalise_address(address: Address) -> Address:
+    if isinstance(address, (list, tuple)):
+        return (str(address[0]), int(address[1]))
+    return str(address)
 
 
 class _ClientConnection:
@@ -626,18 +1127,24 @@ class _ClientConnection:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
-        self._pending: Dict[int, asyncio.Future] = {}
+        self._pending: Dict[str, asyncio.Future] = {}
 
     async def open(self) -> None:
-        if isinstance(self._address, tuple):
-            self._reader, self._writer = await asyncio.open_connection(
-                self._address[0], self._address[1]
-            )
-        else:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self._address
-            )
+        try:
+            self._reader, self._writer = await open_address_connection(self._address)
+        except (ConnectionError, OSError) as exc:
+            raise ShardUnavailableError(
+                f"cannot reach lock shard at {self._address!r}: {exc}"
+            ) from None
         self._reader_task = asyncio.create_task(self._route_responses())
+
+    def close_nowait(self) -> None:
+        """Synchronous teardown; keep the reader task so close() can reap it."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
     async def close(self) -> None:
         if self._reader_task is not None:
@@ -655,23 +1162,32 @@ class _ClientConnection:
                 pass
             self._writer = None
 
-    async def call(self, op_id: int, frame: Dict[str, Any]) -> Dict[str, Any]:
+    async def call(self, op_id: str, frame: Dict[str, Any]) -> Dict[str, Any]:
         if self._writer is None:
-            raise LockError("connection is not open")
+            raise ShardUnavailableError("connection is not open")
+        if self._reader_task is not None and self._reader_task.done():
+            # The reader died (peer reset): a future registered now would
+            # never resolve, so fail fast and let the caller reconnect.
+            raise ShardUnavailableError("lock service connection lost")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[op_id] = future
         payload = dict(frame)
         payload["id"] = op_id
         try:
             async with self._write_lock:
-                self._writer.write(encode_frame(payload))
-                await self._writer.drain()
+                writer = self._writer
+                if writer is None:
+                    # Another session closed this shared connection while we
+                    # waited for the write lock.
+                    raise ShardUnavailableError("lock service connection closed")
+                writer.write(encode_frame(payload))
+                await writer.drain()
             return await future
         finally:
             self._pending.pop(op_id, None)
 
     async def _route_responses(self) -> None:
-        error: Exception = LockError("lock service connection closed")
+        error: Exception = ShardUnavailableError("lock service connection closed")
         try:
             while True:
                 assert self._reader is not None
@@ -682,11 +1198,14 @@ class _ClientConnection:
                 if future is not None and not future.done():
                     future.set_result(response)
         except (RuntimeTransportError, ConnectionError, OSError) as exc:
-            error = LockError(f"lock service connection failed: {exc}")
+            error = ShardUnavailableError(f"lock service connection failed: {exc}")
         finally:
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(error)
+                    # The caller may have already given up on the write path;
+                    # retrieve eagerly so an unawaited future stays quiet.
+                    future.exception()
 
 
 class LockSession:

@@ -171,10 +171,28 @@ def _normalise(address: Address) -> Address:
     return str(address)
 
 
-async def _open_connection(address: Address):
+async def open_address_connection(address: Address):
+    """Open a stream to ``address`` (TCP pair or unix path): (reader, writer).
+
+    The one place that dispatches on the address family — shared by the
+    transport's per-peer writers and the lock-service client.
+    """
     if isinstance(address, tuple):
         return await asyncio.open_connection(address[0], address[1])
     return await asyncio.open_unix_connection(address)
+
+
+def backoff_delays(
+    initial: float = RECONNECT_DELAY_INITIAL, cap: float = RECONNECT_DELAY_MAX
+):
+    """Infinite exponential backoff schedule: initial, 2x, 4x, ... capped."""
+    delay = initial
+    while True:
+        yield delay
+        delay = min(delay * 2, cap)
+
+
+_open_connection = open_address_connection
 
 
 class SocketTransport:

@@ -450,6 +450,20 @@ FAULT_PROFILES: Dict[str, FaultSpec] = {
     "partition-heal": FaultSpec(
         partitions=(PartitionSpec(a=1, b=2, start=5.0, heal=15.0),)
     ),
+    # Churn: kill whoever holds the token three times, each crash revived by
+    # a restart one time unit later.  Crash-stop freezes the victim's state,
+    # so each restart brings the token back with its owner and service
+    # resumes — but every crash also strands the requests queued through the
+    # victim (messages to a down node are lost), so each cycle serves fewer
+    # nodes than the last.  The repeated-failover cost the restart semantics
+    # were built for, measured without regeneration masking it.
+    "crash-churn": FaultSpec(
+        crashes=(
+            CrashSpec(node=TOKEN_HOLDER, time=5.0, restart=6.0),
+            CrashSpec(node=TOKEN_HOLDER, time=15.0, restart=16.0),
+            CrashSpec(node=TOKEN_HOLDER, time=30.0, restart=31.0),
+        ),
+    ),
 }
 
 
@@ -738,6 +752,76 @@ SOCKET_KINDS = ("unix", "tcp")
 
 
 @dataclass(frozen=True)
+class ShardCrashSpec:
+    """One live-service crash: shard ``shard`` calls ``os._exit`` at wall
+    time ``at`` (seconds after it starts serving).
+
+    The runtime twin of :class:`CrashSpec` — same declarative shape, real
+    wall clock instead of virtual time, a whole worker process instead of a
+    simulated node.
+    """
+
+    shard: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ExperimentError(f"crash shard must be >= 0, got {self.shard}")
+        if self.at <= 0:
+            raise ExperimentError(f"crash time must be > 0, got {self.at}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "at": self.at}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ShardCrashSpec":
+        return ShardCrashSpec(**_validated_dict(ShardCrashSpec, data, "shard crash spec"))
+
+
+@dataclass(frozen=True)
+class RuntimeFaultSpec:
+    """Deterministic failure schedule for the networked lock service.
+
+    The live-service counterpart of :class:`FaultSpec`: crashes fire on a
+    wall-clock schedule inside the shard processes, and ``drop_rate``
+    discards incoming client frames from a ``SeededRNG`` stream derived from
+    ``seed`` and the shard index — so a fault run is as declarative and
+    replayable as a simulated one (modulo real-scheduler timing).
+
+    Attributes:
+        crashes: shard kill schedule (see :class:`ShardCrashSpec`).
+        drop_rate: per-frame Bernoulli drop probability in ``[0, 1)``; a
+            dropped frame is simply never answered, which is what exercises
+            the client's deadline + retry path.
+        seed: drop-stream seed (combined with the shard index).
+    """
+
+    crashes: Tuple[ShardCrashSpec, ...] = ()
+    drop_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ExperimentError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "crashes": [crash.to_dict() for crash in self.crashes],
+            "drop_rate": self.drop_rate,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RuntimeFaultSpec":
+        payload = _validated_dict(RuntimeFaultSpec, data, "runtime fault spec")
+        payload["crashes"] = tuple(
+            ShardCrashSpec.from_dict(entry) for entry in payload.get("crashes") or ()
+        )
+        return RuntimeFaultSpec(**payload)
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """The spec-to-runtime bridge: one description of a networked lock service.
 
@@ -757,12 +841,22 @@ class RuntimeSpec:
         shards: worker processes the lock namespace is consistent-hashed
             across.
         socket: ``"unix"`` or ``"tcp"`` (see :data:`SOCKET_KINDS`).
+        faults: optional live-service failure schedule (shard crashes,
+            frame drops) — see :class:`RuntimeFaultSpec`.
+        heartbeat_interval: seconds between a shard's heartbeats to the
+            cluster supervisor.
+        miss_window: seconds of heartbeat silence after which the supervisor
+            declares a shard dead (process exits are detected immediately via
+            the process sentinel; the window only catches hangs).
     """
 
     algorithm: str = "dag"
     topology: TopologySpec = TopologySpec(kind="star", n=8)
     shards: int = 2
     socket: str = "unix"
+    faults: Optional[RuntimeFaultSpec] = None
+    heartbeat_interval: float = 0.1
+    miss_window: float = 2.0
 
     def __post_init__(self) -> None:
         if self.algorithm not in registry.names():
@@ -785,6 +879,21 @@ class RuntimeSpec:
                 "a lock key's token tree needs >= 2 agent nodes, got "
                 f"{self.topology.n}"
             )
+        if self.heartbeat_interval <= 0:
+            raise ExperimentError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.miss_window <= self.heartbeat_interval:
+            raise ExperimentError(
+                f"miss_window ({self.miss_window}) must exceed the heartbeat "
+                f"interval ({self.heartbeat_interval})"
+            )
+        for crash in self.faults.crashes if self.faults is not None else ():
+            if crash.shard >= self.shards:
+                raise ExperimentError(
+                    f"crash targets shard {crash.shard} but the cluster has "
+                    f"shards 0..{self.shards - 1}"
+                )
 
     @property
     def name(self) -> str:
@@ -808,6 +917,9 @@ class RuntimeSpec:
             "topology": self.topology.to_dict(),
             "shards": self.shards,
             "socket": self.socket,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "heartbeat_interval": self.heartbeat_interval,
+            "miss_window": self.miss_window,
         }
 
     def canonical_json(self) -> str:
@@ -826,6 +938,8 @@ class RuntimeSpec:
         payload = _validated_dict(RuntimeSpec, payload, "runtime spec")
         if "topology" in payload:
             payload["topology"] = TopologySpec.from_dict(payload["topology"])
+        if payload.get("faults") is not None:
+            payload["faults"] = RuntimeFaultSpec.from_dict(payload["faults"])
         return RuntimeSpec(**payload)
 
     @staticmethod

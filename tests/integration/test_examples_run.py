@@ -72,3 +72,13 @@ def test_lock_service_quickstart_example(capsys):
     assert "total 400 / expected 400" in out
     assert "0 exclusion violations" in out
     assert "clean shutdown." in out
+
+
+@pytest.mark.network
+def test_lock_service_failover_example(capsys):
+    out = run_example("lock_service_failover.py", [], capsys)
+    assert "shard 1 will crash" in out
+    assert "ops completed: 384 / 384" in out
+    assert "\n0 exclusion violations" in out
+    assert "failover: shard 1" in out
+    assert "clean shutdown." in out

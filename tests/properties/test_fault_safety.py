@@ -11,6 +11,16 @@ A crashed node is excluded from the check: crash-stop freezes its state, so
 a node killed *inside* its critical section reports ``in_critical_section``
 forever — stale state, not a violation (no live node can be granted entry by
 a dead one's token).
+
+Lamport is the one algorithm whose safety genuinely does not survive message
+loss: its entry rule *infers* permission from timestamp ordering (my request
+heads my queue and I have heard something later from everyone), so a dropped
+REQUEST leaves a rival that never learned of my request free to enter its own
+critical section concurrently.  Token- and quorum-based schemes fail safe
+under loss — silence blocks entry — but lamport fails unsafe, so it is
+excluded from the mutual-exclusion assertion (its property still checks the
+no-double-serve bound) and the known counterexample is pinned as a
+deterministic regression test below.
 """
 
 from __future__ import annotations
@@ -85,13 +95,23 @@ def build_workload(topology, request_spec):
     return Workload(requests=tuple(requests))
 
 
-def run_faulted(system_class, algorithm_name, case):
+#: Algorithms whose mutual exclusion is *expected* to break under message
+#: loss (see the module docstring).  They still run through the fault
+#: machinery — the driver, the injector, the no-double-serve bound — but the
+#: per-event exclusion assertion is skipped.
+LOSS_UNSAFE = frozenset({"lamport"})
+
+
+def run_faulted(system_class, algorithm_name, case, *, check_exclusion=True):
     from repro.sim.faults import FaultInjectingNetwork
 
     n, topo_seed, drop_rate, fault_seed, request_spec = case
     topology = random_tree(n, seed=topo_seed)
     workload = build_workload(topology, request_spec)
-    system = checked_system(system_class, topology, FaultInjectingNetwork)
+    if check_exclusion:
+        system = checked_system(system_class, topology, FaultInjectingNetwork)
+    else:
+        system = system_class(topology, network_factory=FaultInjectingNetwork)
     controller = FaultController(
         FaultSpec(drop_rate=drop_rate, seed=fault_seed),
         name=f"prop-{algorithm_name}",
@@ -108,7 +128,12 @@ def _make_property(algorithm_name: str, system_class: type):
     @given(fault_case)
     @settings(max_examples=20, deadline=None)
     def property_test(case):
-        run_faulted(system_class, algorithm_name, case)
+        run_faulted(
+            system_class,
+            algorithm_name,
+            case,
+            check_exclusion=algorithm_name not in LOSS_UNSAFE,
+        )
 
     property_test.__name__ = (
         f"test_{algorithm_name.replace('-', '_')}_safety_under_message_loss"
@@ -120,6 +145,23 @@ for _name, _system_class in registry.items():
     _test = _make_property(_name, _system_class)
     globals()[_test.__name__] = _test
 del _test
+
+
+def test_lamport_violates_exclusion_under_message_loss():
+    """The pinned counterexample behind lamport's LOSS_UNSAFE entry.
+
+    Three nodes, 25% seeded loss: node 1 and node 0 request back to back, the
+    drop stream eats a REQUEST, and two live nodes end up inside their
+    critical sections at once.  Fully deterministic (seeded topology, seeded
+    drops), so this documents the protocol fact rather than flaking: if an
+    implementation change ever makes this pass, LOSS_UNSAFE deserves a fresh
+    look.
+    """
+    import pytest
+
+    case = (3, 0, 0.25, 44, [(1, 0.0, 0.0), (0, 2.0, 0.0), (2, 0.0, 0.0)])
+    with pytest.raises(AssertionError, match="lamport: live nodes"):
+        run_faulted(registry.get("lamport"), "lamport", case)
 
 
 def test_dag_safety_across_crash_and_token_regeneration():

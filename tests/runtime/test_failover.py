@@ -1,0 +1,307 @@
+"""Shard failover: ring reassignment, views, the supervisor, fencing, chaos.
+
+The network-marked tests are the PR's acceptance criteria made executable:
+kill one of two shards under hundreds of concurrent sessions and verify that
+every session still completes (client retry + key takeover), that no key is
+ever granted twice (server-side ledger), and that a grant which died with its
+shard is fenced rather than silently forgotten.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+
+import pytest
+
+from repro.exceptions import LockError, LockFencedError, ShardUnavailableError
+from repro.runtime.failover import (
+    ClusterSupervisor,
+    ClusterView,
+    owner_for_key,
+    shard_for_key,
+)
+from repro.runtime.service import (
+    LockClient,
+    LockServiceCluster,
+    LockServiceShard,
+    _KeyedLock,
+)
+from repro.spec import RuntimeSpec, TopologySpec
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_spec(**overrides) -> RuntimeSpec:
+    defaults = dict(
+        topology=TopologySpec(kind="star", n=3),
+        shards=2,
+        socket="unix",
+        heartbeat_interval=0.05,
+        miss_window=0.5,
+    )
+    defaults.update(overrides)
+    return RuntimeSpec(**defaults)
+
+
+def key_owned_by(shard: int, shards: int) -> str:
+    return next(f"key-{i}" for i in range(10_000) if shard_for_key(f"key-{i}", shards) == shard)
+
+
+# --------------------------------------------------------------------------- #
+# the generalised ring
+# --------------------------------------------------------------------------- #
+def test_owner_for_key_matches_shard_for_key_under_full_membership():
+    for shards in (1, 2, 4, 7):
+        members = tuple(range(shards))
+        for i in range(200):
+            key = f"key-{i}"
+            assert owner_for_key(key, members) == shard_for_key(key, shards)
+
+
+def test_removing_a_shard_only_moves_its_own_keys():
+    """Consistent hashing's minimal-movement property — what makes lazy
+    takeover safe: a survivor's keys never change owner under failover."""
+    members = (0, 1, 2, 3)
+    survivors = (0, 1, 3)
+    moved = stayed = 0
+    for i in range(2000):
+        key = f"key-{i}"
+        before = owner_for_key(key, members)
+        after = owner_for_key(key, survivors)
+        if before == 2:
+            assert after in survivors
+            moved += 1
+        else:
+            assert after == before
+            stayed += 1
+    assert moved > 0 and stayed > 0  # both cases actually exercised
+
+
+def test_empty_membership_is_an_error():
+    with pytest.raises(LockError, match="no live shards"):
+        owner_for_key("k", ())
+
+
+# --------------------------------------------------------------------------- #
+# cluster views
+# --------------------------------------------------------------------------- #
+def test_view_round_trip_and_epoch_bump():
+    view = ClusterView(epoch=0, shards={0: "/tmp/a.sock", 1: ("127.0.0.1", 9001)})
+    restored = ClusterView.from_dict(view.to_dict())
+    assert restored.epoch == 0
+    assert restored.shards == {0: "/tmp/a.sock", 1: ("127.0.0.1", 9001)}
+
+    shrunk = view.without(1)
+    assert shrunk.epoch == 1
+    assert set(shrunk.shards) == {0}
+    # every key now lands on the lone survivor
+    assert shrunk.owner_for("anything") == 0
+
+
+# --------------------------------------------------------------------------- #
+# fencing epochs (unit: straight against the shard's release path)
+# --------------------------------------------------------------------------- #
+def test_stale_grant_epoch_is_fenced_not_double_released():
+    shard = LockServiceShard(small_spec(), 0)
+    shard._view = ClusterView(epoch=2, shards={0: None})
+    key = key_owned_by(0, 2)
+
+    fenced = shard._release_op("op-1", key, session=7, frame={"grant_epoch": 0})
+    assert fenced["ok"] is False and fenced["code"] == "fenced"
+    assert shard.stats["fenced"] == 1
+    # idempotent: the retry replays the cached verdict, the counter stays put
+    again = shard._release_op("op-1", key, session=7, frame={"grant_epoch": 0})
+    assert again == fenced
+    assert shard.stats["fenced"] == 1
+
+    # a current-epoch release with no hold is still the plain error
+    with pytest.raises(LockError, match="does not hold"):
+        shard._release_op("op-2", key, session=7, frame={"grant_epoch": 2})
+
+
+def test_routing_check_separates_bug_from_stale_views():
+    spec = small_spec()
+    shard = LockServiceShard(spec, 0)
+    shard._view = ClusterView(epoch=3, shards={0: None, 1: None})
+    foreign = key_owned_by(1, 2)
+
+    # same epoch, wrong shard: a real client bug, loud
+    with pytest.raises(LockError, match="routing bug"):
+        shard._check_route(foreign, {"epoch": 3})
+    # older epoch: retryable, and the fresh view rides along
+    stale = shard._check_route(foreign, {"epoch": 1})
+    assert stale["code"] == "wrong-shard" and stale["view"]["epoch"] == 3
+    # newer epoch than ours: retryable, no view to offer
+    ahead = shard._check_route(foreign, {"epoch": 5})
+    assert ahead["code"] == "stale-shard" and "view" not in ahead
+
+
+# --------------------------------------------------------------------------- #
+# takeover trees
+# --------------------------------------------------------------------------- #
+def test_takeover_tree_regenerates_exactly_one_token():
+    async def scenario():
+        keyed = _KeyedLock("k", small_spec(), epoch=1, takeover=True)
+        holders = [node.node_id for node in keyed.nodes if node.holding]
+        assert len(holders) == 1  # minted exactly one replacement PRIVILEGE
+        ticket = await keyed.acquire()  # and the tree actually works
+        await keyed.release(ticket)
+        await keyed.close()
+
+    run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# the supervisor (real pipes + processes, no sockets)
+# --------------------------------------------------------------------------- #
+def test_supervisor_detects_exit_and_pushes_the_new_view():
+    context = multiprocessing.get_context()
+    processes = [context.Process(target=time.sleep, args=(30,)) for _ in range(2)]
+    for process in processes:
+        process.start()
+    parents, children = zip(*(context.Pipe(duplex=True) for _ in processes))
+    view = ClusterView(epoch=0, shards={0: None, 1: None})
+    supervisor = ClusterSupervisor(
+        channels={i: (parents[i], processes[i]) for i in range(2)},
+        view=view,
+        heartbeat_interval=0.02,
+        miss_window=5.0,  # only the sentinel should fire in this test
+    )
+    supervisor.start()
+    try:
+        processes[1].kill()
+        deadline = time.monotonic() + 5.0
+        while supervisor.view.epoch == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert supervisor.view.epoch == 1
+        assert set(supervisor.view.shards) == {0}
+        (event,) = supervisor.events
+        assert event.shard == 1 and event.reason == "exited"
+        assert event.detected_at >= event.last_heartbeat
+        # the survivor got the push; ack it and the event completes
+        assert children[0].poll(5.0)
+        kind, pushed = children[0].recv()
+        assert kind == "view" and pushed["epoch"] == 1
+        children[0].send(("view-ack", 0, 1))
+        deadline = time.monotonic() + 5.0
+        while supervisor.events[0].completed_at is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert supervisor.events[0].completed_at is not None
+    finally:
+        supervisor.stop()
+        for process in processes:
+            process.kill()
+            process.join(timeout=5.0)
+
+
+# --------------------------------------------------------------------------- #
+# end to end: fencing across a real crash
+# --------------------------------------------------------------------------- #
+@pytest.mark.network
+def test_fenced_holder_cannot_release_after_takeover():
+    spec = small_spec()
+    victim_key = key_owned_by(1, 2)
+
+    async def scenario(cluster):
+        async with LockClient(cluster.addresses, op_timeout=5.0) as client:
+            await client.acquire(victim_key, session=1)
+            cluster.kill_shard(1)
+            # another session takes the key over on the survivor...
+            await client.acquire(victim_key, session=2)
+            await client.release(victim_key, session=2)
+            # ...so the pre-crash grant is fenced, loudly
+            with pytest.raises(LockFencedError):
+                await client.release(victim_key, session=1)
+            stats = await client.stats(0)
+            assert stats["takeovers"] >= 1
+            assert stats["fenced"] >= 1
+            assert stats["exclusion_violations"] == 0
+
+    with LockServiceCluster(spec) as cluster:
+        run(scenario(cluster))
+        (event,) = cluster.failover_events
+        assert event.shard == 1 and event.completed_at is not None
+
+
+@pytest.mark.network
+def test_client_without_survivors_raises_shard_unavailable():
+    spec = small_spec(shards=2)
+
+    async def scenario(cluster):
+        async with LockClient(
+            cluster.addresses, op_timeout=1.0, max_retries=2
+        ) as client:
+            cluster.kill_shard(0)
+            cluster.kill_shard(1)
+            with pytest.raises(ShardUnavailableError):
+                await client.acquire("any-key", session=0)
+
+    with LockServiceCluster(spec) as cluster:
+        run(scenario(cluster))
+
+
+# --------------------------------------------------------------------------- #
+# end to end: the acceptance stress — kill a shard under 240 sessions
+# --------------------------------------------------------------------------- #
+@pytest.mark.network
+def test_mid_run_shard_kill_loses_no_session_and_no_exclusion():
+    spec = small_spec()
+    sessions = 240
+    ops = 6
+    locks = 16
+
+    async def scenario(cluster):
+        async with LockClient(cluster.addresses, op_timeout=5.0) as client:
+            holders = {}  # key -> (session, grant epoch): client-side cross-check
+            true_violations = []
+            completed = []
+            fenced = 0
+
+            async def worker(session_id):
+                nonlocal fenced
+                session = client.session(session_id)
+                for n in range(ops):
+                    key = f"lock-{(session_id * 5 + n) % locks}"
+                    await session.acquire(key)
+                    epoch = client._grants[(session_id, key)]
+                    if key in holders:
+                        other_session, other_epoch = holders[key]
+                        if other_epoch == epoch:
+                            # overlap inside one epoch is a genuine double
+                            # grant; across epochs it is the fencing window
+                            true_violations.append((key, other_session, session_id))
+                    holders[key] = (session_id, epoch)
+                    await asyncio.sleep(0)
+                    if holders.get(key) == (session_id, epoch):
+                        del holders[key]
+                    try:
+                        await session.release(key)
+                    except LockFencedError:
+                        fenced += 1
+                completed.append(session_id)
+
+            tasks = [asyncio.create_task(worker(s)) for s in range(sessions)]
+            await asyncio.sleep(0.15)
+            cluster.kill_shard(1)
+            await asyncio.gather(*tasks)
+
+            assert len(completed) == sessions  # no session lost to the crash
+            assert true_violations == []
+            stats = await client.stats(0)
+            assert stats["exclusion_violations"] == 0  # the server-side ledger
+            assert client.view.epoch == 1
+            return fenced
+
+    with LockServiceCluster(spec) as cluster:
+        started = time.monotonic()
+        run(scenario(cluster))
+        wall = time.monotonic() - started
+        (event,) = cluster.failover_events
+        assert event.completed_at is not None
+        takeover = event.completed_at - event.last_heartbeat
+        assert takeover < 5.0  # bounded takeover, far under the op deadline
+        assert wall < 60.0

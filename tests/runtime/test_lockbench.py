@@ -11,6 +11,7 @@ from repro.runtime.lockbench import (
     LockBenchScenario,
     check_lockbench_baseline,
     default_lockbench_matrix,
+    fault_lockbench_matrix,
     min_merge_lockbench_documents,
     run_lockbench,
     run_lockbench_scenario,
@@ -20,6 +21,19 @@ from repro.runtime.lockbench import (
 
 def tiny() -> LockBenchScenario:
     return LockBenchScenario(shards=2, clients=6, locks=3, ops=2, channels=2)
+
+
+def tiny_crash() -> LockBenchScenario:
+    return LockBenchScenario(
+        shards=2,
+        clients=40,
+        locks=8,
+        ops=4,
+        channels=2,
+        crash_shard=1,
+        crash_at=0.2,
+        op_timeout=5.0,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -33,6 +47,23 @@ def test_scenario_names_and_validation():
     assert spec.name == "dag-star-n4-s2-unix"
     with pytest.raises(LockError):
         LockBenchScenario(shards=1, clients=0, locks=1, ops=1)
+
+
+def test_crash_scenarios_declare_their_fault_in_the_spec():
+    scenario = tiny_crash()
+    assert scenario.name == "unix-s2-c40-k8-o4+crash1"
+    spec = scenario.runtime_spec()
+    (crash,) = spec.faults.crashes
+    assert crash.shard == 1 and crash.at == 0.2
+    assert spec.miss_window < 2.0  # failover cells tighten detection
+    with pytest.raises(LockError, match=">= 2 shards"):
+        LockBenchScenario(shards=1, clients=1, locks=1, ops=1, crash_shard=0)
+
+
+def test_fault_matrix_kills_a_shard_under_the_acceptance_load():
+    (cell,) = fault_lockbench_matrix()
+    assert cell.clients >= 1000 and cell.shards == 2
+    assert cell.crash_shard == 1 and cell.op_timeout is not None
 
 
 def test_smoke_matrix_is_the_acceptance_cell():
@@ -65,6 +96,21 @@ def test_run_lockbench_assembles_the_document():
     assert [row["scenario"] for row in document["scenarios"]] == ["unix-s2-c6-k3-o2"]
 
 
+@pytest.mark.network
+def test_crash_cell_completes_every_op_and_reports_failover():
+    """The PR's acceptance cell in miniature: one of two shards dies mid-run,
+    every session still finishes via retry + takeover, no double grants."""
+    row = run_lockbench_scenario(tiny_crash())
+    assert row["ops_completed"] == row["ops_total"] == 160
+    assert row["errors"] == 0
+    assert row["exclusion_violations"] == 0
+    assert row["fault"] == {"crash_shard": 1, "crash_at": 0.2}
+    failover = row["timing"]["failover"]
+    assert failover["takeover_ms"] > 0
+    assert 0 < failover["availability"] <= 1
+    assert failover["takeovers"] >= 0  # lazy: only touched keys move
+
+
 # --------------------------------------------------------------------------- #
 # min-merge calibration
 # --------------------------------------------------------------------------- #
@@ -90,6 +136,27 @@ def synthetic_document(rate: float, p99: float) -> dict:
     }
 
 
+def synthetic_fault_document(takeover: float, availability: float) -> dict:
+    document = synthetic_document(1000.0, 10.0)
+    row = document["scenarios"][0]
+    row["scenario"] = "unix-s2-c6-k3-o2+crash1"
+    row["exclusion_violations"] = 0
+    row["fault"] = {"crash_shard": 1, "crash_at": 0.2}
+    row["timing"]["failover"] = {
+        "detection_ms": takeover / 2,
+        "takeover_ms": takeover,
+        "unavailable_ms": takeover,
+        "availability": availability,
+        "takeovers": 2,
+        "abandoned": 0,
+        "ops_retried": 5,
+        "ops_rerouted": 1,
+        "ops_fenced": 1,
+        "deadline_timeouts": 0,
+    }
+    return document
+
+
 def test_min_merge_keeps_slowest_rate_and_largest_latency():
     merged = min_merge_lockbench_documents(
         [synthetic_document(2000.0, 5.0), synthetic_document(1500.0, 9.0)]
@@ -105,6 +172,23 @@ def test_min_merge_rejects_deterministic_drift():
     drifted["scenarios"][0]["errors"] = 3
     with pytest.raises(ValueError, match="errors"):
         min_merge_lockbench_documents([synthetic_document(2000.0, 5.0), drifted])
+
+
+def test_min_merge_is_conservative_on_failover_measurements():
+    merged = min_merge_lockbench_documents(
+        [synthetic_fault_document(30.0, 0.99), synthetic_fault_document(80.0, 0.95)]
+    )
+    failover = merged["scenarios"][0]["timing"]["failover"]
+    assert failover["takeover_ms"] == 80.0  # ceiling
+    assert failover["availability"] == 0.95  # floor
+
+
+def test_min_merge_rejects_exclusion_violation_drift():
+    clean = synthetic_fault_document(30.0, 0.99)
+    dirty = synthetic_fault_document(30.0, 0.99)
+    dirty["scenarios"][0]["exclusion_violations"] = 1
+    with pytest.raises(ValueError, match="exclusion"):
+        min_merge_lockbench_documents([clean, dirty])
 
 
 def test_min_merge_rejects_mismatched_matrices():
@@ -145,6 +229,26 @@ def test_check_is_exact_on_op_counts():
     assert any("ops_completed" in problem for problem in problems)
 
 
+def test_check_fails_any_exclusion_violation_even_without_a_reference():
+    """Mutual exclusion is absolute: no committed row is needed to fail it."""
+    fresh = synthetic_fault_document(30.0, 0.99)
+    fresh["scenarios"][0]["scenario"] = "unix-brand-new-cell"
+    fresh["scenarios"][0]["exclusion_violations"] = 2
+    problems = check_lockbench_baseline(fresh["scenarios"], {"scenarios": []})
+    assert any("exclusion" in problem for problem in problems)
+
+
+def test_check_gates_time_to_takeover():
+    committed = synthetic_fault_document(30.0, 0.99)
+    slow = synthetic_fault_document(200.0, 0.99)  # over 30 * (1 + 3.0)
+    problems = check_lockbench_baseline(
+        slow["scenarios"], committed, latency_tolerance=3.0
+    )
+    assert any("takeover" in problem for problem in problems)
+    fine = synthetic_fault_document(35.0, 0.99)
+    assert check_lockbench_baseline(fine["scenarios"], committed) == []
+
+
 def test_check_ignores_scenarios_missing_from_the_committed_document():
     committed = synthetic_document(2000.0, 5.0)
     fresh = synthetic_document(100.0, 100.0)
@@ -162,4 +266,9 @@ def test_committed_runtime_document_gates_green_against_itself():
     assert committed["schema"] == "bench-runtime/v1"
     names = [row["scenario"] for row in committed["scenarios"]]
     assert "unix-s2-c1000-k64-o10" in names  # the CI acceptance cell
+    assert "tcp-s2-c1000-k64-o10" in names  # the TCP cell
+    assert "unix-s2-c1000-k64-o10+crash1" in names  # the chaos cell
+    crash_row = next(r for r in committed["scenarios"] if "+crash" in r["scenario"])
+    assert crash_row["exclusion_violations"] == 0
+    assert crash_row["timing"]["failover"]["takeover_ms"] > 0
     assert check_lockbench_baseline(committed["scenarios"], committed) == []

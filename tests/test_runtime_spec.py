@@ -6,7 +6,14 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ExperimentError
-from repro.spec import SOCKET_KINDS, FAULT_PROFILES, RuntimeSpec, TopologySpec
+from repro.spec import (
+    SOCKET_KINDS,
+    FAULT_PROFILES,
+    RuntimeFaultSpec,
+    RuntimeSpec,
+    ShardCrashSpec,
+    TopologySpec,
+)
 from repro.topology import star
 
 
@@ -82,3 +89,46 @@ def test_partition_heal_profile_is_registered():
     (partition,) = profile.partitions
     assert partition.start < partition.heal  # a real heal window
     assert partition.a != partition.b
+
+
+def test_crash_churn_profile_cycles_the_token_holder():
+    profile = FAULT_PROFILES["crash-churn"]
+    assert len(profile.crashes) >= 3  # repeated kill + restart cycles
+    for crash in profile.crashes:
+        assert crash.restart is not None and crash.restart > crash.time
+
+
+# --------------------------------------------------------------------------- #
+# the runtime fault section
+# --------------------------------------------------------------------------- #
+def test_runtime_faults_round_trip():
+    spec = RuntimeSpec(
+        shards=3,
+        faults=RuntimeFaultSpec(
+            crashes=(ShardCrashSpec(shard=1, at=0.5),), drop_rate=0.01, seed=7
+        ),
+        heartbeat_interval=0.05,
+        miss_window=0.5,
+    )
+    restored = RuntimeSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert restored.faults.crashes[0].shard == 1
+    assert RuntimeSpec.from_json(spec.canonical_json()) == spec
+
+
+def test_runtime_fault_validation():
+    with pytest.raises(ExperimentError, match="shard"):
+        ShardCrashSpec(shard=-1, at=1.0)
+    with pytest.raises(ExperimentError, match="crash time"):
+        ShardCrashSpec(shard=0, at=0.0)
+    with pytest.raises(ExperimentError, match="drop_rate"):
+        RuntimeFaultSpec(drop_rate=1.5)
+    # a crash schedule naming a shard the spec does not have is caught early
+    with pytest.raises(ExperimentError, match="crash"):
+        RuntimeSpec(
+            shards=2, faults=RuntimeFaultSpec(crashes=(ShardCrashSpec(shard=5, at=1.0),))
+        )
+    with pytest.raises(ExperimentError, match="heartbeat"):
+        RuntimeSpec(heartbeat_interval=0.0)
+    with pytest.raises(ExperimentError, match="miss_window"):
+        RuntimeSpec(heartbeat_interval=0.5, miss_window=0.5)
