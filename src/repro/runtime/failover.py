@@ -22,7 +22,10 @@ Three pieces, all parent-process side (the shard-side halves live in
   for the whole service lifetime.  A shard is declared dead when its process
   exits (sentinel — immediate) or its heartbeats go silent for
   ``miss_window`` seconds (a hung process).  Death bumps the epoch, shrinks
-  the view, and pushes the new view down every surviving pipe; the matching
+  the view, and pushes the new view down every surviving pipe — plus,
+  best-effort, down the dead shard's own pipe, so a process that was merely
+  stalled adopts a view excluding itself and self-fences rather than serving
+  stale-view clients alongside its replacement; the matching
   :class:`FailoverEvent` records the timeline (last heartbeat, detection,
   every survivor's acknowledgement) that ``repro lockbench --faults``
   reports as time-to-takeover.
@@ -299,6 +302,18 @@ class ClusterSupervisor(threading.Thread):
                 channel.pipe.send(payload)
             except (BrokenPipeError, OSError):
                 broken.append(survivor)
+        # Best-effort push to the declared-dead shard too.  A shard declared
+        # dead for missed heartbeats may merely be stalled — its process (and
+        # pipe) still alive.  Adopting a view that excludes itself turns such
+        # a zombie into a self-fencing server (every op answered with
+        # code=fenced) instead of a second owner serving stale-view clients
+        # alongside the survivor that took its keys over.
+        dead_channel = self._channels.get(shard)
+        if dead_channel is not None:
+            try:
+                dead_channel.pipe.send(payload)
+            except (BrokenPipeError, OSError):
+                pass  # actually dead; nothing to fence
         self._check_completions(now)
         for survivor in broken:  # a push that failed is itself a death signal
             self._declare_dead(survivor, "exited", now)

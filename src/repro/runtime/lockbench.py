@@ -68,6 +68,10 @@ class LockBenchScenario:
     #: the row reports failover measurements alongside throughput.
     crash_shard: Optional[int] = None
     crash_at: float = 0.75
+    #: Per-frame Bernoulli drop probability on the shards (the other
+    #: declarative runtime fault).  A dropped frame is never answered, so a
+    #: drop scenario *must* set ``op_timeout`` — validated at construction.
+    drop_rate: float = 0.0
     #: Per-op client deadline; failover runs need one so ops parked on the
     #: dead shard time out and retry instead of waiting forever.
     op_timeout: Optional[float] = None
@@ -80,10 +84,19 @@ class LockBenchScenario:
             )
         if self.crash_shard is not None and self.shards < 2:
             raise LockError("a crash scenario needs >= 2 shards to fail over to")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise LockError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if self.drop_rate > 0.0 and self.op_timeout is None:
+            raise LockError(
+                "drop_rate > 0 needs op_timeout: a dropped frame is never "
+                "answered, so a client without a deadline hangs forever"
+            )
 
     @property
     def name(self) -> str:
         suffix = f"+crash{self.crash_shard}" if self.crash_shard is not None else ""
+        if self.drop_rate > 0.0:
+            suffix += f"+drop{self.drop_rate * 100:g}"
         return (
             f"{self.socket}-s{self.shards}-c{self.clients}"
             f"-k{self.locks}-o{self.ops}{suffix}"
@@ -94,11 +107,16 @@ class LockBenchScenario:
         faults = None
         heartbeat_interval = 0.1
         miss_window = 2.0
-        if self.crash_shard is not None:
-            faults = RuntimeFaultSpec(
-                crashes=(ShardCrashSpec(shard=self.crash_shard, at=self.crash_at),),
-                seed=self.seed,
+        if self.crash_shard is not None or self.drop_rate > 0.0:
+            crashes = (
+                (ShardCrashSpec(shard=self.crash_shard, at=self.crash_at),)
+                if self.crash_shard is not None
+                else ()
             )
+            faults = RuntimeFaultSpec(
+                crashes=crashes, drop_rate=self.drop_rate, seed=self.seed
+            )
+        if self.crash_shard is not None:
             # A crash cell measures time-to-takeover; tighten the detection
             # loop so the measurement reflects failover, not the idle default.
             heartbeat_interval = 0.05
@@ -308,9 +326,15 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
         ),
         "timing": timing,
     }
-    if scenario.crash_shard is not None:
-        row["fault"] = {"crash_shard": scenario.crash_shard, "crash_at": scenario.crash_at}
-        timing["failover"] = _failover_timing(outcome, events, wall)
+    if scenario.crash_shard is not None or scenario.drop_rate > 0.0:
+        fault: Dict[str, Any] = {}
+        if scenario.crash_shard is not None:
+            fault["crash_shard"] = scenario.crash_shard
+            fault["crash_at"] = scenario.crash_at
+            timing["failover"] = _failover_timing(outcome, events, wall)
+        if scenario.drop_rate > 0.0:
+            fault["drop_rate"] = scenario.drop_rate
+        row["fault"] = fault
     return row
 
 

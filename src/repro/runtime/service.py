@@ -10,6 +10,7 @@ TCP sockets:
 
     acquire {key, session, epoch, id}  ->  {id, ok, epoch}   (blocks until granted)
     release {key, session, epoch, grant_epoch, id}  ->  {id, ok}
+    cancel  {target, id}        ->  {id, ok, cancelled}      (give up acquire `target`)
     stats   {id}                ->  {id, ok, stats}
     view    {id}                ->  {id, ok, epoch, view}    (current membership)
     shutdown {id}               ->  {id, ok}                 (graceful shard exit)
@@ -36,7 +37,10 @@ dies.  Failover is then three local moves:
   of silently corrupting exclusion;
 * the client retries idempotently — every op keeps one id across attempts
   (shards deduplicate redeliveries), re-resolves ownership from the freshest
-  view it can fetch, and backs off exponentially until the retry budget ends.
+  view it can fetch, and backs off exponentially until the retry budget ends;
+  an acquire whose budget ends sends a best-effort ``cancel`` so a grant
+  still inflight is handed back rather than orphaned under a hold nobody
+  will ever release.
 """
 
 from __future__ import annotations
@@ -101,6 +105,12 @@ OP_CACHE_SIZE = 65536
 
 #: Default client retry budget: attempts beyond the first per op.
 DEFAULT_MAX_RETRIES = 8
+
+#: Deadline for control-plane calls (stats, view, cancel) when the client has
+#: no ``op_timeout`` of its own.  Unlike an acquire these never block on lock
+#: contention, so an unanswered frame (``drop_rate``, a dead peer) is the only
+#: way they can stall — bound it, or one dropped frame hangs the caller.
+CONTROL_OP_TIMEOUT = 5.0
 
 
 # --------------------------------------------------------------------------- #
@@ -213,6 +223,7 @@ class _Inflight:
 
     future: "asyncio.Future[Dict[str, Any]]"
     requesters: List[Dict[str, bool]]  #: conn states, in arrival order
+    cancelled: bool = False  #: the client gave up; release on grant
 
 
 class LockServiceShard:
@@ -240,7 +251,11 @@ class LockServiceShard:
         self._view = ClusterView(
             epoch=0, shards={shard: None for shard in range(spec.shards)}
         )
-        self._prev_view = self._view
+        # Every adopted view, oldest first (current last).  Takeover detection
+        # must look across *all* of them: a key orphaned at epoch N may be
+        # first touched only after a later epoch-N+1 failover, when the
+        # immediately previous view already shows this shard as owner.
+        self._views: List[ClusterView] = [self._view]
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self._control_pipe: Any = None
@@ -259,6 +274,7 @@ class LockServiceShard:
             "errors": 0,
             "exclusion_violations": 0,
             "abandoned": 0,
+            "cancelled": 0,
             "takeovers": 0,
             "fenced": 0,
             "dropped_frames": 0,
@@ -319,7 +335,9 @@ class LockServiceShard:
         if view.epoch < self._view.epoch:
             return
         if view.epoch > self._view.epoch:
-            self._prev_view = self._view
+            self._views.append(view)
+        else:
+            self._views[-1] = view  # same epoch, fresher addresses
         self._view = view
         if self._control_pipe is not None:
             try:
@@ -421,18 +439,38 @@ class LockServiceShard:
             except (ConnectionError, OSError):
                 pass
 
-    def _abandon(self, hold: _Hold) -> None:
-        """Reclaim a hold whose owner connection died."""
+    def _abandon(self, hold: _Hold, *, stat: str = "abandoned") -> None:
+        """Reclaim a hold whose owner connection died (or gave up on it)."""
         self._held.pop((hold.session, hold.key), None)
         self._holders.pop(hold.key, None)
         # A retried acquire must re-execute, not replay the cached grant.
         self._op_cache.pop(hold.uid, None)
         keyed = self._locks.get(hold.key)
         if keyed is not None:
-            self.stats["abandoned"] += 1
+            self.stats[stat] += 1
             task = asyncio.create_task(keyed.release(hold.ticket))
             self._op_tasks.add(task)
             task.add_done_callback(self._op_tasks.discard)
+
+    def _cancel_uid(self, uid: str) -> bool:
+        """Cancel an acquire the client has given up on (retry budget spent).
+
+        Without this, an op still blocked in the token protocol would later
+        grant and bind its hold to the (still-open) requesting connection —
+        locked until that connection closes, since the caller already raised
+        and will never release.  Covers both phases: an executing acquire is
+        flagged to release itself on grant, and a grant that completed but
+        was never consumed (the reply raced the deadline) is reclaimed.
+        """
+        record = self._inflight.get(uid)
+        if record is not None:
+            record.cancelled = True
+            return True
+        for hold in list(self._held.values()):
+            if hold.uid == uid:
+                self._abandon(hold, stat="cancelled")
+                return True
+        return False
 
     def _cache_op(self, uid: str, payload: Dict[str, Any]) -> None:
         self._op_cache[uid] = payload
@@ -472,6 +510,14 @@ class LockServiceShard:
                         "epoch": self._view.epoch,
                         "view": self._view.to_dict(),
                     }
+                )
+                return
+            if op == "cancel":
+                # No route check: a shard the key moved away from must still
+                # honour cancels for state it already holds.
+                target = str(frame.get("target", ""))
+                await reply(
+                    {"id": op_id, "ok": True, "cancelled": self._cancel_uid(target)}
                 )
                 return
             key = frame.get("key")
@@ -544,8 +590,12 @@ class LockServiceShard:
     def _keyed_lock(self, key: str) -> _KeyedLock:
         keyed = self._locks.get(key)
         if keyed is None:
-            takeover = (
-                self._view.epoch > 0 and self._prev_view.owner_for(key) != self.index
+            # Takeover iff any *earlier* adopted view assigned the key
+            # elsewhere.  Membership only shrinks, so once a key lands on
+            # this shard it never leaves — one foreign owner anywhere in the
+            # history means the key arrived through a failover.
+            takeover = self._view.epoch > 0 and any(
+                past.owner_for(key) != self.index for past in self._views[:-1]
             )
             keyed = _KeyedLock(
                 key, self.spec, epoch=self._view.epoch, takeover=takeover
@@ -611,6 +661,17 @@ class LockServiceShard:
             raise LockError(f"session {session} already holds {key!r}")
         keyed = self._keyed_lock(key)
         ticket = await keyed.acquire()
+        if record.cancelled:
+            # The client spent its retry budget and asked us to cancel: the
+            # grant has no consumer, so hand the token straight back.  Cached
+            # so a straggling duplicate replays the cancellation.
+            self.stats["cancelled"] += 1
+            await keyed.release(ticket)
+            return {
+                "ok": False,
+                "code": "cancelled",
+                "error": "acquire cancelled by client",
+            }, True
         owner_state = next(
             (state for state in reversed(record.requesters) if state["open"]), None
         )
@@ -893,9 +954,21 @@ class LockClient:
     attempts (shards deduplicate, so a retry never double-acquires), a
     connection failure or ``op_timeout`` triggers re-resolution against the
     freshest cluster view any live shard will serve, and attempts back off
-    exponentially until ``max_retries`` is spent.  A release whose grant was
-    fenced by a failover raises :class:`LockFencedError` — the one failure
-    that must *not* be retried into silence.
+    exponentially until ``max_retries`` is spent.  A *release* whose grant
+    was fenced by a failover raises :class:`LockFencedError` — the one
+    failure that must *not* be retried into silence; an *acquire* answered
+    ``fenced`` holds nothing (it merely reached a shard voted out of the
+    view), so it refreshes and reroutes like any misroute.  An acquire that
+    exhausts its retries sends a best-effort ``cancel`` for its op id first,
+    so a grant still working its way through the token protocol is handed
+    back instead of binding a hold nobody will ever release.
+
+    Deadlines: ``op_timeout`` (off by default — a contended acquire may
+    legitimately block for a long time) bounds every op.  Running against a
+    service with ``drop_rate`` faults *requires* it: a dropped frame is
+    never answered.  Control-plane calls (stats, view, cancel) never block
+    on contention and always get a deadline (:data:`CONTROL_OP_TIMEOUT`
+    when ``op_timeout`` is unset).
     """
 
     def __init__(
@@ -929,6 +1002,7 @@ class LockClient:
             "reroutes": 0,
             "fenced": 0,
             "deadline_timeouts": 0,
+            "cancels": 0,
         }
 
     @property
@@ -981,8 +1055,19 @@ class LockClient:
 
     async def stats(self, shard: int) -> Dict[str, Any]:
         conn = await self._connection(shard, 0)
-        response = await conn.call(self._next_uid(), {"op": "stats"})
+        deadline = self._control_timeout()
+        try:
+            response = await asyncio.wait_for(
+                conn.call(self._next_uid(), {"op": "stats"}), timeout=deadline
+            )
+        except asyncio.TimeoutError:
+            raise ShardUnavailableError(
+                f"stats on shard {shard} exceeded its {deadline}s deadline"
+            ) from None
         return response["stats"]
+
+    def _control_timeout(self) -> float:
+        return self._op_timeout if self._op_timeout is not None else CONTROL_OP_TIMEOUT
 
     def session(self, session_id: int) -> "LockSession":
         return LockSession(self, session_id)
@@ -1054,16 +1139,57 @@ class LockClient:
                 await asyncio.sleep(next(delays))
                 continue
             if code == "fenced":
-                self.retry_stats["fenced"] += 1
-                raise LockFencedError(response.get("error", "grant was fenced"))
+                if frame.get("op") == "release":
+                    # The grant lost its protection: the holder's critical
+                    # section ran unfenced and must hear about it, loudly.
+                    self.retry_stats["fenced"] += 1
+                    raise LockFencedError(response.get("error", "grant was fenced"))
+                # A fenced *acquire* holds nothing — it just reached a shard
+                # that was voted out of the view we routed under.  Routing
+                # problem, not a lost grant: refresh and reroute.
+                last_error = ShardUnavailableError(
+                    response.get("error", f"shard {shard} was fenced out")
+                )
+                attempts += 1
+                self.retry_stats["reroutes"] += 1
+                await self._refresh_view(suspect=shard)
+                await asyncio.sleep(next(delays))
+                continue
             raise LockError(response.get("error", "lock service error"))
-        raise last_error if last_error is not None else ShardUnavailableError(
+        if frame.get("op") == "acquire":
+            await self._cancel_acquire(uid, key, session)
+        if last_error is not None:
+            raise last_error
+        raise ShardUnavailableError(
             f"op {uid} exhausted its {self._max_retries} retries"
         )
 
     def _next_uid(self) -> str:
         self._op_counter += 1
         return f"{self._client_id}:{self._op_counter}"
+
+    async def _cancel_acquire(self, uid: str, key: str, session: int) -> None:
+        """Best-effort server-side cancel for an acquire this client gave up on.
+
+        Without it, an op still inflight on the shard would eventually grant
+        and bind its hold to our (still-open) connection — locked until the
+        connection closes, because the caller saw an error and will never
+        release.  Failure here is acceptable: the cancel only matters while
+        the shard is alive and reachable, which is exactly when it works.
+        """
+        view = self._view
+        if not view.shards:
+            return
+        try:
+            shard = view.owner_for(key)
+            conn = await self._connection(shard, session % self._channels)
+            await asyncio.wait_for(
+                conn.call(self._next_uid(), {"op": "cancel", "target": uid}),
+                timeout=self._control_timeout(),
+            )
+            self.retry_stats["cancels"] += 1
+        except (LockError, ConnectionError, OSError, asyncio.TimeoutError):
+            return
 
     def _adopt_view(self, view: ClusterView) -> None:
         if view.epoch <= self._view.epoch:

@@ -792,7 +792,11 @@ class RuntimeFaultSpec:
         crashes: shard kill schedule (see :class:`ShardCrashSpec`).
         drop_rate: per-frame Bernoulli drop probability in ``[0, 1)``; a
             dropped frame is simply never answered, which is what exercises
-            the client's deadline + retry path.
+            the client's deadline + retry path.  Because nothing ever
+            answers a dropped frame, any client driving a ``drop_rate``
+            service **must** set ``op_timeout`` (lockbench scenarios enforce
+            this at construction; control-plane calls like ``stats`` carry a
+            built-in deadline either way).
         seed: drop-stream seed (combined with the shard index).
     """
 

@@ -140,6 +140,16 @@ def test_routing_check_separates_bug_from_stale_views():
     assert ahead["code"] == "stale-shard" and "view" not in ahead
 
 
+def test_fenced_out_shard_answers_fenced_for_every_op():
+    """A shard that adopts a view excluding itself must self-fence: any
+    acquire or release it still receives is answered code=fenced."""
+    shard = LockServiceShard(small_spec(), 0)
+    shard.adopt_view(ClusterView(epoch=1, shards={1: None}).to_dict())
+    for key in ("anything", key_owned_by(0, 2)):
+        fenced = shard._check_route(key, {"epoch": 0})
+        assert fenced["ok"] is False and fenced["code"] == "fenced"
+
+
 # --------------------------------------------------------------------------- #
 # takeover trees
 # --------------------------------------------------------------------------- #
@@ -151,6 +161,40 @@ def test_takeover_tree_regenerates_exactly_one_token():
         ticket = await keyed.acquire()  # and the tree actually works
         await keyed.release(ticket)
         await keyed.close()
+
+    run(scenario())
+
+
+def test_takeover_detected_across_multiple_epochs():
+    """A key orphaned at epoch 1 but first touched after the epoch-2 failover
+    is still a takeover: the immediately previous view already shows this
+    shard as owner, so detection must look across the whole view history."""
+    spec = small_spec(shards=3)
+    key = "key-0"
+    dead_first = owner_for_key(key, (0, 1, 2))
+    survivors = tuple(s for s in (0, 1, 2) if s != dead_first)
+    ours = owner_for_key(key, survivors)
+    dead_second = next(s for s in survivors if s != ours)
+
+    async def scenario():
+        shard = LockServiceShard(spec, ours)
+        full = ClusterView(epoch=0, shards={0: None, 1: None, 2: None})
+        shard.adopt_view(full.without(dead_first).to_dict())
+        shard.adopt_view(full.without(dead_first).without(dead_second).to_dict())
+        # First touch only now, two epochs after the key's owner died.
+        orphaned = shard._keyed_lock(key)
+        assert shard.stats["takeovers"] == 1
+        assert sum(node.holding for node in orphaned.nodes) == 1
+        # A key this shard owned from epoch 0 is not a takeover.
+        native = next(
+            f"key-{i}"
+            for i in range(10_000)
+            if owner_for_key(f"key-{i}", (0, 1, 2)) == ours
+        )
+        shard._keyed_lock(native)
+        assert shard.stats["takeovers"] == 1
+        for keyed in shard._locks.values():
+            await keyed.close()
 
     run(scenario())
 
@@ -198,6 +242,121 @@ def test_supervisor_detects_exit_and_pushes_the_new_view():
             process.join(timeout=5.0)
 
 
+def test_missed_heartbeat_zombie_gets_the_fencing_view():
+    """A shard declared dead for silence while its process survives (a stall)
+    must still be told: the supervisor pushes the epoch-bumped view down the
+    zombie's own pipe so it adopts a view excluding itself and self-fences,
+    instead of serving stale-view clients alongside its replacement."""
+    context = multiprocessing.get_context()
+    processes = [context.Process(target=time.sleep, args=(30,)) for _ in range(2)]
+    for process in processes:
+        process.start()
+    parents, children = zip(*(context.Pipe(duplex=True) for _ in processes))
+    supervisor = ClusterSupervisor(
+        channels={i: (parents[i], processes[i]) for i in range(2)},
+        view=ClusterView(epoch=0, shards={0: None, 1: None}),
+        heartbeat_interval=0.02,
+        miss_window=0.3,  # shard 1 never heartbeats; its process stays alive
+    )
+    supervisor.start()
+    try:
+        deadline = time.monotonic() + 5.0
+        while supervisor.view.epoch == 0 and time.monotonic() < deadline:
+            children[0].send(("heartbeat", 0))  # shard 0 keeps proving liveness
+            time.sleep(0.02)
+        assert supervisor.view.epoch == 1
+        assert set(supervisor.view.shards) == {0}
+        (event,) = supervisor.events
+        assert event.shard == 1 and event.reason == "missed-heartbeats"
+        # the zombie's own pipe got the push, and the view excludes it
+        assert children[1].poll(5.0)
+        kind, pushed = children[1].recv()
+        assert kind == "view" and pushed["epoch"] == 1
+        assert "1" not in pushed["shards"]
+    finally:
+        supervisor.stop()
+        for process in processes:
+            process.kill()
+            process.join(timeout=5.0)
+
+
+# --------------------------------------------------------------------------- #
+# client retry semantics (stubbed connections, no sockets)
+# --------------------------------------------------------------------------- #
+def test_acquire_fenced_reroutes_while_release_fenced_raises():
+    """code=fenced means 'your grant lost its protection' — true only for a
+    release.  An acquire that reached a fenced-out shard holds nothing: the
+    client must refresh the view and reroute, not surface a fencing error."""
+
+    async def scenario():
+        client = LockClient(["/tmp/a.sock", "/tmp/b.sock"], op_timeout=1.0)
+        key = key_owned_by(0, 2)
+        fresh = ClusterView(epoch=1, shards={1: "/tmp/b.sock"})
+        calls = []
+
+        class StubConn:
+            def __init__(self, shard: int) -> None:
+                self.shard = shard
+
+            async def call(self, uid, payload):
+                op = payload["op"]
+                calls.append((self.shard, op))
+                if op == "view":
+                    return {"ok": True, "epoch": 1, "view": fresh.to_dict()}
+                if op == "acquire":
+                    if self.shard == 0:
+                        return {"ok": False, "code": "fenced", "error": "fenced out"}
+                    return {"ok": True, "epoch": 1}
+                if op == "release":
+                    return {"ok": False, "code": "fenced", "error": "grant fenced"}
+                return {"ok": True, "cancelled": False}
+
+        async def stub_connection(shard, channel):
+            return StubConn(shard)
+
+        client._connection = stub_connection
+        await client.acquire(key, session=3)  # fenced on 0 -> rerouted to 1
+        assert client.view.epoch == 1
+        assert client.retry_stats["reroutes"] == 1
+        assert (0, "acquire") in calls and (1, "acquire") in calls
+        with pytest.raises(LockFencedError):
+            await client.release(key, session=3)
+        assert client.retry_stats["fenced"] == 1
+        await client.close()
+
+    run(scenario())
+
+
+def test_cancel_reclaims_a_consumed_but_unclaimed_grant():
+    """The other half of retry-exhaustion cleanup: the acquire completed and
+    was cached, but the client's deadline beat the reply — cancel must free
+    the hold so the key is not locked until the connection dies."""
+
+    async def scenario():
+        shard = LockServiceShard(small_spec(shards=1), 0)
+        state = {"open": True}
+        granted = await shard._acquire_op("op-1", "k", 5, 1, state)
+        assert granted["ok"] is True
+        assert shard._cancel_uid("op-1") is True
+        assert shard.stats["cancelled"] == 1
+        assert (5, "k") not in shard._held
+        if shard._op_tasks:  # the reclaim release runs as its own task
+            await asyncio.gather(*shard._op_tasks)
+        # the key is free: a different session acquires without waiting
+        regrant = await asyncio.wait_for(
+            shard._acquire_op("op-2", "k", 6, 1, state), timeout=5.0
+        )
+        assert regrant["ok"] is True
+        assert shard._cancel_uid("op-3") is False  # unknown uid: a no-op
+        shard._release_op("op-4", "k", 6, frame={})
+        if shard._op_tasks:
+            await asyncio.gather(*shard._op_tasks)
+        for keyed in shard._locks.values():
+            await keyed.close()
+
+    run(scenario())
+
+
 # --------------------------------------------------------------------------- #
 # end to end: fencing across a real crash
 # --------------------------------------------------------------------------- #
@@ -239,6 +398,41 @@ def test_client_without_survivors_raises_shard_unavailable():
             cluster.kill_shard(1)
             with pytest.raises(ShardUnavailableError):
                 await client.acquire("any-key", session=0)
+
+    with LockServiceCluster(spec) as cluster:
+        run(scenario(cluster))
+
+
+@pytest.mark.network
+def test_retry_exhaustion_cancels_the_inflight_acquire():
+    """A client that gives up on a contended acquire must not leave the
+    shard's still-inflight op to grant into a hold nobody will release: the
+    exhaustion path sends a cancel, the grant is handed straight back, and
+    the key stays available to everyone else."""
+    spec = small_spec(shards=1)
+
+    async def scenario(cluster):
+        async with LockClient(cluster.addresses) as holder:
+            async with LockClient(
+                cluster.addresses, op_timeout=0.3, max_retries=1
+            ) as impatient:
+                await holder.acquire("contested", session=1)
+                with pytest.raises(ShardUnavailableError):
+                    await impatient.acquire("contested", session=2)
+                assert impatient.retry_stats["cancels"] == 1
+            await holder.release("contested", session=1)
+            # the cancelled grant handed its token back: the key is not
+            # wedged behind a hold bound to the impatient client
+            await asyncio.wait_for(holder.acquire("contested", session=3), 5.0)
+            await holder.release("contested", session=3)
+            # the cancelled grant may be processed after session 3's: poll
+            deadline = time.monotonic() + 5.0
+            stats = await holder.stats(0)
+            while stats["cancelled"] == 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+                stats = await holder.stats(0)
+            assert stats["cancelled"] == 1
+            assert stats["exclusion_violations"] == 0
 
     with LockServiceCluster(spec) as cluster:
         run(scenario(cluster))

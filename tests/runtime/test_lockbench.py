@@ -60,6 +60,24 @@ def test_crash_scenarios_declare_their_fault_in_the_spec():
         LockBenchScenario(shards=1, clients=1, locks=1, ops=1, crash_shard=0)
 
 
+def test_drop_scenarios_require_a_client_deadline():
+    """A dropped frame is never answered: a drop cell without op_timeout
+    would hang on its first loss, so the scenario refuses to exist."""
+    with pytest.raises(LockError, match="op_timeout"):
+        LockBenchScenario(shards=1, clients=1, locks=1, ops=1, drop_rate=0.1)
+    with pytest.raises(LockError, match="drop_rate"):
+        LockBenchScenario(
+            shards=1, clients=1, locks=1, ops=1, drop_rate=1.5, op_timeout=1.0
+        )
+    scenario = LockBenchScenario(
+        shards=1, clients=1, locks=1, ops=1, drop_rate=0.1, op_timeout=1.0
+    )
+    assert scenario.name == "unix-s1-c1-k1-o1+drop10"
+    spec = scenario.runtime_spec()
+    assert spec.faults.drop_rate == 0.1 and spec.faults.crashes == ()
+    assert spec.miss_window == 2.0  # drops alone don't tighten detection
+
+
 def test_fault_matrix_kills_a_shard_under_the_acceptance_load():
     (cell,) = fault_lockbench_matrix()
     assert cell.clients >= 1000 and cell.shards == 2
@@ -109,6 +127,29 @@ def test_crash_cell_completes_every_op_and_reports_failover():
     assert failover["takeover_ms"] > 0
     assert 0 < failover["availability"] <= 1
     assert failover["takeovers"] >= 0  # lazy: only touched keys move
+
+
+@pytest.mark.network
+def test_drop_cell_completes_every_op_through_retries():
+    """Frame loss + client deadlines: every dropped op is retried under its
+    original id (deduplicated server-side) until it lands — no op lost, no
+    double grant, and the stats path stays bounded too."""
+    scenario = LockBenchScenario(
+        shards=1,
+        clients=4,
+        locks=2,
+        ops=2,
+        channels=2,
+        drop_rate=0.2,
+        op_timeout=0.5,
+        seed=3,
+    )
+    row = run_lockbench_scenario(scenario)
+    assert row["ops_completed"] == row["ops_total"] == 8
+    assert row["errors"] == 0
+    assert row["exclusion_violations"] == 0
+    assert row["fault"] == {"drop_rate": 0.2}
+    assert "failover" not in row["timing"]  # no crash in this cell
 
 
 # --------------------------------------------------------------------------- #
