@@ -65,6 +65,9 @@ class AlgorithmCapabilities:
         uses_topology_edges: whether the logical tree edges matter (vs only
             the node set).
         storage_description: the prose Section 6.4 description.
+        node_backends: node-state backends the algorithm implements.  Every
+            algorithm has ``"object"`` (the per-node-instance reference);
+            algorithms with an array-native state add ``"compact"``.
     """
 
     name: str
@@ -74,6 +77,7 @@ class AlgorithmCapabilities:
     token_based: bool
     uses_topology_edges: bool
     storage_description: str
+    node_backends: tuple = ("object",)
 
     def supports_scale(self, n: int) -> bool:
         """Whether an ``n``-node cell is within the recommended range."""
@@ -210,6 +214,11 @@ class MutexSystem(abc.ABC):
     storage_class: str = "constant"
     #: Whether exclusion travels as a token (vs collected permissions).
     token_based: bool = False
+    #: Node-state backends the algorithm implements.  ``"object"`` (one node
+    #: instance per participant) is the always-available reference; systems
+    #: with an array-native state declare ``("object", "compact")`` and
+    #: honour a ``node_backend`` constructor keyword.
+    node_backends: tuple = ("object",)
 
     def __init__(
         self,
@@ -241,6 +250,11 @@ class MutexSystem(abc.ABC):
             trace=self.trace if record_trace else None,
         )
         self._on_enter = on_enter
+        #: Which backend the nodes actually use ("object" unless a compact
+        #: ``_create_nodes`` overrides it) and, on the compact backend, the
+        #: column store itself — the driver and benchmarks probe these.
+        self.node_backend = "object"
+        self.compact_state = None
         self.nodes: Dict[int, MutexNodeBase] = self._create_nodes()
 
     # ------------------------------------------------------------------ #
@@ -358,6 +372,7 @@ class AlgorithmRegistry:
             token_based=system_class.token_based,
             uses_topology_edges=system_class.uses_topology_edges,
             storage_description=system_class.storage_description,
+            node_backends=tuple(system_class.node_backends),
         )
 
     def names_for_scale(self, n: int) -> List[str]:

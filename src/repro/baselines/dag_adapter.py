@@ -7,6 +7,22 @@ comparison experiments, however, iterate over :class:`~repro.baselines.base
 :class:`~repro.core.node.DagMutexNode` state machine into that interface.
 :class:`DagMutexNode` already provides ``request_cs`` / ``release_cs`` /
 ``in_critical_section`` / ``requesting``, which is all the driver relies on.
+
+The DAG algorithm is the one system with two node backends:
+
+* ``"object"`` — one :class:`DagMutexNode` instance per participant, the
+  always-tested reference implementation;
+* ``"compact"`` — the whole node population as flat array columns
+  (:class:`~repro.core.compact_state.CompactDagState`), which is what makes
+  the ten-million-node tier constructible in seconds within a few hundred
+  megabytes.  ``system.nodes`` then serves lazy
+  :class:`~repro.core.compact_state.DagNodeView` proxies, so code written
+  against node objects keeps working unchanged.
+
+``node_backend="auto"`` (the default) picks the columns at or above
+:data:`~repro.core.compact_state.COMPACT_NODE_BACKEND_THRESHOLD` nodes.
+Replays are byte-identical across backends — CI's ``backend-identity``
+matrix enforces it.
 """
 
 from __future__ import annotations
@@ -14,6 +30,11 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.baselines.base import MutexSystem, registry
+from repro.core.compact_state import (
+    CompactDagState,
+    CompactNodeMap,
+    resolve_node_backend,
+)
 from repro.core.node import DagMutexNode
 
 
@@ -32,8 +53,29 @@ class DagSystem(MutexSystem):
         "per node: HOLDING flag, NEXT pointer, FOLLOW pointer (three scalars); "
         "token carries nothing"
     )
+    node_backends = ("object", "compact")
+
+    def __init__(self, topology, *, node_backend: str = "auto", **kwargs) -> None:
+        # Resolved before super().__init__ because _create_nodes runs inside
+        # it; len(topology.nodes) is O(1) for every built-in topology.
+        self._resolved_backend = resolve_node_backend(
+            node_backend, len(topology.nodes)
+        )
+        super().__init__(topology, **kwargs)
 
     def _create_nodes(self) -> Dict[int, DagMutexNode]:
+        if self._resolved_backend == "compact":
+            state = CompactDagState(
+                self.topology,
+                self.network,
+                metrics=self.metrics,
+                trace=self.trace if self.trace.enabled else None,
+                on_enter=self._on_enter,
+            )
+            self.compact_state = state
+            self.node_backend = "compact"
+            self.network.attach_columnar(state)
+            return CompactNodeMap(state)
         pointers = self.topology.next_pointers()
         return {
             node_id: DagMutexNode(

@@ -56,6 +56,7 @@ from repro.bench.throughput import (
     smoke_matrix,
     xlarge_matrix,
     xxlarge_matrix,
+    xxxlarge_matrix,
 )
 
 __all__ = [
@@ -100,4 +101,5 @@ __all__ = [
     "smoke_matrix",
     "xlarge_matrix",
     "xxlarge_matrix",
+    "xxxlarge_matrix",
 ]

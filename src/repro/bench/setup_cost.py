@@ -39,10 +39,12 @@ def construction_matrix(matrix: Sequence[ScenarioSpec]) -> List[ScenarioSpec]:
     return [spec for spec in matrix if spec.n >= CONSTRUCTION_MIN_NODES]
 
 
-def run_setup_scenario(spec: ScenarioSpec, *, scheduler: str = "auto") -> Dict[str, Any]:
+def run_setup_scenario(
+    spec: ScenarioSpec, *, scheduler: str = "auto", node_backend: str = "auto"
+) -> Dict[str, Any]:
     """Build one scenario end to end — topology, workload, system, arrival
     load — timing each phase, without draining a single protocol event."""
-    experiment = spec.experiment_spec(scheduler=scheduler)
+    experiment = spec.experiment_spec(scheduler=scheduler, node_backend=node_backend)
     start = time.perf_counter()
     topology = experiment.topology.build()
     topology_seconds = time.perf_counter() - start
@@ -76,6 +78,7 @@ def run_setup_scenario(spec: ScenarioSpec, *, scheduler: str = "auto") -> Dict[s
         "load_seconds": round(load_seconds, 4),
         "setup_seconds": round(total, 4),
         "scheduler": system.engine.scheduler_kind,
+        "node_backend": system.node_backend,
         #: Process-lifetime peak RSS sampled after this cell (a running
         #: maximum across the run, like the throughput document's field).
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
@@ -87,6 +90,7 @@ def run_setup_benchmark(
     *,
     budget_seconds: Optional[float] = None,
     scheduler: str = "auto",
+    node_backend: str = "auto",
     verbose: bool = False,
 ) -> Dict[str, Any]:
     """Run the construction-only benchmark and assemble its JSON document.
@@ -103,7 +107,7 @@ def run_setup_benchmark(
     scenarios: List[Dict[str, Any]] = []
     over_budget: List[str] = []
     for spec in matrix:
-        row = run_setup_scenario(spec, scheduler=scheduler)
+        row = run_setup_scenario(spec, scheduler=scheduler, node_backend=node_backend)
         scenarios.append(row)
         if budget_seconds is not None and row["setup_seconds"] > budget_seconds:
             over_budget.append(

@@ -66,11 +66,18 @@ class ScenarioSpec:
     def name(self) -> str:
         return f"{self.kind}-n{self.n}-{self.demand}"
 
-    def experiment_spec(self, *, scheduler: str = "auto") -> ExperimentSpec:
+    def experiment_spec(
+        self, *, scheduler: str = "auto", node_backend: str = "auto"
+    ) -> ExperimentSpec:
         """The cell as a canonical :class:`~repro.spec.ExperimentSpec`.
 
         Benchmark cells run the DAG algorithm on the unobserved fast path
         with seed 0 — exactly the recorded-seed-baseline configuration.
+        ``node_backend`` picks object nodes vs the columnar array core
+        ("auto" switches to the columns at
+        :data:`~repro.core.compact_state.COMPACT_NODE_BACKEND_THRESHOLD`
+        nodes); the virtual-time outcome is identical either way, so the
+        committed per-scenario counts stay valid across backends.
         """
         return ExperimentSpec(
             algorithm="dag",
@@ -79,6 +86,7 @@ class ScenarioSpec:
             scheduler=scheduler,
             seed=0,
             collect_metrics=False,
+            node_backend=node_backend,
         )
 
 
@@ -103,6 +111,8 @@ class ScenarioResult:
     peak_rss_kb: int
     #: The engine scheduler the run engaged ("heap" or "ring").
     scheduler: str = "heap"
+    #: The node backend the run engaged ("object" or "compact").
+    node_backend: str = "object"
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -170,6 +180,23 @@ def xxlarge_matrix() -> List[ScenarioSpec]:
     """
     matrix = xlarge_matrix()
     matrix.extend(ScenarioSpec(kind, 1_000_000, "heavy") for kind in ("star", "tree"))
+    return matrix
+
+
+def xxxlarge_matrix() -> List[ScenarioSpec]:
+    """The xxlarge matrix plus the 10M-node tier (heavy demand, star/tree).
+
+    The ten-million-node tier exists for *construction*, not replay: CI
+    stands these cells up with ``repro bench --setup-only --xxxlarge`` (the
+    columnar node backend builds the whole population as flat array columns
+    in well under a second and a few hundred megabytes) but draining ~100M
+    protocol events is a local, not a CI, exercise.  The tree cell rounds up
+    to the next full balanced binary tree (2^24 - 1 ~ 16.8M nodes), like
+    every tree cell before it rounds to its own power of two.  Names are
+    additive, so committed documents stay valid.
+    """
+    matrix = xxlarge_matrix()
+    matrix.extend(ScenarioSpec(kind, 10_000_000, "heavy") for kind in ("star", "tree"))
     return matrix
 
 
@@ -273,17 +300,29 @@ def measure_fastest(system_factory, workload, *, repeat: int = 3, scheduler: str
 
 
 def run_scenario(
-    spec: ScenarioSpec, *, repeat: int = 3, scheduler: str = "auto"
+    spec: ScenarioSpec,
+    *,
+    repeat: int = 3,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> ScenarioResult:
     """Run one scenario best-of-``repeat`` (see :func:`measure_fastest`)."""
-    experiment = spec.experiment_spec(scheduler=scheduler)
+    experiment = spec.experiment_spec(scheduler=scheduler, node_backend=node_backend)
     # Topology and workload are built once and shared across repetitions;
     # only the system under test is rebuilt per replay.
     topology = experiment.topology.build()
     workload = experiment.workload.build(topology, seed=experiment.seed)
     bound = float(diameter(topology) + 1)
+    engaged_backend = "object"
+
+    def system_factory():
+        nonlocal engaged_backend
+        system = experiment.build_system(topology)
+        engaged_backend = system.node_backend
+        return system
+
     wall, result, events, messages, engaged = measure_fastest(
-        lambda: experiment.build_system(topology),
+        system_factory,
         workload,
         repeat=repeat,
         scheduler=scheduler,
@@ -308,6 +347,7 @@ def run_scenario(
         bound_messages_per_entry=bound,
         peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         scheduler=engaged,
+        node_backend=engaged_backend,
     )
 
 
@@ -415,6 +455,7 @@ def run_benchmark(
     repeat: int = 3,
     seed_baseline: Optional[Dict[str, Any]] = None,
     scheduler: str = "auto",
+    node_backend: str = "auto",
     profile: bool = False,
     verify_determinism: bool = True,
     verbose: bool = False,
@@ -438,13 +479,16 @@ def run_benchmark(
         profiler = cProfile.Profile()
         profiler.enable()
     for spec in specs:
-        measured = run_scenario(spec, repeat=repeat, scheduler=scheduler)
+        measured = run_scenario(
+            spec, repeat=repeat, scheduler=scheduler, node_backend=node_backend
+        )
         scenarios.append(measured.as_dict())
         if verbose:
             print(
                 f"{measured.scenario:<22} {measured.events_per_sec:>12,.0f} ev/s  "
                 f"{measured.messages_per_sec:>12,.0f} msg/s  "
-                f"wall {measured.wall_seconds:.3f}s  [{measured.scheduler}]"
+                f"wall {measured.wall_seconds:.3f}s  "
+                f"[{measured.scheduler}/{measured.node_backend}]"
             )
     if profiler is not None:
         profiler.disable()
@@ -548,6 +592,7 @@ def run_calibrated_benchmark(
     runs: int = 4,
     seed_baseline: Optional[Dict[str, Any]] = None,
     scheduler: str = "auto",
+    node_backend: str = "auto",
     verbose: bool = False,
 ) -> Dict[str, Any]:
     """Run the DAG matrix ``runs`` times and min-merge into a committed floor.
@@ -571,6 +616,7 @@ def run_calibrated_benchmark(
                 repeat=repeat,
                 seed_baseline=seed_baseline,
                 scheduler=scheduler,
+                node_backend=node_backend,
                 # The fingerprint/equivalence replays are rate-independent:
                 # run them once, not once per calibration pass.
                 verify_determinism=index == 0,

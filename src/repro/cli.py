@@ -196,6 +196,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         smoke_matrix,
         xlarge_matrix,
         xxlarge_matrix,
+        xxxlarge_matrix,
     )
     from repro.bench.throughput import load_json
 
@@ -233,6 +234,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_faults(args)
     if args.baselines:
         return _bench_baselines(args)
+    if args.xxxlarge:
+        print(
+            "error: the 10M-node tier is construction-only (draining ~100M "
+            "events is not a benchmark run); use "
+            "`repro bench --setup-only --xxxlarge`",
+            file=sys.stderr,
+        )
+        return 2
     if args.smoke:
         matrix = smoke_matrix()
     elif args.large:
@@ -260,6 +269,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             runs=args.calibrate,
             seed_baseline=seed_baseline,
             scheduler=args.scheduler,
+            node_backend=args.node_backend,
             verbose=True,
         )
     else:
@@ -268,6 +278,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             seed_baseline=seed_baseline,
             scheduler=args.scheduler,
+            node_backend=args.node_backend,
             profile=args.profile,
             verbose=True,
         )
@@ -344,6 +355,7 @@ def _bench_setup_only(args: argparse.Namespace) -> int:
         run_setup_benchmark,
         xlarge_matrix,
         xxlarge_matrix,
+        xxxlarge_matrix,
     )
 
     if (
@@ -360,14 +372,17 @@ def _bench_setup_only(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.xxlarge:
+    if args.xxxlarge:
+        matrix = construction_matrix(xxxlarge_matrix())
+    elif args.xxlarge:
         matrix = construction_matrix(xxlarge_matrix())
     elif args.xlarge:
         matrix = construction_matrix(xlarge_matrix())
     else:
         print(
             "error: --setup-only measures the large-tier construction path; "
-            "pick a tier with >= 100k-node cells (--xlarge or --xxlarge)",
+            "pick a tier with >= 100k-node cells "
+            "(--xlarge, --xxlarge or --xxxlarge)",
             file=sys.stderr,
         )
         return 2
@@ -375,6 +390,7 @@ def _bench_setup_only(args: argparse.Namespace) -> int:
         matrix,
         budget_seconds=args.budget_seconds,
         scheduler=args.scheduler,
+        node_backend=args.node_backend,
         verbose=True,
     )
     status = 0
@@ -409,10 +425,11 @@ def _bench_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.large or args.xlarge or args.xxlarge:
+    if args.large or args.xlarge or args.xxlarge or args.xxxlarge:
         print(
             "error: --faults has no large tiers; its matrix already includes "
-            "the 100k-node recovery cell (drop --large/--xlarge/--xxlarge)",
+            "the 100k-node recovery cell "
+            "(drop --large/--xlarge/--xxlarge/--xxxlarge)",
             file=sys.stderr,
         )
         return 2
@@ -463,7 +480,7 @@ def _bench_baselines(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.xlarge or args.xxlarge:
+    if args.xlarge or args.xxlarge or args.xxxlarge:
         print(
             "error: --baselines has no xlarge tier (and no xxlarge) either; "
             "the 100k/1M-node tiers are DAG-matrix (`repro bench --xlarge`, "
@@ -585,26 +602,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 or args.xlarge
                 or args.xxlarge
                 or args.faults
+                or args.node_backend != "auto"
             ):
                 print(
-                    "error: --from-specs carries the whole matrix; tier flags "
-                    "and --algorithms do not apply to it",
+                    "error: --from-specs carries the whole matrix; tier "
+                    "flags, --algorithms and --node-backend do not apply "
+                    "to it",
                     file=sys.stderr,
                 )
                 return 2
             matrix = load_spec_shard(args.from_specs)
         elif args.faults:
-            matrix = fault_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = fault_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
         elif args.smoke:
-            matrix = smoke_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = smoke_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
         elif args.large:
-            matrix = large_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = large_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
         elif args.xlarge:
-            matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = xlarge_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
         elif args.xxlarge:
-            matrix = xxlarge_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = xxlarge_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
         else:
-            matrix = default_sweep_matrix(algorithms=algorithms, scheduler=args.scheduler)
+            matrix = default_sweep_matrix(
+                algorithms=algorithms,
+                scheduler=args.scheduler,
+                node_backend=args.node_backend,
+            )
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -663,6 +706,7 @@ def cmd_algorithms(args: argparse.Namespace) -> int:
                 "token based": "yes" if caps.token_based else "no",
                 "dense traffic": "yes" if caps.dense_message_traffic else "no",
                 "storage": caps.storage_class,
+                "node backends": "+".join(caps.node_backends),
                 "max nodes": (
                     f"{caps.max_recommended_nodes:,}"
                     if caps.max_recommended_nodes is not None
@@ -712,6 +756,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 scheduler=args.scheduler,
                 collect_metrics=not args.no_metrics,
+                node_backend=args.node_backend,
             )
         if args.faults is not None:
             import dataclasses
@@ -749,6 +794,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "events": engine.processed_events,
             "finished_at": round(result.finished_at, 9),
             "scheduler": engine.scheduler_kind,
+            "backend": driver.system.node_backend,
         }
     ]
     print(format_table(rows, title=f"repro run: {spec.name} (seed {spec.seed})"))
@@ -946,6 +992,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(no per-entry timing statistics, identical event order)",
     )
     run.add_argument(
+        "--node-backend",
+        default="auto",
+        choices=["auto", "object", "compact"],
+        help="shorthand form: node state backend (compact is the columnar "
+             "array core, declared by dag only; identical event order, "
+             "rejected with a clear error for object-only algorithms)",
+    )
+    run.add_argument(
         "--faults",
         default=None,
         choices=sorted(FAULT_PROFILES),
@@ -992,6 +1046,13 @@ def build_parser() -> argparse.ArgumentParser:
              "array-backed topologies + streamed workloads, a heavy cell is "
              "~10M events — consider --repeat 1)",
     )
+    bench_tier.add_argument(
+        "--xxxlarge",
+        action="store_true",
+        help="the xxlarge matrix plus the 10M-node tier; construction-only "
+             "(valid with --setup-only, which stands the cells up on the "
+             "columnar node backend in seconds within a few hundred MB)",
+    )
     bench.add_argument(
         "--setup-only",
         action="store_true",
@@ -1036,6 +1097,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine event scheduler: auto picks the bucket ring on "
              "lattice-timestamped dense-traffic scenarios, heap/ring force "
              "one (virtual-time results are identical either way)",
+    )
+    bench.add_argument(
+        "--node-backend",
+        default="auto",
+        choices=["auto", "object", "compact"],
+        help="DAG node state backend: object nodes or the columnar array "
+             "core (auto switches to the columns at 100k nodes; virtual-time "
+             "results are identical either way, CI-gated)",
     )
     bench.add_argument(
         "--profile",
@@ -1122,6 +1191,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "heap", "ring"],
         help="engine event scheduler for every cell; deterministic output "
              "is byte-identical across choices (CI cross-checks this)",
+    )
+    sweep.add_argument(
+        "--node-backend",
+        default="auto",
+        choices=["auto", "object", "compact"],
+        help="node state backend for every cell (compact requires an "
+             "algorithm that declares it, currently dag — combine with "
+             "--algorithms dag); deterministic output is byte-identical "
+             "across choices (the CI backend-identity matrix checks this)",
     )
     sweep.add_argument("--output", default=None,
                        help="write the merged sweep document to this JSON file")

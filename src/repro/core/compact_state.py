@@ -1,0 +1,568 @@
+"""Array-native (structure-of-arrays) storage for the DAG protocol state.
+
+At a million nodes the object backend's cost is "a million Python objects":
+~780 MB of :class:`~repro.core.node.DagMutexNode` instances plus per-node
+dispatch tables, and ~12 s just to build them.  This module stores the same
+three paper variables — HOLDING, NEXT, FOLLOW — plus the requesting/in-CS
+flags and the per-node entry counter as flat ``array``/``bytearray`` columns
+indexed by node id, mirroring how :class:`~repro.topology.compact
+.CompactTopology` replaced dict adjacency with CSR arrays:
+
+* ``NEXT`` and ``FOLLOW`` — ``array('i')``, one int per node, ``0`` encoding
+  the paper's "no pointer" (node ids start at 1, exactly the
+  :class:`CompactTopology` convention);
+* HOLDING / requesting / in-CS — one ``bytearray`` of bit flags;
+* ``cs_entries`` — ``array('i')``.
+
+That is 13 bytes of protocol state per node: ~130 MB at ten million nodes
+where the object backend would need tens of gigabytes.  Construction is a
+couple of array copies (the CSR topology's parent array *is* the initial
+``NEXT`` column), which is what opens the ``--xxxlarge`` 10M-node tier.
+
+The state machine here is a line-for-line transcription of
+:class:`~repro.core.node.DagMutexNode` (Figure 3 of the paper): same variable
+reads and writes in the same order, same metrics/trace calls, same error
+messages.  The object nodes remain the always-tested reference
+implementation; CI gates every compact run byte-identical against them
+(the ``backend-identity`` matrix).
+
+Delivery integration has three tiers, fastest first:
+
+* :meth:`CompactDagState.deliver_batch` — the engine's drain loops hand a
+  whole same-tick run of fast-path deliveries over in one call
+  (``SimulationEngine.set_batch_sink``), so a burst of deliveries pays one
+  Python call and one column-cache setup instead of one dispatch frame per
+  message;
+* :meth:`CompactDagState.deliver_one` — the fast-path sink for isolated
+  deliveries, installed as the network's ``_deliver_fast``;
+* :meth:`CompactDagState.on_message` — the observed path (metrics, trace,
+  fault injectors), reached through the network's columnar fallback.
+
+For code that expects node *objects* — the fault controller's token scan,
+token regeneration, tests poking at ``system.nodes[i]`` — a lazy
+:class:`CompactNodeMap` materialises lightweight :class:`DagNodeView`
+proxies on demand; every view reads and writes the columns directly, so
+views and columns can never disagree.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.core.messages import Privilege, Request
+from repro.core.state import NodeStateName, classify_state
+from repro.exceptions import ProtocolError
+
+EnterCallback = Callable[[int, float], None]
+
+#: Node-backend modes accepted everywhere a backend can be chosen.
+NODE_BACKENDS = ("object", "compact", "auto")
+
+#: ``node_backend="auto"`` picks the compact columns at or above this many
+#: nodes.  Below it the object nodes are kept: their per-delivery dispatch is
+#: marginally cheaper than the columnar bit masking until construction cost
+#: and cache pressure start to dominate, which is (measured) in the
+#: hundred-thousand-node range — the same neighbourhood as the streaming
+#: workload threshold.
+COMPACT_NODE_BACKEND_THRESHOLD = 100_000
+
+# Flag bits of the per-node state byte.
+_HOLDING = 1
+_REQUESTING = 2
+_IN_CS = 4
+_BUSY = _REQUESTING | _IN_CS
+
+#: ``bytearray.translate`` table masking every state byte down to its busy
+#: bits — lets completion checks scan millions of nodes in C.
+_BUSY_TABLE = bytes(b & _BUSY for b in range(256))
+
+# PRIVILEGE carries no payload and compares by type; one shared instance
+# serves every token pass (same object the node backend uses).
+_PRIVILEGE = Privilege()
+
+
+def resolve_node_backend(mode: str, n: int) -> str:
+    """Resolve a ``node_backend`` choice to ``"object"`` or ``"compact"``.
+
+    ``"auto"`` picks the compact columns at or above
+    :data:`COMPACT_NODE_BACKEND_THRESHOLD` nodes.
+
+    Raises:
+        ProtocolError: on an unknown mode string.
+    """
+    if mode not in NODE_BACKENDS:
+        raise ProtocolError(
+            f"unknown node backend {mode!r}; expected one of {NODE_BACKENDS}"
+        )
+    if mode == "auto":
+        return "compact" if n >= COMPACT_NODE_BACKEND_THRESHOLD else "object"
+    return mode
+
+
+class CompactDagState:
+    """All DAG protocol state for ``n`` nodes, as flat columns.
+
+    Args:
+        topology: the topology to initialise from.  Node ids must be the
+            contiguous range ``1..n`` (every built-in topology constructor
+            numbers nodes this way; :class:`CompactTopology` guarantees it).
+        network: the network messages are sent through.  The caller is
+            expected to also :meth:`~repro.sim.network.Network
+            .attach_columnar` this state so deliveries route back here.
+        metrics: optional collector receiving request/enter/exit events.
+        trace: optional recorder receiving state-change events.
+        on_enter: callback invoked as ``on_enter(node_id, time)`` on every
+            critical-section entry; the experiment driver assigns it.
+
+    Raises:
+        ProtocolError: if the topology's node ids are not contiguous from 1
+            (the columns are indexed by id, so gaps would silently alias).
+    """
+
+    def __init__(
+        self,
+        topology,
+        network,
+        *,
+        metrics=None,
+        trace=None,
+        on_enter: Optional[EnterCallback] = None,
+    ) -> None:
+        nodes = topology.nodes
+        n = len(nodes)
+        if n == 0:
+            raise ProtocolError("compact node backend needs at least one node")
+        if isinstance(nodes, range):
+            contiguous = nodes == range(1, n + 1)
+        else:
+            ids = list(nodes)
+            contiguous = min(ids) == 1 and max(ids) == n
+        if not contiguous:
+            raise ProtocolError(
+                "compact node backend requires contiguous node ids 1..n; "
+                f"got {n} nodes spanning other identifiers (use "
+                "node_backend='object' for irregular id spaces)"
+            )
+        self._n = n
+        self.node_range = range(1, n + 1)
+        holder = topology.token_holder
+        # The CSR topology's parent array is exactly the initial NEXT column
+        # (index 0 unused, 0 = no pointer): one C-level copy instead of ten
+        # million mapping lookups.
+        parent = getattr(topology, "_parent", None)
+        if parent is not None and len(parent) == n + 1:
+            next_col = array("i", parent)
+        else:
+            next_col = array("i", bytes(4 * (n + 1)))
+            pointers = topology.next_pointers()
+            for node_id in nodes:
+                pointer = pointers[node_id]
+                if pointer is None:
+                    if node_id != holder:
+                        raise ProtocolError(
+                            f"node {node_id}: a node that does not hold the token "
+                            "needs an initial NEXT pointer toward the holder"
+                        )
+                else:
+                    next_col[node_id] = pointer
+        if next_col[holder] != 0:
+            raise ProtocolError(
+                f"node {holder}: the initial token holder must be a sink (NEXT = 0)"
+            )
+        self._next = next_col
+        self._follow = array("i", bytes(4 * (n + 1)))
+        flags = bytearray(n + 1)
+        flags[holder] = _HOLDING
+        self._flags = flags
+        self._entries = array("i", bytes(4 * (n + 1)))
+        #: Total critical-section entries across all nodes (the metrics-free
+        #: result path reads this instead of summing a column).
+        self.total_entries = 0
+        self._network = network
+        self._engine = network.engine
+        self._send = network.send
+        self._metrics = metrics
+        self._trace = trace
+        self.on_enter = on_enter
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------ #
+    # public protocol actions (transcriptions of DagMutexNode)
+    # ------------------------------------------------------------------ #
+    def request_cs(self, node_id: int) -> None:
+        """Procedure P1's first half for ``node_id`` (see ``DagMutexNode``)."""
+        flags = self._flags
+        state = flags[node_id]
+        if state & _REQUESTING:
+            raise ProtocolError(f"node {node_id} already has an outstanding request")
+        if state & _IN_CS:
+            raise ProtocolError(f"node {node_id} is already in its critical section")
+
+        if self._metrics is not None:
+            self._metrics.cs_requested(node_id, self._engine._now)
+        if self._trace is not None:
+            self._trace.record(self._engine._now, "cs_request", node_id)
+
+        if state & _HOLDING:
+            # Idle token holder: P1 skips the request entirely.
+            flags[node_id] = state & ~_HOLDING
+            self._enter_critical_section(node_id)
+            return
+
+        flags[node_id] = state | _REQUESTING
+        target = self._next[node_id]
+        if target == 0:
+            raise ProtocolError(
+                f"node {node_id} is a sink without the token and without a request; "
+                "the system was initialised inconsistently"
+            )
+        self._next[node_id] = 0
+        self._send(node_id, target, Request(node_id, node_id))
+        if self._trace is not None:
+            self._trace.record(self._engine._now, "state_change", node_id,
+                               reason="sent own request", next=None)
+
+    def release_cs(self, node_id: int) -> None:
+        """Procedure P1's second half for ``node_id`` (see ``DagMutexNode``)."""
+        flags = self._flags
+        state = flags[node_id]
+        if not state & _IN_CS:
+            raise ProtocolError(f"node {node_id} is not in its critical section")
+        state &= ~_IN_CS
+        if self._metrics is not None:
+            self._metrics.cs_exited(node_id, self._engine._now)
+        if self._trace is not None:
+            self._trace.record(self._engine._now, "cs_exit", node_id)
+
+        successor = self._follow[node_id]
+        if successor:
+            self._follow[node_id] = 0
+            flags[node_id] = state
+            self._send(node_id, successor, _PRIVILEGE)
+            if self._trace is not None:
+                self._trace.record(self._engine._now, "state_change", node_id,
+                                   reason="passed token", to=successor)
+        else:
+            flags[node_id] = state | _HOLDING
+            if self._trace is not None:
+                self._trace.record(self._engine._now, "state_change", node_id,
+                                   reason="kept token (HOLDING)")
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def on_message(self, receiver: int, sender: int, message: Any) -> None:
+        """Observed-path dispatch (metrics/trace/fault runs) for one delivery."""
+        kind = type(message)
+        if kind is Request:
+            self._handle_request(receiver, message.sender, message.origin)
+        elif kind is Privilege:
+            self._handle_privilege(receiver)
+        else:
+            raise ProtocolError(
+                f"node {receiver} received unexpected message {message!r} from {sender}"
+            )
+
+    def deliver_one(self, payload) -> None:
+        """Fast-path sink: one ``(sender, receiver, message)`` lite delivery.
+
+        Installed as the network's ``_deliver_fast``, so it also owns the
+        delivered-message count the network would otherwise bump.
+        """
+        sender, receiver, message = payload
+        self._network._messages_delivered += 1
+        kind = type(message)
+        if kind is Request:
+            self._handle_request(receiver, message.sender, message.origin)
+        elif kind is Privilege:
+            self._handle_privilege(receiver)
+        else:
+            raise ProtocolError(
+                f"node {receiver} received unexpected message {message!r} from {sender}"
+            )
+
+    def deliver_batch(self, payloads) -> None:
+        """Apply a same-tick run of fast-path deliveries in one call.
+
+        The engine's drain loops collect consecutive lite entries addressed
+        to :meth:`deliver_one` and hand the payload run here (see
+        ``SimulationEngine.set_batch_sink``), replacing a dispatch frame per
+        message with one loop over locally cached columns.  Only ever called
+        on the unobserved fast path, so there are no metrics/trace branches —
+        the batched transitions below are the observer-free projection of
+        :meth:`_handle_request` / :meth:`_handle_privilege`, applied in
+        exactly the delivery order the per-event path would have used.
+        """
+        network = self._network
+        network._messages_delivered += len(payloads)
+        flags = self._flags
+        next_col = self._next
+        follow_col = self._follow
+        entries = self._entries
+        send = self._send
+        on_enter = self.on_enter
+        engine = self._engine
+        total = self.total_entries
+        for sender, receiver, message in payloads:
+            kind = type(message)
+            if kind is Request:
+                origin = message.origin
+                target = next_col[receiver]
+                if target:
+                    send(receiver, target, Request(receiver, origin))
+                else:
+                    state = flags[receiver]
+                    if state & _HOLDING:
+                        flags[receiver] = state & ~_HOLDING
+                        send(receiver, origin, _PRIVILEGE)
+                    else:
+                        follow_col[receiver] = origin
+                next_col[receiver] = message.sender
+            elif kind is Privilege:
+                state = flags[receiver]
+                if not state & _REQUESTING:
+                    self.total_entries = total
+                    raise ProtocolError(
+                        f"node {receiver} received the PRIVILEGE message without an "
+                        "outstanding request; the token was duplicated or misrouted"
+                    )
+                flags[receiver] = (state & ~_REQUESTING) | _IN_CS
+                entries[receiver] += 1
+                total += 1
+                if on_enter is not None:
+                    on_enter(receiver, engine._now)
+            else:
+                self.total_entries = total
+                raise ProtocolError(
+                    f"node {receiver} received unexpected message {message!r} "
+                    f"from {sender}"
+                )
+        self.total_entries = total
+
+    def _handle_request(self, node_id: int, adjacent: int, origin: int) -> None:
+        """Procedure P2 of Figure 3 for ``REQUEST(adjacent, origin)``."""
+        next_col = self._next
+        target = next_col[node_id]
+        if target == 0:
+            flags = self._flags
+            state = flags[node_id]
+            if state & _HOLDING:
+                flags[node_id] = state & ~_HOLDING
+                self._send(node_id, origin, _PRIVILEGE)
+                if self._trace is not None:
+                    self._trace.record(self._engine._now, "state_change", node_id,
+                                       reason="idle holder granted token", to=origin)
+            else:
+                self._follow[node_id] = origin
+                if self._trace is not None:
+                    self._trace.record(self._engine._now, "state_change", node_id,
+                                       reason="captured FOLLOW", follow=origin)
+        else:
+            self._send(node_id, target, Request(node_id, origin))
+        next_col[node_id] = adjacent
+
+    def _handle_privilege(self, node_id: int) -> None:
+        """The P1 wait point: the token arrived, enter the critical section."""
+        flags = self._flags
+        state = flags[node_id]
+        if not state & _REQUESTING:
+            raise ProtocolError(
+                f"node {node_id} received the PRIVILEGE message without an "
+                "outstanding request; the token was duplicated or misrouted"
+            )
+        flags[node_id] = state & ~_REQUESTING
+        self._enter_critical_section(node_id)
+
+    def _enter_critical_section(self, node_id: int) -> None:
+        self._flags[node_id] |= _IN_CS
+        self._entries[node_id] += 1
+        self.total_entries += 1
+        now = self._engine._now
+        if self._metrics is not None:
+            self._metrics.cs_entered(node_id, now)
+        if self._trace is not None:
+            self._trace.record(now, "cs_enter", node_id)
+        on_enter = self.on_enter
+        if on_enter is not None:
+            on_enter(node_id, now)
+
+    # ------------------------------------------------------------------ #
+    # bulk introspection
+    # ------------------------------------------------------------------ #
+    def busy_nodes(self):
+        """Ids of nodes currently requesting or executing, ascending.
+
+        The common case — nobody busy at the end of a complete run — is
+        answered by a C-level mask-and-count over the flag column; the Python
+        scan runs only when someone actually is busy.
+        """
+        masked = self._flags.translate(_BUSY_TABLE)
+        if masked.count(0) == len(masked):
+            return []
+        return [node_id for node_id in self.node_range if masked[node_id]]
+
+    def snapshot(self, node_id: int) -> Dict[str, Any]:
+        """The paper's per-node variable table row (Figure 6 style)."""
+        state = self._flags[node_id]
+        return {
+            "HOLDING": bool(state & _HOLDING),
+            "NEXT": self._next[node_id] or None,
+            "FOLLOW": self._follow[node_id] or None,
+            "requesting": bool(state & _REQUESTING),
+            "in_cs": bool(state & _IN_CS),
+            "state": self.state_name(node_id).value,
+        }
+
+    def state_name(self, node_id: int) -> NodeStateName:
+        """``node_id``'s symbolic state in the Figure 4 transition graph."""
+        state = self._flags[node_id]
+        return classify_state(
+            holding=bool(state & _HOLDING),
+            in_critical_section=bool(state & _IN_CS),
+            requesting=bool(state & _REQUESTING),
+            follow=self._follow[node_id] or None,
+        )
+
+
+class DagNodeView:
+    """A node-shaped window onto one row of :class:`CompactDagState`.
+
+    Reads and writes go straight to the columns, so a view is always
+    coherent with the state (and with every other view of the same node).
+    Views satisfy everything downstream code asks of a
+    :class:`~repro.core.node.DagMutexNode` — the driver's flag probes, the
+    fault controller's ``has_token`` scan, token regeneration's pointer
+    rewrites — without the per-node object cost: they are materialised
+    lazily by :class:`CompactNodeMap` and usually die young.
+    """
+
+    __slots__ = ("_state", "node_id")
+
+    def __init__(self, state: CompactDagState, node_id: int) -> None:
+        self._state = state
+        self.node_id = node_id
+
+    # -- the three paper variables + driver flags ----------------------- #
+    @property
+    def holding(self) -> bool:
+        return bool(self._state._flags[self.node_id] & _HOLDING)
+
+    @holding.setter
+    def holding(self, value: bool) -> None:
+        flags = self._state._flags
+        if value:
+            flags[self.node_id] |= _HOLDING
+        else:
+            flags[self.node_id] &= ~_HOLDING
+
+    @property
+    def next_node(self) -> Optional[int]:
+        return self._state._next[self.node_id] or None
+
+    @next_node.setter
+    def next_node(self, value: Optional[int]) -> None:
+        self._state._next[self.node_id] = 0 if value is None else value
+
+    @property
+    def follow(self) -> Optional[int]:
+        return self._state._follow[self.node_id] or None
+
+    @follow.setter
+    def follow(self, value: Optional[int]) -> None:
+        self._state._follow[self.node_id] = 0 if value is None else value
+
+    @property
+    def requesting(self) -> bool:
+        return bool(self._state._flags[self.node_id] & _REQUESTING)
+
+    @requesting.setter
+    def requesting(self, value: bool) -> None:
+        flags = self._state._flags
+        if value:
+            flags[self.node_id] |= _REQUESTING
+        else:
+            flags[self.node_id] &= ~_REQUESTING
+
+    @property
+    def in_critical_section(self) -> bool:
+        return bool(self._state._flags[self.node_id] & _IN_CS)
+
+    @in_critical_section.setter
+    def in_critical_section(self, value: bool) -> None:
+        flags = self._state._flags
+        if value:
+            flags[self.node_id] |= _IN_CS
+        else:
+            flags[self.node_id] &= ~_IN_CS
+
+    @property
+    def cs_entries(self) -> int:
+        return self._state._entries[self.node_id]
+
+    # -- protocol actions ------------------------------------------------ #
+    def request_cs(self) -> None:
+        self._state.request_cs(self.node_id)
+
+    def release_cs(self) -> None:
+        self._state.release_cs(self.node_id)
+
+    def on_message(self, sender: int, message: Any) -> None:
+        self._state.on_message(self.node_id, sender, message)
+
+    def send(self, target: int, message: Any) -> None:
+        self._state._send(self.node_id, target, message)
+
+    def _enter_critical_section(self) -> None:
+        self._state._enter_critical_section(self.node_id)
+
+    # -- introspection --------------------------------------------------- #
+    def has_token(self) -> bool:
+        return bool(self._state._flags[self.node_id] & (_HOLDING | _IN_CS))
+
+    def is_sink(self) -> bool:
+        return self._state._next[self.node_id] == 0
+
+    def state_name(self) -> NodeStateName:
+        return self._state.state_name(self.node_id)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._state.snapshot(self.node_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"DagNodeView(id={self.node_id}, HOLDING={self.holding}, "
+            f"NEXT={self.next_node}, FOLLOW={self.follow}, "
+            f"state={self.state_name().value})"
+        )
+
+
+class CompactNodeMap(Mapping):
+    """Lazy ``{node_id: DagNodeView}`` mapping over a :class:`CompactDagState`.
+
+    Systems on the compact backend expose this as ``system.nodes`` so every
+    consumer of the object API keeps working; views are created on access
+    and never stored, so the map costs O(1) memory at any node count.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: CompactDagState) -> None:
+        self._state = state
+
+    def __getitem__(self, node_id: int) -> DagNodeView:
+        if node_id not in self._state.node_range:
+            raise KeyError(node_id)
+        return DagNodeView(self._state, node_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._state.node_range)
+
+    def __len__(self) -> int:
+        return len(self._state.node_range)
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self._state.node_range

@@ -149,9 +149,12 @@ def default_lockbench_matrix() -> List[LockBenchScenario]:
 
 
 def fault_lockbench_matrix() -> List[LockBenchScenario]:
-    """The chaos cell: the 1k-session acceptance load with one of two shards
-    killed mid-run.  Every session must still complete (retry + takeover) and
-    the row records time-to-takeover and the availability gap."""
+    """The chaos cells: the 1k-session acceptance load with one of two shards
+    killed mid-run, and the same load under a lossy transport.  Every session
+    must still complete — the crash cell via retry + takeover (the row records
+    time-to-takeover and the availability gap), the drop cell via per-op
+    deadlines and resends against a service that silently discards 1% of
+    frames (:class:`~repro.spec.RuntimeFaultSpec` ``drop_rate``)."""
     return [
         LockBenchScenario(
             shards=2,
@@ -161,7 +164,21 @@ def fault_lockbench_matrix() -> List[LockBenchScenario]:
             crash_shard=1,
             crash_at=0.75,
             op_timeout=5.0,
-        )
+        ),
+        # Lighter load than the crash cell on purpose: the drop cell gates
+        # the deadline/resend machinery, and must stay below the contention
+        # level where a legitimately-queued acquire outlives its deadline —
+        # a dropped *release* stalls every waiter on its key for a whole
+        # deadline, and deep waiter chains would burn the retry budget
+        # nondeterministically.
+        LockBenchScenario(
+            shards=2,
+            clients=100,
+            locks=64,
+            ops=10,
+            drop_rate=0.01,
+            op_timeout=1.0,
+        ),
     ]
 
 

@@ -81,6 +81,38 @@ class SimulationEngine:
         # Bound once: scheduling entry points call this without re-resolving
         # the scheduler per event (the heap's is a frame-free C partial).
         self._push = scheduler.push_callable()
+        # Batch delivery sink (see set_batch_sink): None means the drain
+        # loops dispatch every lite entry individually.
+        self._batch_sink: Optional[Callable[[Any], None]] = None
+        self._batch_apply: Optional[Callable[[list], None]] = None
+
+    def set_batch_sink(
+        self,
+        sink: Callable[[Any], None],
+        batch_apply: Callable[[list], None],
+    ) -> None:
+        """Let the drain loops batch same-tick lite events aimed at ``sink``.
+
+        When a drain loop pops a lite entry whose callback *is* ``sink`` (by
+        identity) and further lite entries for the same sink at the same
+        timestamp follow immediately, it collects the whole run and calls
+        ``batch_apply(payloads)`` once instead of ``sink(payload)`` per
+        entry.  The columnar node backend uses this to apply a same-tick
+        burst of message deliveries as one loop over its arrays.
+
+        Semantics are unchanged: the collected entries are exactly the
+        consecutive head-of-queue run, anything a callback schedules carries
+        a later sequence number and therefore sorts after the run, the event
+        budget bounds how many entries may be collected, and each payload
+        still counts as one processed event.  (A ``stop()`` issued from
+        inside a batch takes effect at the batch boundary — nothing in the
+        library stops the engine from a delivery handler.)
+
+        The sink is read once per ``run()`` call; installing it before the
+        run starts (system construction time) covers every replay.
+        """
+        self._batch_sink = sink
+        self._batch_apply = batch_apply
 
     @property
     def now(self) -> float:

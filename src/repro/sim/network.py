@@ -91,6 +91,11 @@ class Network:
         # bound handler), consulted by the unobserved fast path so a
         # delivery skips the node's ``on_message`` frame entirely.
         self._fast_tables: Dict[int, Dict[type, MessageHandler]] = {}
+        # Columnar (array-backed) node state attached via attach_columnar:
+        # its nodes have no per-node handlers — endpoint validation falls
+        # back to the id range and deliveries route to the state object.
+        self._columnar = None
+        self._columnar_nodes: Optional[range] = None
         self._node_ids: List[int] = []
         self._channels: Dict[Tuple[int, int], _ChannelState] = {}
         self._messages_sent = 0
@@ -174,6 +179,44 @@ class Network:
             raise NetworkError(f"node {node_id} is not registered")
         self._fast_tables[node_id] = table
 
+    def attach_columnar(self, state) -> None:
+        """Route delivery for a whole contiguous id range to columnar state.
+
+        ``state`` is a :class:`~repro.core.compact_state.CompactDagState`
+        (or anything with the same ``node_range`` / ``deliver_one`` /
+        ``deliver_batch`` / ``on_message`` surface).  Instead of registering
+        one handler per node — a dict that would cost ~1 GB at ten million
+        nodes and defeat the columnar memory budget — the ids are validated
+        against ``state.node_range`` and deliveries dispatch to the state
+        object:
+
+        * the unobserved fast path's ``_deliver_fast`` is shadowed with the
+          state's ``deliver_one`` bound method, and the same object is
+          installed as the engine's batch sink so the drain loops can hand
+          whole same-tick delivery runs to ``deliver_batch`` in one call;
+        * the observed path (:meth:`_deliver`, inherited by fault-injecting
+          subclasses) falls back to ``state.on_message`` for ids the handler
+          table does not know.
+
+        Per-node ``register`` remains available alongside (the runtimes mix
+        both), but a columnar id must not also be registered.
+        """
+        node_range = state.node_range
+        for node_id in self._handlers:
+            if node_id in node_range:
+                raise NetworkError(
+                    f"node {node_id} is already registered; columnar state "
+                    "cannot cover a registered id"
+                )
+        self._columnar = state
+        self._columnar_nodes = node_range
+        # One stable bound method: the instance attribute shadows the class
+        # method for fast-path sends, and its identity is what the drain
+        # loops' batch collection compares against.
+        sink = state.deliver_one
+        self._deliver_fast = sink
+        self._engine.set_batch_sink(sink, state.deliver_batch)
+
     def unregister(self, node_id: int) -> None:
         """Remove a node; in-flight messages to it will raise on delivery."""
         if node_id not in self._handlers:
@@ -194,9 +237,16 @@ class Network:
         """
         handlers = self._handlers
         if sender not in handlers or receiver not in handlers:
-            missing = sender if sender not in handlers else receiver
-            role = "sender" if sender not in handlers else "receiver"
-            raise NetworkError(f"unknown {role} node {missing}")
+            nodes = self._columnar_nodes
+            known_sender = sender in handlers or (
+                nodes is not None and sender in nodes
+            )
+            if not known_sender or not (
+                receiver in handlers or (nodes is not None and receiver in nodes)
+            ):
+                missing = sender if not known_sender else receiver
+                role = "sender" if not known_sender else "receiver"
+                raise NetworkError(f"unknown {role} node {missing}")
         if sender == receiver and not self._allow_self_send:
             raise NetworkError(f"node {sender} attempted to send a message to itself")
 
@@ -342,6 +392,22 @@ class Network:
         payload: MessageDelivery = event.payload
         handler = self._handlers.get(payload.receiver)
         if handler is None:
+            # Columnar fallback: the observed path (metrics/trace/fault
+            # subclasses, which reach here via super()._deliver) dispatches
+            # to the attached state instead of a per-node handler.
+            columnar = self._columnar
+            if columnar is not None and payload.receiver in self._columnar_nodes:
+                self._messages_delivered += 1
+                if self._trace is not None:
+                    self._trace.record(
+                        self._engine.now,
+                        "receive",
+                        payload.receiver,
+                        sender=payload.sender,
+                        message=_describe_message(payload.message),
+                    )
+                columnar.on_message(payload.receiver, payload.sender, payload.message)
+                return
             raise NetworkError(
                 f"message from {payload.sender} addressed to unregistered node {payload.receiver}"
             )

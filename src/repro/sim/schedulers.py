@@ -217,6 +217,12 @@ class HeapScheduler(Scheduler):
         engine = self._engine
         heap = self._entries
         pop = heappop
+        # Batch sink (columnar node backend): consecutive same-time lite
+        # entries whose callback is `sink` are collected and applied in one
+        # call.  None on ordinary runs, where the `is sink` test below is a
+        # single always-false pointer comparison per lite event.
+        sink = engine._batch_sink
+        batch_apply = engine._batch_apply
         processed = 0
         try:
             if until is None:
@@ -231,8 +237,37 @@ class HeapScheduler(Scheduler):
                     entry = pop(heap)
                     if len(entry) == 5:
                         # Lite entry: (time, priority, seq, callback, payload).
-                        engine._now = entry[0]
-                        entry[3](entry[4])
+                        time = entry[0]
+                        engine._now = time
+                        callback = entry[3]
+                        if callback is sink and heap:
+                            head = heap[0]
+                            if (
+                                len(head) == 5
+                                and head[3] is sink
+                                and head[0] == time
+                                and processed + 1 != budget
+                            ):
+                                # At least two deliveries share this tick:
+                                # collect the whole consecutive run (bounded
+                                # by the budget) and apply it in one call.
+                                payloads = [entry[4], pop(heap)[4]]
+                                count = 2
+                                while heap:
+                                    head = heap[0]
+                                    if (
+                                        len(head) != 5
+                                        or head[3] is not sink
+                                        or head[0] != time
+                                        or processed + count == budget
+                                    ):
+                                        break
+                                    payloads.append(pop(heap)[4])
+                                    count += 1
+                                batch_apply(payloads)
+                                processed += count
+                                continue
+                        callback(entry[4])
                         processed += 1
                         continue
                     event = entry[3]
@@ -255,8 +290,37 @@ class HeapScheduler(Scheduler):
                         break
                     pop(heap)
                     if len(entry) == 5:
-                        engine._now = entry[0]
-                        entry[3](entry[4])
+                        time = entry[0]
+                        engine._now = time
+                        callback = entry[3]
+                        if callback is sink and heap:
+                            head = heap[0]
+                            if (
+                                len(head) == 5
+                                and head[3] is sink
+                                and head[0] == time
+                                and processed + 1 != budget
+                            ):
+                                # Same-tick run: every collected entry shares
+                                # `time`, which already passed the horizon
+                                # check above.
+                                payloads = [entry[4], pop(heap)[4]]
+                                count = 2
+                                while heap:
+                                    head = heap[0]
+                                    if (
+                                        len(head) != 5
+                                        or head[3] is not sink
+                                        or head[0] != time
+                                        or processed + count == budget
+                                    ):
+                                        break
+                                    payloads.append(pop(heap)[4])
+                                    count += 1
+                                batch_apply(payloads)
+                                processed += count
+                                continue
+                        callback(entry[4])
                         processed += 1
                         continue
                     event = entry[3]
@@ -478,6 +542,12 @@ class BucketRingScheduler(Scheduler):
         buckets = self._buckets
         mask = self._mask
         spill = self._spill
+        # Batch sink (columnar node backend): see HeapScheduler.drain.  A
+        # same-tick delivery run is always contiguous within one bucket
+        # (equal times quantize to equal indices), so collection never has
+        # to look past the current bucket.
+        sink = engine._batch_sink
+        batch_apply = engine._batch_apply
         processed = 0
         cursor = self._cursor
         folded = cursor  # bucket progress already folded into self._size
@@ -550,8 +620,41 @@ class BucketRingScheduler(Scheduler):
                                 break
                             engine._now = time
                         cursor += 1
-                        entry[3](entry[4])
-                        processed += 1
+                        callback = entry[3]
+                        if callback is sink:
+                            # Collect the consecutive same-tick sink run by
+                            # index (the bucket tail is sorted here), then
+                            # advance the iterator past the extra entries so
+                            # it stays in step with the cursor.
+                            start = cursor - 1
+                            end = len(bucket)
+                            count = 1
+                            while cursor < end:
+                                head = bucket[cursor]
+                                if (
+                                    len(head) != 5
+                                    or head[3] is not sink
+                                    or head[0] != time
+                                    or processed + count == budget
+                                ):
+                                    break
+                                cursor += 1
+                                count += 1
+                            if count > 1:
+                                payloads = [
+                                    bucket[index][4]
+                                    for index in range(start, cursor)
+                                ]
+                                for _ in range(count - 1):
+                                    next(iterator)
+                                batch_apply(payloads)
+                                processed += count
+                            else:
+                                callback(entry[4])
+                                processed += 1
+                        else:
+                            callback(entry[4])
+                            processed += 1
                     else:
                         event = entry[3]
                         if event.cancelled:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.baselines.base import MutexSystem, registry
+from repro.core.compact_state import NODE_BACKENDS
 from repro.exceptions import ExperimentError, WorkloadError
 from repro.sim.latency import (
     ConstantLatency,
@@ -525,10 +526,12 @@ class ExperimentSpec:
 
     The fields that determine the virtual-time outcome are ``algorithm``,
     ``topology``, ``workload``, ``latency`` and ``seed``; ``scheduler``
-    affects wall clock only (byte-identical replay, CI-gated) and
+    affects wall clock only (byte-identical replay, CI-gated),
     ``collect_metrics`` selects the observed vs the zero-overhead network
     path (identical event order, per-entry timing statistics only on the
-    observed one).
+    observed one), and ``node_backend`` picks object nodes vs the columnar
+    array core for algorithms that declare both (identical event order,
+    CI-gated by the ``backend-identity`` matrix).
     """
 
     algorithm: str
@@ -540,6 +543,7 @@ class ExperimentSpec:
     collect_metrics: bool = True
     record_trace: bool = False
     faults: Optional[FaultSpec] = None
+    node_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.algorithm not in registry.names():
@@ -549,6 +553,20 @@ class ExperimentSpec:
         if self.scheduler not in SCHEDULER_MODES:
             raise ExperimentError(
                 _unknown("scheduler", self.scheduler, SCHEDULER_MODES)
+            )
+        if self.node_backend not in NODE_BACKENDS:
+            raise ExperimentError(
+                _unknown("node backend", self.node_backend, NODE_BACKENDS)
+            )
+        supported = registry.capabilities(self.algorithm).node_backends
+        if self.node_backend == "compact" and "compact" not in supported:
+            # Reject at spec construction (which covers `parse` and every
+            # CLI/bench/sweep entry point) instead of crashing a worker later.
+            raise ExperimentError(
+                f"algorithm {self.algorithm!r} only supports node backends "
+                f"{list(supported)}; node_backend='compact' requires an "
+                "algorithm with a columnar state implementation (currently: "
+                "'dag')"
             )
         if (
             self.faults is not None
@@ -598,6 +616,10 @@ class ExperimentSpec:
             from repro.sim.faults import FaultInjectingNetwork
 
             kwargs["network_factory"] = FaultInjectingNetwork
+        if "compact" in registry.capabilities(self.algorithm).node_backends:
+            # Only multi-backend systems accept the keyword; object-only
+            # baselines keep their historical constructor signature.
+            kwargs["node_backend"] = self.node_backend
         return system_class(
             topology,
             latency=self.latency.build() if self.latency is not None else None,
@@ -638,6 +660,7 @@ class ExperimentSpec:
             "collect_metrics": self.collect_metrics,
             "record_trace": self.record_trace,
             "faults": self.faults.to_dict() if self.faults is not None else None,
+            "node_backend": self.node_backend,
         }
 
     def canonical_json(self) -> str:
@@ -698,6 +721,7 @@ class ExperimentSpec:
         seed: int = 0,
         scheduler: str = "auto",
         collect_metrics: bool = True,
+        node_backend: str = "auto",
     ) -> "ExperimentSpec":
         """Build a spec from the CLI shorthand ``ALGO KIND:N TIER[:ROUNDS]``.
 
@@ -739,6 +763,7 @@ class ExperimentSpec:
             scheduler=scheduler,
             seed=seed,
             collect_metrics=collect_metrics,
+            node_backend=node_backend,
         )
 
 

@@ -100,6 +100,14 @@ class SweepScenario:
     It deliberately does not contribute to :attr:`name` (and therefore the
     seed), so forced-scheduler runs replay the exact same workloads.
 
+    ``node_backend`` picks object nodes vs the columnar array core for the
+    algorithms that declare both ("auto" engages the columns at
+    :data:`~repro.core.compact_state.COMPACT_NODE_BACKEND_THRESHOLD` nodes).
+    Like ``scheduler`` it affects wall clock only — replays are
+    byte-identical across backends (the CI ``backend-identity`` matrix diffs
+    forced-backend deterministic documents) — and it deliberately does not
+    contribute to :attr:`name` or the seed.
+
     ``faults`` names a :data:`~repro.spec.FAULT_PROFILES` entry; a fault cell
     is its own scenario (the profile suffixes :attr:`name`, so the cell gets
     its own name-derived seed and its own row) — fault tiers are additive and
@@ -113,6 +121,7 @@ class SweepScenario:
     collect_metrics: bool = True
     scheduler: str = "auto"
     faults: Optional[str] = None
+    node_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.faults is not None and self.faults not in FAULT_PROFILES:
@@ -155,6 +164,7 @@ class SweepScenario:
             seed=self.seed,
             collect_metrics=self.collect_metrics,
             faults=FAULT_PROFILES[self.faults] if self.faults is not None else None,
+            node_backend=self.node_backend,
         )
 
     @staticmethod
@@ -188,6 +198,7 @@ class SweepScenario:
             collect_metrics=spec.collect_metrics,
             scheduler=spec.scheduler,
             faults=faults,
+            node_backend=spec.node_backend,
         )
         if spec.seed != scenario.seed:
             raise WorkloadError(
@@ -293,7 +304,10 @@ FAULT_TIER_PROFILES = (
 
 
 def fault_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The fault tier: every algorithm under the same injected fault load.
 
@@ -310,27 +324,44 @@ def fault_sweep_matrix(
     validate_algorithms(algorithms)
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     matrix = [
-        SweepScenario(algorithm, "star", 50, "heavy", scheduler=scheduler, faults=profile)
+        SweepScenario(
+            algorithm,
+            "star",
+            50,
+            "heavy",
+            scheduler=scheduler,
+            faults=profile,
+            node_backend=node_backend,
+        )
         for algorithm in names
         for profile in FAULT_TIER_PROFILES
     ]
     if "dag" in names:
         matrix.append(
             SweepScenario(
-                "dag", "star", 50, "heavy", scheduler=scheduler, faults="crash-recover"
+                "dag",
+                "star",
+                50,
+                "heavy",
+                scheduler=scheduler,
+                faults="crash-recover",
+                node_backend=node_backend,
             )
         )
     return matrix
 
 
 def default_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The full comparison matrix: 9 algorithms x 3 topologies x 2 sizes x 4 tiers."""
     validate_algorithms(algorithms)
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
-        SweepScenario(algorithm, kind, n, tier, scheduler=scheduler)
+        SweepScenario(algorithm, kind, n, tier, scheduler=scheduler, node_backend=node_backend)
         for algorithm in names
         for kind in _TOPOLOGY_KINDS
         for n in _SIZES
@@ -339,20 +370,28 @@ def default_sweep_matrix(
 
 
 def smoke_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The CI gate: every algorithm, star topology, n=9, heavy + bursty."""
     validate_algorithms(algorithms)
     names = tuple(algorithms) if algorithms is not None else SWEEP_ALGORITHMS
     return [
-        SweepScenario(algorithm, "star", 9, tier, scheduler=scheduler)
+        SweepScenario(
+            algorithm, "star", 9, tier, scheduler=scheduler, node_backend=node_backend
+        )
         for algorithm in names
         for tier in ("heavy", "bursty")
     ]
 
 
 def large_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The default matrix plus the 10k-node tier.
 
@@ -362,7 +401,9 @@ def large_sweep_matrix(
     measures nothing the 50-node cells do not already show).  The 10k cells
     run on the unobserved fast path (``collect_metrics=False``).
     """
-    matrix = default_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
+    matrix = default_sweep_matrix(
+        algorithms=algorithms, scheduler=scheduler, node_backend=node_backend
+    )
     allowed = set(algorithms) if algorithms is not None else None
     for algorithm in registry.names_for_scale(LARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
@@ -376,13 +417,17 @@ def large_sweep_matrix(
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,
+                    node_backend=node_backend,
                 )
             )
     return matrix
 
 
 def xlarge_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The large matrix plus the 100k-node tier (scalable algorithms only).
 
@@ -392,7 +437,9 @@ def xlarge_sweep_matrix(
     pathology, not the algorithms), heavy demand only, unobserved fast path.
     Additive like the 10k tier, so committed documents stay valid.
     """
-    matrix = large_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
+    matrix = large_sweep_matrix(
+        algorithms=algorithms, scheduler=scheduler, node_backend=node_backend
+    )
     allowed = set(algorithms) if algorithms is not None else None
     for algorithm in registry.names_for_scale(XLARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
@@ -406,13 +453,17 @@ def xlarge_sweep_matrix(
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,
+                    node_backend=node_backend,
                 )
             )
     return matrix
 
 
 def xxlarge_sweep_matrix(
-    *, algorithms: Optional[Sequence[str]] = None, scheduler: str = "auto"
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    scheduler: str = "auto",
+    node_backend: str = "auto",
 ) -> List[SweepScenario]:
     """The xlarge matrix plus the 1M-node tier (O(1)-state algorithms only).
 
@@ -425,7 +476,9 @@ def xxlarge_sweep_matrix(
     registry, the ones with O(1) per-node storage).  Additive, so committed
     documents stay valid.
     """
-    matrix = xlarge_sweep_matrix(algorithms=algorithms, scheduler=scheduler)
+    matrix = xlarge_sweep_matrix(
+        algorithms=algorithms, scheduler=scheduler, node_backend=node_backend
+    )
     allowed = set(algorithms) if algorithms is not None else None
     for algorithm in registry.names_for_scale(XXLARGE_TIER_NODES):
         if allowed is not None and algorithm not in allowed:
@@ -439,6 +492,7 @@ def xxlarge_sweep_matrix(
                     "heavy",
                     collect_metrics=False,
                     scheduler=scheduler,
+                    node_backend=node_backend,
                 )
             )
     return matrix

@@ -107,6 +107,10 @@ def execute_scenario(spec: SweepScenario) -> Dict[str, Any]:
             # clock only, and deterministic documents strip this key — which
             # is exactly what lets CI diff heap vs ring runs byte-for-byte.
             "scheduler": system.engine.scheduler_kind,
+            # Same reasoning: the node backend changes how fast state is
+            # stored and touched, never what happens — the backend-identity
+            # CI matrix diffs object vs compact deterministic documents.
+            "node_backend": system.node_backend,
         },
     }
     if spec.faults is not None:

@@ -155,8 +155,15 @@ class ExperimentDriver:
         # The request currently being served (or waited on) per node.
         self._active: Dict[int, CSRequest] = {}
         system._on_enter = self._handle_enter  # driver owns the enter hook
-        for node in system.nodes.values():
-            node._on_enter = self._handle_enter
+        # Columnar (compact-backend) systems route every node's enter hook
+        # through one state object; object-backend systems rebind per node.
+        state = system.compact_state
+        self._compact = state
+        if state is not None:
+            state.on_enter = self._handle_enter
+        else:
+            for node in system.nodes.values():
+                node._on_enter = self._handle_enter
         engine = system.engine
         if len(engine.scheduler) == 0 and not (
             scheduler == "auto" and engine.scheduler_kind != "heap"
@@ -281,7 +288,10 @@ class ExperimentDriver:
         # Metrics-free (fast path) run: derive the counts the substrate still
         # tracks for free; per-entry timing statistics are unavailable.
         network = self.system.network
-        entries = sum(node.cs_entries for node in self.system.nodes.values())
+        if self._compact is not None:
+            entries = self._compact.total_entries
+        else:
+            entries = sum(node.cs_entries for node in self.system.nodes.values())
         return ExperimentResult(
             algorithm=self.system.algorithm_name,
             topology=self.system.topology.describe(),
@@ -391,8 +401,19 @@ class ExperimentDriver:
             # as lost rather than backlogged — a restart does not resurrect it.
             self._lost_requests += 1
             return
-        node = self._nodes[node_id]
-        if node_id in self._active or node.requesting or node.in_critical_section:
+        state = self._compact
+        if state is not None:
+            # Columnar backend: probe the flag byte directly instead of
+            # materialising a node view per request.
+            busy = node_id in self._active or state._flags[node_id] & 6
+        else:
+            node = self._nodes[node_id]
+            busy = (
+                node_id in self._active
+                or node.requesting
+                or node.in_critical_section
+            )
+        if busy:
             backlog = self._backlog
             queued = backlog.get(node_id)
             if queued is None:
@@ -403,7 +424,10 @@ class ExperimentDriver:
                 backlog[node_id] = deque((queued, request))
             return
         self._active[node_id] = request
-        node.request_cs()
+        if state is not None:
+            state.request_cs(node_id)
+        else:
+            node.request_cs()
 
     def _handle_enter(self, node_id: int, time: float) -> None:
         self.entry_order.append(node_id)
@@ -426,7 +450,11 @@ class ExperimentDriver:
             # liveness hole recovery exists to measure.  Its backlog stays
             # queued and is reported as backlogged at the end of the run.
             return
-        self._nodes[node_id].release_cs()
+        state = self._compact
+        if state is not None:
+            state.release_cs(node_id)
+        else:
+            self._nodes[node_id].release_cs()
         self._active.pop(node_id, None)
         backlog = self._backlog
         queued = backlog.get(node_id)
@@ -442,11 +470,17 @@ class ExperimentDriver:
         self._issue_or_queue(request)
 
     def _completion_state(self) -> "tuple[List[int], List[int]]":
-        unserved = [
-            node_id
-            for node_id, node in self.system.nodes.items()
-            if node.requesting or node.in_critical_section
-        ]
+        state = self._compact
+        if state is not None:
+            # C-level column scan: the clean-finish case costs one translate
+            # pass instead of materialising a view per node.
+            unserved = state.busy_nodes()
+        else:
+            unserved = [
+                node_id
+                for node_id, node in self.system.nodes.items()
+                if node.requesting or node.in_critical_section
+            ]
         backlog = sorted(node for node, queue in self._backlog.items() if queue)
         return unserved, backlog
 

@@ -78,10 +78,17 @@ def test_drop_scenarios_require_a_client_deadline():
     assert spec.miss_window == 2.0  # drops alone don't tighten detection
 
 
-def test_fault_matrix_kills_a_shard_under_the_acceptance_load():
-    (cell,) = fault_lockbench_matrix()
-    assert cell.clients >= 1000 and cell.shards == 2
-    assert cell.crash_shard == 1 and cell.op_timeout is not None
+def test_fault_matrix_covers_a_crash_and_a_lossy_transport():
+    crash, drop = fault_lockbench_matrix()
+    assert crash.clients >= 1000 and crash.shards == 2
+    assert crash.crash_shard == 1 and crash.op_timeout is not None
+    # The drop cell exercises the other declarative runtime fault — and
+    # deliberately at lower contention, so a legitimately-queued acquire
+    # never outlives its deadline and burns the retry budget.
+    assert drop.crash_shard is None and drop.drop_rate > 0.0
+    assert drop.op_timeout is not None
+    assert drop.clients < crash.clients
+    assert drop.name.endswith("+drop1")
 
 
 def test_smoke_matrix_is_the_acceptance_cell():
@@ -308,8 +315,13 @@ def test_committed_runtime_document_gates_green_against_itself():
     names = [row["scenario"] for row in committed["scenarios"]]
     assert "unix-s2-c1000-k64-o10" in names  # the CI acceptance cell
     assert "tcp-s2-c1000-k64-o10" in names  # the TCP cell
-    assert "unix-s2-c1000-k64-o10+crash1" in names  # the chaos cell
+    assert "unix-s2-c1000-k64-o10+crash1" in names  # the crash chaos cell
+    assert "unix-s2-c100-k64-o10+drop1" in names  # the lossy-transport cell
     crash_row = next(r for r in committed["scenarios"] if "+crash" in r["scenario"])
     assert crash_row["exclusion_violations"] == 0
     assert crash_row["timing"]["failover"]["takeover_ms"] > 0
+    drop_row = next(r for r in committed["scenarios"] if "+drop" in r["scenario"])
+    assert drop_row["exclusion_violations"] == 0
+    assert drop_row["errors"] == 0  # every op lands despite the losses
+    assert drop_row["fault"] == {"drop_rate": 0.01}
     assert check_lockbench_baseline(committed["scenarios"], committed) == []

@@ -315,6 +315,44 @@ def test_xxlarge_matrix_extends_xlarge_with_1m_tier():
     assert "star-n1000000-heavy" in {spec.name for spec in extra}
 
 
+def test_xxxlarge_matrix_extends_xxlarge_with_10m_tier():
+    from repro.bench import xxlarge_matrix, xxxlarge_matrix
+
+    xxlarge = xxlarge_matrix()
+    xxxlarge = xxxlarge_matrix()
+    assert xxxlarge[: len(xxlarge)] == xxlarge  # additive: committed names unchanged
+    extra = xxxlarge[len(xxlarge):]
+    assert [spec.n for spec in extra] == [10_000_000, 10_000_000]
+    assert {spec.kind for spec in extra} == {"star", "tree"}
+    assert all(spec.demand == "heavy" for spec in extra)
+
+
+def test_run_scenario_records_engaged_node_backend():
+    reference = run_scenario(ScenarioSpec("star", 20, "heavy"), repeat=1)
+    assert reference.node_backend == "object"  # auto below the threshold
+    forced = run_scenario(
+        ScenarioSpec("star", 20, "heavy"), repeat=1, node_backend="compact"
+    )
+    assert forced.node_backend == "compact"
+    # Forcing the backend never changes virtual-time outcomes.
+    assert (forced.events, forced.messages, forced.entries) == (
+        reference.events,
+        reference.messages,
+        reference.entries,
+    )
+
+
+def test_setup_rows_record_engaged_node_backend():
+    from repro.bench import run_setup_scenario
+
+    row = run_setup_scenario(ScenarioSpec("star", 50, "heavy"))
+    assert row["node_backend"] == "object"
+    forced = run_setup_scenario(
+        ScenarioSpec("star", 50, "heavy"), node_backend="compact"
+    )
+    assert forced["node_backend"] == "compact"
+
+
 def test_heavy_workloads_stream_at_the_node_threshold(monkeypatch):
     from repro.bench import throughput
     from repro.workload import StreamingWorkload, Workload

@@ -186,7 +186,7 @@ def test_bench_baselines_smoke(capsys, tmp_path):
 
 def test_bench_setup_only_requires_a_large_tier(capsys):
     assert main(["bench", "--setup-only"]) == 2
-    assert "--xlarge or --xxlarge" in capsys.readouterr().err
+    assert "--xlarge, --xxlarge or --xxxlarge" in capsys.readouterr().err
     assert main(["bench", "--setup-only", "--smoke"]) == 2
     capsys.readouterr()
     # And it stands things up instead of draining, so the drain-mode flags
@@ -217,6 +217,56 @@ def test_bench_and_sweep_parse_the_xxlarge_tier():
 def test_budget_seconds_without_setup_only_is_rejected(capsys):
     assert main(["bench", "--xxlarge", "--budget-seconds", "120"]) == 2
     assert "--setup-only" in capsys.readouterr().err
+
+
+def test_xxxlarge_tier_is_construction_only(capsys):
+    # Draining a 10M-node cell (~100M events) is not a benchmark run: every
+    # drain-mode path refuses the tier and points at --setup-only.
+    assert main(["bench", "--xxxlarge"]) == 2
+    assert "--setup-only --xxxlarge" in capsys.readouterr().err
+    assert main(["bench", "--faults", "--xxxlarge"]) == 2
+    capsys.readouterr()
+    assert main(["bench", "--baselines", "--xxxlarge"]) == 2
+    capsys.readouterr()
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--setup-only", "--xxxlarge"])
+    assert args.xxxlarge and args.setup_only
+    # Tier flags stay mutually exclusive.
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bench", "--xxlarge", "--xxxlarge"])
+    capsys.readouterr()
+
+
+def test_node_backend_flag_threads_through_run(capsys):
+    code, compact_out = run_cli(
+        capsys, "run", "dag", "star:30", "heavy:2", "--node-backend", "compact"
+    )
+    assert code == 0
+    assert "compact" in compact_out  # the result table's backend column
+    code, object_out = run_cli(
+        capsys, "run", "dag", "star:30", "heavy:2", "--node-backend", "object"
+    )
+    assert code == 0
+    assert "compact" not in object_out
+
+    def deterministic(out):
+        return [
+            line for line in out.splitlines()
+            if "entry order sha256" in line or "mean waiting time" in line
+        ]
+
+    assert deterministic(compact_out) == deterministic(object_out)
+    # An object-only algorithm refuses the compact backend with a clear error.
+    assert main(["run", "lamport", "star:9", "heavy", "--node-backend",
+                 "compact"]) == 2
+    assert "columnar state" in capsys.readouterr().err
+
+
+def test_algorithms_command_lists_node_backends(capsys):
+    code, out = run_cli(capsys, "algorithms")
+    assert code == 0
+    assert "node backends" in out
+    assert "object+compact" in out
 
 
 def test_setup_only_threads_the_scheduler_choice():

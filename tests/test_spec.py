@@ -156,6 +156,58 @@ def test_spec_validation_lists_known_names():
         LatencySpec(kind="normal")
 
 
+def test_node_backend_validation_and_round_trip():
+    """The backend selector is validated at construction and serialised.
+
+    ``compact`` needs a columnar state implementation, which only the DAG
+    algorithm declares; every object-only baseline must reject it with an
+    error that names the supported backends, and the field must survive the
+    JSON round trip like every other spec knob.
+    """
+    with pytest.raises(ExperimentError, match="node backend"):
+        ExperimentSpec.parse("dag", "star:9", "heavy", node_backend="sparse")
+    with pytest.raises(ExperimentError, match="columnar state"):
+        ExperimentSpec.parse("lamport", "star:9", "heavy", node_backend="compact")
+    for backend in ("auto", "object", "compact"):
+        spec = ExperimentSpec.parse("dag", "star:9", "heavy", node_backend=backend)
+        assert spec.node_backend == backend
+        assert ExperimentSpec.from_json(spec.canonical_json()) == spec
+        assert json.loads(spec.canonical_json())["node_backend"] == backend
+    # Object-only algorithms still accept the explicit reference backend.
+    spec = ExperimentSpec.parse("lamport", "star:9", "heavy", node_backend="object")
+    assert spec.node_backend == "object"
+
+
+def test_node_backend_capability_declarations():
+    """Exactly the DAG algorithm declares the compact backend (today)."""
+    for name in registry.names():
+        backends = registry.capabilities(name).node_backends
+        assert "object" in backends
+        assert ("compact" in backends) == (name == "dag")
+
+
+def test_build_system_engages_requested_backend():
+    from repro.core.compact_state import (
+        COMPACT_NODE_BACKEND_THRESHOLD,
+        resolve_node_backend,
+    )
+
+    topology = star(9)
+    for backend, engaged in (("object", "object"), ("compact", "compact"),
+                             ("auto", "object")):
+        spec = ExperimentSpec.parse("dag", "star:9", "heavy", node_backend=backend)
+        assert spec.build_system(topology).node_backend == engaged
+    # "auto" flips to compact exactly at the documented node-count threshold.
+    below = COMPACT_NODE_BACKEND_THRESHOLD - 1
+    assert resolve_node_backend("auto", below) == "object"
+    assert resolve_node_backend("auto", COMPACT_NODE_BACKEND_THRESHOLD) == "compact"
+    # Object-only baselines never grow the keyword: their constructor
+    # signature is part of the historical API.
+    lamport_spec = ExperimentSpec.parse("lamport", "star:9", "heavy")
+    system = lamport_spec.build_system(topology)
+    assert system.node_backend == "object"
+
+
 def test_workload_spec_field_constraints():
     with pytest.raises(ExperimentError):
         WorkloadSpec(tier="light", rounds=3)  # rounds are heavy-only
