@@ -36,6 +36,7 @@ from repro.core.protocol import DagMutexProtocol
 from repro.spec import (
     ExperimentSpec,
     LatencySpec,
+    ObsSpec,
     TopologySpec,
     WorkloadSpec,
     run_spec,
@@ -63,6 +64,7 @@ __all__ = [
     "TopologySpec",
     "WorkloadSpec",
     "LatencySpec",
+    "ObsSpec",
     "run_spec",
     "Topology",
     "line",

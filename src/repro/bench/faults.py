@@ -89,6 +89,12 @@ def default_fault_matrix() -> List[FaultScenarioSpec]:
         for profile in DEGRADATION_PROFILES
     ]
     matrix.append(FaultScenarioSpec("dag", 50, "crash-churn"))
+    # The partition + heal window on one token and one permission algorithm:
+    # messages crossing the cut queue (or drop) until the heal, so the gated
+    # outcome pins down both the degradation during the window and the full
+    # catch-up after it.
+    matrix.append(FaultScenarioSpec("dag", 50, "partition-heal"))
+    matrix.append(FaultScenarioSpec("ricart-agrawala", 50, "partition-heal"))
     matrix.extend(recovery_matrix())
     return matrix
 
@@ -119,6 +125,7 @@ def smoke_fault_matrix() -> List[FaultScenarioSpec]:
         for algorithm in ("dag", "ricart-agrawala", "maekawa")
         for profile in DEGRADATION_PROFILES
     ]
+    matrix.append(FaultScenarioSpec("dag", 50, "partition-heal"))
     matrix.append(FaultScenarioSpec("dag", 50, "crash-recover"))
     return matrix
 

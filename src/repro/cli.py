@@ -723,8 +723,20 @@ def cmd_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_schema(path: str) -> Optional[str]:
+    """Peek at a spec file's ``schema`` key without committing to a parser."""
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        return None
+    return payload.get("schema")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment described by a spec file or the CLI shorthand."""
+    import dataclasses
     import hashlib
 
     from repro.exceptions import ReproError
@@ -740,6 +752,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
+            if _spec_schema(args.spec) == "runtime-spec/v1":
+                # A runtime spec describes the live lock service, not a
+                # simulation: route to the networked runtime instead.
+                if args.faults is not None:
+                    print(
+                        "error: --faults names simulator fault profiles; a "
+                        "runtime-spec/v1 file carries its own fault section "
+                        "(crashes, drop_rate)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                return _run_runtime_spec(args)
             spec = ExperimentSpec.load(args.spec)
         else:
             if len(args.cell) != 3:
@@ -759,12 +783,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                 node_backend=args.node_backend,
             )
         if args.faults is not None:
-            import dataclasses
-
             # replace() re-runs __post_init__, so profile/algorithm
             # compatibility (e.g. recovery is DAG-only) is validated here.
             spec = dataclasses.replace(spec, faults=FAULT_PROFILES[args.faults])
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -774,6 +796,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.print_spec:
         print(spec.canonical_json(), end="")
         return 0
+    if args.trace and not spec.record_trace:
+        # The exporter needs the protocol trace; flip it on for this run
+        # (virtual-time results are identical with or without recording).
+        spec = dataclasses.replace(spec, record_trace=True)
 
     try:
         driver = ExperimentDriver.from_spec(spec)
@@ -803,7 +829,104 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"entry order sha256: {digest}")
     if result.fault_summary is not None:
         _print_fault_summary(result.fault_summary)
+    if args.trace:
+        from repro.obs.chrome_trace import (
+            chrome_trace_document,
+            sim_trace_events,
+            write_chrome_trace,
+        )
+
+        document = chrome_trace_document(
+            sim_trace_events(driver.system.trace.events),
+            metadata={"source": f"sim:{spec.name}", "seed": spec.seed},
+        )
+        write_chrome_trace(document, args.trace)
+        print(f"Wrote {args.trace} ({len(document['traceEvents'])} trace events)")
     return 0
+
+
+def _runtime_scenario(spec, args: argparse.Namespace):
+    """Derive the client workload for a ``runtime-spec/v1`` run.
+
+    The spec describes the service (shards, per-key topology, faults, obs);
+    the workload knobs stay on the CLI because they are the *probe*, not the
+    system under test.
+    """
+    from repro.runtime.lockbench import LockBenchScenario
+
+    op_timeout = None
+    if spec.faults is not None and (spec.faults.crashes or spec.faults.drop_rate > 0):
+        # Injected faults silently swallow frames; a probe without a
+        # deadline would hang on the first casualty.
+        op_timeout = 5.0
+    return LockBenchScenario(
+        shards=spec.shards,
+        clients=args.sessions,
+        locks=args.keys,
+        ops=args.session_ops,
+        agents=spec.topology.n,
+        topology_kind=spec.topology.kind,
+        socket=spec.socket,
+        seed=args.seed,
+        op_timeout=op_timeout,
+        obs=spec.obs is None or spec.obs.enabled,
+    )
+
+
+def _run_runtime_spec(args: argparse.Namespace) -> int:
+    """The ``repro run --spec runtime.json`` path: drive the live service."""
+    from repro.exceptions import ReproError
+    from repro.runtime.lockbench import run_lockbench_scenario, write_lockbench_trace
+    from repro.spec import RuntimeSpec
+
+    try:
+        spec = RuntimeSpec.load(args.spec)
+        scenario = _runtime_scenario(spec, args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"Wrote {args.save_spec}")
+    if args.print_spec:
+        print(spec.canonical_json(), end="")
+        return 0
+    trace: Optional[List[dict]] = [] if args.trace else None
+    try:
+        row = run_lockbench_scenario(scenario, spec=spec, trace=trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    timing = row["timing"]
+    rows = [
+        {
+            "spec": spec.name,
+            "sessions": scenario.clients,
+            "ops": row["ops_completed"],
+            "errors": row["errors"],
+            "locks_per_sec": timing["locks_per_sec"],
+            "p50 ms": timing["acquire_p50_ms"],
+            "p99 ms": timing["acquire_p99_ms"],
+            "violations": row["exclusion_violations"],
+        }
+    ]
+    print(format_table(rows, title=f"repro run (runtime): {spec.name}"))
+    fairness = timing.get("fairness")
+    if fairness:
+        depth = fairness.get("max_queue_depth")
+        print(
+            f"fairness: {fairness['sessions']} sessions, per-session mean "
+            f"p50 {fairness['session_p50_ms']} ms / "
+            f"p99 {fairness['session_p99_ms']} ms / "
+            f"max {fairness['session_max_ms']} ms"
+            + (f", max queue depth {depth}" if depth is not None else "")
+        )
+    if args.trace:
+        write_lockbench_trace(
+            trace or [], args.trace, metadata={"source": f"runtime:{spec.name}"}
+        )
+        print(f"Wrote {args.trace} ({len(trace or [])} trace events)")
+    return 1 if row["exclusion_violations"] or row["errors"] else 0
 
 
 def _print_fault_summary(summary: dict) -> None:
@@ -838,6 +961,136 @@ def _print_fault_summary(summary: dict) -> None:
         )
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Observability probe: metrics snapshot and/or Chrome trace for a spec.
+
+    The sim side is deterministic end to end: the same spec produces
+    byte-identical snapshot and trace documents on every run (the replay
+    test in CI holds the exporter to that).
+    """
+    import dataclasses
+
+    from repro.exceptions import ReproError
+    from repro.obs.chrome_trace import (
+        chrome_trace_document,
+        sim_trace_events,
+        write_chrome_trace,
+    )
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.snapshot import snapshot_document, write_snapshot
+    from repro.spec import ExperimentSpec
+    from repro.workload.driver import ExperimentDriver
+
+    if not args.snapshot and not args.trace:
+        print(
+            "error: pick at least one output (--snapshot FILE and/or "
+            "--trace FILE)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if _spec_schema(args.spec) == "runtime-spec/v1":
+            return _obs_runtime(args)
+        spec = ExperimentSpec.load(args.spec)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sample_every = spec.obs.sample_every if spec.obs is not None else 1
+    if args.trace and not spec.record_trace:
+        spec = dataclasses.replace(spec, record_trace=True)
+    registry_ = MetricsRegistry(enabled=True, sample_every=sample_every)
+    try:
+        driver = ExperimentDriver.from_spec(spec)
+        driver.system.engine.register_metrics(registry_)
+        result = driver.run(max_events=args.max_events)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.snapshot:
+        document = snapshot_document(
+            source=f"sim:{spec.name}",
+            registry_snapshot=registry_.snapshot(),
+            extra={
+                "entries": result.completed_entries,
+                "messages": result.total_messages,
+                "messages_per_entry": round(result.messages_per_entry, 3),
+                "finished_at": round(result.finished_at, 9),
+            },
+        )
+        write_snapshot(document, args.snapshot)
+        print(f"Wrote {args.snapshot}")
+    if args.trace:
+        document = chrome_trace_document(
+            sim_trace_events(driver.system.trace.events),
+            metadata={"source": f"sim:{spec.name}", "seed": spec.seed},
+        )
+        write_chrome_trace(document, args.trace)
+        print(f"Wrote {args.trace} ({len(document['traceEvents'])} trace events)")
+    return 0
+
+
+def _obs_runtime(args: argparse.Namespace) -> int:
+    """The ``repro obs`` path for a live ``runtime-spec/v1`` service."""
+    import dataclasses
+
+    from repro.exceptions import ReproError
+    from repro.obs.snapshot import (
+        merge_registry_snapshots,
+        snapshot_document,
+        write_snapshot,
+    )
+    from repro.runtime.lockbench import run_lockbench_scenario, write_lockbench_trace
+    from repro.spec import ObsSpec, RuntimeSpec
+
+    try:
+        spec = RuntimeSpec.load(args.spec)
+        if spec.obs is None or not spec.obs.enabled:
+            # The probe's whole point is the instrumented view; flip obs on
+            # rather than reporting an empty registry.
+            spec = dataclasses.replace(spec, obs=ObsSpec(enabled=True))
+        scenario = _runtime_scenario(spec, args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace: Optional[List[dict]] = [] if args.trace else None
+    outcome: dict = {}
+    try:
+        row = run_lockbench_scenario(
+            scenario, spec=spec, trace=trace, outcome_out=outcome
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.snapshot:
+        shard_registries = {}
+        queue_depths: dict = {}
+        for index, stats in enumerate(outcome.get("shard_stats") or []):
+            obs_section = stats.get("obs") or {}
+            if obs_section.get("registry"):
+                shard_registries[f"shard{index}"] = obs_section["registry"]
+            for key, depth in (obs_section.get("queue_depths") or {}).items():
+                queue_depths[key] = max(queue_depths.get(key, 0), depth)
+        document = snapshot_document(
+            source=f"runtime:{spec.name}",
+            registry_snapshot=merge_registry_snapshots(shard_registries),
+            extra={
+                "fairness": row["timing"].get("fairness"),
+                "ops_completed": row["ops_completed"],
+                "errors": row["errors"],
+                "queue_depths": {key: queue_depths[key] for key in sorted(queue_depths)},
+                "retry": outcome.get("retry_stats") or {},
+            },
+        )
+        write_snapshot(document, args.snapshot)
+        print(f"Wrote {args.snapshot}")
+    if args.trace:
+        write_lockbench_trace(
+            trace or [], args.trace, metadata={"source": f"runtime:{spec.name}"}
+        )
+        print(f"Wrote {args.trace} ({len(trace or [])} trace events)")
+    return 1 if row["exclusion_violations"] else 0
+
+
 def cmd_lockbench(args: argparse.Namespace) -> int:
     """Benchmark the networked lock service (see benchmarks/README.md)."""
     import json
@@ -850,8 +1103,16 @@ def cmd_lockbench(args: argparse.Namespace) -> int:
         run_calibrated_lockbench,
         run_lockbench,
         smoke_lockbench_matrix,
+        write_lockbench_trace,
     )
 
+    if args.trace and args.calibrate is not None:
+        print(
+            "error: --trace records one run's op lifecycles; min-merging "
+            "calibration runs has no single timeline to export",
+            file=sys.stderr,
+        )
+        return 2
     if args.faults:
         # The chaos matrix replaces the healthy one: a shard dies mid-run and
         # the rows gate takeover time and availability, not just throughput.
@@ -860,14 +1121,25 @@ def cmd_lockbench(args: argparse.Namespace) -> int:
         matrix = smoke_lockbench_matrix()
     else:
         matrix = default_lockbench_matrix()
+    trace = [] if args.trace else None
     if args.calibrate is not None:
         document = run_calibrated_lockbench(
             matrix=matrix, runs=args.calibrate, verbose=True
         )
     else:
-        document = run_lockbench(matrix=matrix, verbose=True)
+        document = run_lockbench(matrix=matrix, verbose=True, trace=trace)
 
     status = 0
+    if args.trace:
+        write_lockbench_trace(
+            trace or [],
+            args.trace,
+            metadata={
+                "source": "lockbench",
+                "scenarios": [scenario.name for scenario in matrix],
+            },
+        )
+        print(f"Wrote {args.trace} ({len(trace or [])} trace events)")
     if args.check:
         committed = load_json(args.check)
         problems = check_lockbench_baseline(
@@ -898,6 +1170,29 @@ def cmd_lockbench(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------------- #
+def _add_runtime_probe_arguments(parser: argparse.ArgumentParser) -> None:
+    """Workload knobs for driving a live ``runtime-spec/v1`` service."""
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=16,
+        help="runtime specs: concurrent client sessions in the probe "
+             "workload (default 16)",
+    )
+    parser.add_argument(
+        "--session-ops",
+        type=int,
+        default=5,
+        help="runtime specs: acquire/release pairs per session (default 5)",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        default=8,
+        help="runtime specs: size of the lock-key namespace (default 8)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1017,7 +1312,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the canonical spec JSON and exit without running",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export a Chrome trace_event JSON timeline of the run "
+             "(chrome://tracing / Perfetto): protocol events for a "
+             "simulation spec, op lifecycles for a runtime spec",
+    )
+    _add_runtime_probe_arguments(run)
     run.set_defaults(func=cmd_run)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="observability probe: metrics snapshot and/or Chrome trace "
+             "for a spec (simulation or live runtime)",
+        description=(
+            "Run the experiment described by --spec with instrumentation "
+            "enabled and export the observability artifacts: a canonical "
+            "obs-snapshot/v1 metrics document (--snapshot) and/or a Chrome "
+            "trace_event timeline (--trace).  Simulation specs replay "
+            "deterministically, so both artifacts are byte-identical across "
+            "runs; runtime-spec/v1 files stand up the live lock service and "
+            "probe it with a small seeded workload."
+        ),
+    )
+    obs.add_argument("--spec", required=True,
+                     help="experiment-spec/v1 or runtime-spec/v1 JSON file")
+    obs.add_argument("--snapshot", default=None, metavar="FILE",
+                     help="write the obs-snapshot/v1 metrics document here")
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the Chrome trace_event JSON timeline here",
+    )
+    obs.add_argument("--seed", type=int, default=0,
+                     help="probe workload seed for runtime specs (default 0)")
+    obs.add_argument("--max-events", type=int, default=5_000_000,
+                     help="event budget for simulation specs")
+    _add_runtime_probe_arguments(obs)
+    obs.set_defaults(func=cmd_obs)
 
     bench = subparsers.add_parser(
         "bench", help="run the simulation-core throughput benchmark matrix"
@@ -1287,6 +1622,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lockbench.add_argument("--output", default=None,
                            help="write the document to this JSON file")
+    lockbench.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export a Chrome trace_event JSON timeline of every client op "
+             "lifecycle and failover window (incompatible with --calibrate)",
+    )
     lockbench.set_defaults(func=cmd_lockbench)
 
     return parser

@@ -161,6 +161,38 @@ class FailoverEvent:
         }
 
 
+def failover_spans(
+    events: List["FailoverEvent"], *, origin: float
+) -> List[Dict[str, Any]]:
+    """Failover timelines as trace spans for the Chrome exporter.
+
+    ``origin`` is the run's ``time.monotonic()`` start (the supervisor's
+    clock); each event renders as one span from the dead shard's last
+    heartbeat to the moment every survivor acknowledged the new epoch (or to
+    detection, if acknowledgements are still outstanding).
+    """
+    spans: List[Dict[str, Any]] = []
+    for event in events:
+        end = event.completed_at if event.completed_at is not None else event.detected_at
+        spans.append(
+            {
+                "name": f"failover shard {event.shard}",
+                "cat": "failover",
+                "tid": event.shard,
+                "start": event.last_heartbeat - origin,
+                "end": end - origin,
+                "args": {
+                    "epoch": event.epoch,
+                    "reason": event.reason,
+                    "detection_ms": round(
+                        (event.detected_at - event.last_heartbeat) * 1000, 3
+                    ),
+                },
+            }
+        )
+    return spans
+
+
 # --------------------------------------------------------------------------- #
 # the supervisor
 # --------------------------------------------------------------------------- #
@@ -215,6 +247,18 @@ class ClusterSupervisor(threading.Thread):
     def events(self) -> List[FailoverEvent]:
         with self._lock:
             return list(self._events)
+
+    def register_metrics(self, registry: Any, *, prefix: str = "cluster") -> None:
+        """Register the supervisor's view of the cluster into an obs registry.
+
+        Callback gauges only — reads take the supervisor lock at snapshot
+        time, the watch loop pays nothing.
+        """
+        registry.gauge(f"{prefix}.epoch").set_function(lambda: self.view.epoch)
+        registry.gauge(f"{prefix}.live_shards").set_function(
+            lambda: len(self.view.shards)
+        )
+        registry.gauge(f"{prefix}.failovers").set_function(lambda: len(self.events))
 
     def stop(self) -> None:
         self._halt.set()
@@ -338,6 +382,7 @@ __all__ = [
     "ClusterSupervisor",
     "ClusterView",
     "FailoverEvent",
+    "failover_spans",
     "owner_for_key",
     "shard_for_key",
 ]

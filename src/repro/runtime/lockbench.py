@@ -31,9 +31,16 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import LockError, LockFencedError
+from repro.obs.chrome_trace import (
+    chrome_trace_document,
+    runtime_span_events,
+    write_chrome_trace,
+)
+from repro.obs.snapshot import fairness_summary, quantile
+from repro.runtime.failover import failover_spans
 from repro.runtime.service import LockClient, LockServiceCluster
 from repro.sim.rng import SeededRNG
-from repro.spec import RuntimeFaultSpec, RuntimeSpec, ShardCrashSpec, TopologySpec
+from repro.spec import ObsSpec, RuntimeFaultSpec, RuntimeSpec, ShardCrashSpec, TopologySpec
 
 LOCKBENCH_SCHEMA = "bench-runtime/v1"
 
@@ -75,6 +82,12 @@ class LockBenchScenario:
     #: Per-op client deadline; failover runs need one so ops parked on the
     #: dead shard time out and retry instead of waiting forever.
     op_timeout: Optional[float] = None
+    #: Shard-side observability (the :mod:`repro.obs` registry).  On by
+    #: default so every row carries the fairness block (per-session latency
+    #: spread + max queue depth via the implicit-queue inspector); the cost
+    #: is two clock reads and one FOLLOW-chain walk per acquire, well inside
+    #: the committed floors' tolerance.
+    obs: bool = True
 
     def __post_init__(self) -> None:
         if self.clients < 1 or self.locks < 1 or self.ops < 1:
@@ -129,6 +142,7 @@ class LockBenchScenario:
             faults=faults,
             heartbeat_interval=heartbeat_interval,
             miss_window=miss_window,
+            obs=ObsSpec(enabled=True) if self.obs else None,
         )
 
 
@@ -182,32 +196,40 @@ def fault_lockbench_matrix() -> List[LockBenchScenario]:
     ]
 
 
-def _quantile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolation quantile of an ascending sequence."""
-    if not sorted_values:
-        return 0.0
-    position = q * (len(sorted_values) - 1)
-    low = int(position)
-    high = min(low + 1, len(sorted_values) - 1)
-    fraction = position - low
-    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+# The linear-interpolation quantile moved to ``repro.obs.snapshot`` so the
+# fairness summary and the bench rows agree on one definition.
+_quantile = quantile
 
 
 async def _drive_sessions(
-    scenario: LockBenchScenario, addresses: Sequence[Any]
+    scenario: LockBenchScenario,
+    addresses: Sequence[Any],
+    *,
+    collect_trace: bool = False,
 ) -> Dict[str, Any]:
     """All sessions concurrently; returns latencies + error count + wall.
 
     A release rejected with :class:`LockFencedError` is counted separately
     from errors: the grant died with its shard (correct failover behaviour,
     not a workload failure) and the session carries on.
+
+    When ``collect_trace`` is set, every client op records a span into
+    ``trace_spans`` (absolute ``time.perf_counter`` timestamps; rebase on
+    ``started`` before export).  ``started_mono`` is captured at the same
+    instant on the ``time.monotonic`` clock so supervisor-side failover
+    events — which are stamped monotonic — can share the trace timeline.
     """
+    trace_spans: Optional[List[Dict[str, Any]]] = [] if collect_trace else None
     client = LockClient(
-        addresses, channels=scenario.channels, op_timeout=scenario.op_timeout
+        addresses,
+        channels=scenario.channels,
+        op_timeout=scenario.op_timeout,
+        trace=trace_spans,
     )
     await client.connect()
     latencies: List[float] = []
     completions: List[float] = []
+    session_latencies: Dict[int, List[float]] = {}
     errors = 0
     fenced = 0
 
@@ -215,6 +237,7 @@ async def _drive_sessions(
         nonlocal errors, fenced
         rng = SeededRNG(scenario.seed, label=f"lockbench/session-{session_id}")
         session = client.session(session_id)
+        mine = session_latencies.setdefault(session_id, [])
         for _ in range(scenario.ops):
             key = f"lock-{rng.randint(0, scenario.locks - 1)}"
             started = time.perf_counter()
@@ -225,6 +248,7 @@ async def _drive_sessions(
                 continue
             granted = time.perf_counter()
             latencies.append(granted - started)
+            mine.append(granted - started)
             completions.append(granted)
             try:
                 await session.release(key)
@@ -234,6 +258,7 @@ async def _drive_sessions(
                 errors += 1
 
     started = time.perf_counter()
+    started_mono = time.monotonic()
     await asyncio.gather(
         *(run_session(session_id) for session_id in range(scenario.clients))
     )
@@ -250,12 +275,15 @@ async def _drive_sessions(
     return {
         "latencies": latencies,
         "completions": sorted(completions),
+        "session_latencies": session_latencies,
         "errors": errors,
         "fenced": fenced,
         "wall": wall,
         "started": started,
+        "started_mono": started_mono,
         "shard_stats": shard_stats,
         "retry_stats": dict(client.retry_stats),
+        "trace_spans": trace_spans,
     }
 
 
@@ -294,16 +322,52 @@ def _failover_timing(
     }
 
 
-def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
+def _max_queue_depth(shard_stats: Sequence[Dict[str, Any]]) -> Optional[int]:
+    """Largest per-key implicit-queue depth any shard observed, if reported.
+
+    The shards watermark the depth (FOLLOW-chain length behind the token
+    holder, via :mod:`repro.core.inspector`) on every acquire when obs is
+    enabled; the ``stats`` frame surfaces it under the registry snapshot.
+    """
+    depth: Optional[int] = None
+    for stats in shard_stats:
+        metrics = ((stats.get("obs") or {}).get("registry") or {}).get("metrics") or {}
+        gauge = metrics.get("shard.queue_depth_max")
+        if gauge is None:
+            continue
+        value = int(gauge.get("value") or 0)
+        depth = value if depth is None else max(depth, value)
+    return depth
+
+
+def run_lockbench_scenario(
+    scenario: LockBenchScenario,
+    *,
+    spec: Optional[RuntimeSpec] = None,
+    trace: Optional[List[Dict[str, Any]]] = None,
+    outcome_out: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Start the shard processes, drive the workload, assemble the row.
 
     Deterministic fields (``ops_total``, ``errors``) live at the top level;
     host-dependent measurements live under ``"timing"`` — the same split as
     every other bench document, so gates know which fields tolerate noise.
+
+    ``spec`` overrides the scenario-derived :class:`RuntimeSpec` (the
+    ``repro run`` bridge for committed ``runtime-spec/v1`` files); ``trace``,
+    when given, receives Chrome ``trace_event`` dicts covering every client
+    op lifecycle (request→grant→release, with retry/fence outcomes) and any
+    failover window, rebased to the workload start.  ``outcome_out``, when
+    given, receives the raw workload outcome (shard ``stats`` frames with
+    their obs registry snapshots, client retry counters) for callers — like
+    ``repro obs`` — that need more than the bench row.
     """
-    spec = scenario.runtime_spec()
+    if spec is None:
+        spec = scenario.runtime_spec()
     with LockServiceCluster(spec) as cluster:
-        outcome = asyncio.run(_drive_sessions(scenario, cluster.addresses))
+        outcome = asyncio.run(
+            _drive_sessions(scenario, cluster.addresses, collect_trace=trace is not None)
+        )
         if scenario.crash_shard is not None:
             # A short workload can outrun its own crash schedule; wait for
             # the supervisor to record the declared death before reporting.
@@ -311,6 +375,8 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
             while not cluster.failover_events and time.perf_counter() < deadline:
                 time.sleep(0.02)
         events = cluster.failover_events
+    if outcome_out is not None:
+        outcome_out.update(outcome)
     latencies = sorted(outcome["latencies"])
     completed = len(latencies)
     wall = outcome["wall"]
@@ -324,6 +390,22 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
         ),
         "acquire_max_ms": round(latencies[-1] * 1000, 3) if latencies else 0.0,
     }
+    if scenario.obs:
+        timing["fairness"] = fairness_summary(
+            outcome["session_latencies"],
+            max_queue_depth=_max_queue_depth(outcome["shard_stats"]),
+        )
+    if trace is not None:
+        spans = [
+            dict(span, start=span["start"] - outcome["started"], end=span["end"] - outcome["started"])
+            for span in outcome["trace_spans"] or []
+        ]
+        trace.extend(runtime_span_events(spans, pid=1))
+        trace.extend(
+            runtime_span_events(
+                failover_spans(events, origin=outcome["started_mono"]), pid=2
+            )
+        )
     row = {
         "scenario": scenario.name,
         "shards": scenario.shards,
@@ -355,16 +437,31 @@ def run_lockbench_scenario(scenario: LockBenchScenario) -> Dict[str, Any]:
     return row
 
 
+def write_lockbench_trace(
+    events: Sequence[Dict[str, Any]],
+    path: Any,
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Canonical-JSON a lockbench Chrome trace to ``path`` (byte-stable)."""
+    write_chrome_trace(chrome_trace_document(events, metadata=metadata), path)
+
+
 def run_lockbench(
     *,
     matrix: Optional[Sequence[LockBenchScenario]] = None,
     verbose: bool = False,
+    trace: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
-    """Run the matrix and assemble the ``BENCH_runtime.json`` document."""
+    """Run the matrix and assemble the ``BENCH_runtime.json`` document.
+
+    ``trace`` (a mutable list) collects Chrome ``trace_event`` dicts across
+    every scenario in the matrix; wrap with :func:`write_lockbench_trace`.
+    """
     scenarios = list(matrix) if matrix is not None else default_lockbench_matrix()
     rows: List[Dict[str, Any]] = []
     for scenario in scenarios:
-        row = run_lockbench_scenario(scenario)
+        row = run_lockbench_scenario(scenario, trace=trace)
         rows.append(row)
         if verbose:
             timing = row["timing"]
@@ -433,6 +530,25 @@ def min_merge_lockbench_documents(
                 "acquire_max_ms",
             ):
                 timing[field] = max(timing[field], other_timing[field])
+            fairness, other_fairness = (
+                timing.get("fairness"),
+                other_timing.get("fairness"),
+            )
+            if fairness is None and other_fairness is not None:
+                timing["fairness"] = copy.deepcopy(other_fairness)
+            elif fairness is not None and other_fairness is not None:
+                # Conservative ceilings: the committed fairness block records
+                # the *worst* spread any calibration run observed.
+                for field in fairness:
+                    if field == "sessions":
+                        continue
+                    other_value = other_fairness.get(field)
+                    if other_value is None:
+                        continue
+                    mine = fairness[field]
+                    fairness[field] = (
+                        other_value if mine is None else max(mine, other_value)
+                    )
             failover, other_failover = (
                 timing.get("failover"),
                 other_timing.get("failover"),

@@ -60,6 +60,16 @@ class AsyncDagNode:
         self._consumer: Optional[asyncio.Task] = None
         self._stopped = False
 
+    def has_token(self) -> bool:
+        """Whether this node currently holds the PRIVILEGE.
+
+        Mirrors :meth:`repro.core.node.DagMutexNode.has_token` so the
+        implicit-queue inspector (:mod:`repro.core.inspector`) can deduce a
+        live key's waiting queue from agent states, exactly as it does for
+        simulated nodes.
+        """
+        return self.holding
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #

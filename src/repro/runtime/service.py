@@ -57,8 +57,10 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.inspector import implicit_queue, waiting_nodes
 from repro.core.recovery import regenerate_runtime_token
 from repro.exceptions import (
+    InvariantViolation,
     LockError,
     LockFencedError,
     RuntimeTransportError,
@@ -73,6 +75,7 @@ from repro.runtime.failover import (
     owner_for_key,
     shard_for_key,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.lock import DistributedLock
 from repro.runtime.node_runtime import AsyncDagNode
 from repro.runtime.transport import InMemoryTransport
@@ -116,6 +119,21 @@ CONTROL_OP_TIMEOUT = 5.0
 # --------------------------------------------------------------------------- #
 # per-key token tree
 # --------------------------------------------------------------------------- #
+class _TreeView:
+    """Adapter exposing one key's agents as an inspector-compatible protocol.
+
+    The implicit-queue inspector (:mod:`repro.core.inspector`) deduces the
+    waiting queue from node states through a ``.nodes`` mapping; the live
+    agents expose the same ``has_token``/``next_node``/``follow`` surface as
+    simulated nodes, so the deduction runs unchanged against a live key.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Sequence[AsyncDagNode]) -> None:
+        self.nodes = {node.node_id: node for node in nodes}
+
+
 class _KeyedLock:
     """One lock key's DAG token tree plus its agent pool.
 
@@ -195,6 +213,25 @@ class _KeyedLock:
         handle = self._handles.pop(ticket)
         await handle.release()
         self._busy[ticket].release()
+
+    def queue_depth(self) -> int:
+        """Requesters stacked behind this key's token, via the inspector.
+
+        The paper's deduction, live: chase FOLLOW pointers from the current
+        holder.  While the token is in transit (no holder) the chain has no
+        anchor, so the count of requesting agents stands in; a mid-churn
+        duplicate sighting is reported as depth 0 rather than raised — the
+        reading is advisory, the protocol's own invariant checks live in the
+        property tests.
+        """
+        view = _TreeView(self.nodes)
+        try:
+            depth = len(implicit_queue(view))
+            if depth == 0:
+                return len(waiting_nodes(view))
+            return depth
+        except InvariantViolation:
+            return 0
 
     async def close(self) -> None:
         for node in self.nodes:
@@ -279,6 +316,26 @@ class LockServiceShard:
             "fenced": 0,
             "dropped_frames": 0,
         }
+        # Observability: a disabled registry hands out no-op instruments, so
+        # the acquire path below keeps its instrument calls either way and
+        # only the explicitly guarded clock/queue-walk reads cost anything.
+        obs_spec = spec.obs
+        self._obs_enabled = obs_spec.enabled if obs_spec is not None else False
+        self.obs = MetricsRegistry(
+            enabled=self._obs_enabled,
+            sample_every=obs_spec.sample_every if obs_spec is not None else 1,
+        )
+        self._acquire_wait_ms = self.obs.histogram("shard.acquire_wait_ms")
+        self._queue_depth_max = self.obs.gauge("shard.queue_depth_max")
+        self.obs.gauge("shard.index").set(index)
+        self.obs.gauge("shard.inflight").set_function(lambda: len(self._inflight))
+        self.obs.gauge("shard.keys").set_function(lambda: len(self._locks))
+        self.obs.gauge("shard.held").set_function(lambda: len(self._holders))
+        self.obs.gauge("shard.epoch").set_function(lambda: self._view.epoch)
+        for stat_name in self.stats:
+            self.obs.gauge(f"shard.stats.{stat_name}").set_function(
+                lambda name=stat_name: self.stats[name]
+            )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -344,6 +401,20 @@ class LockServiceShard:
                 self._control_pipe.send(("view-ack", self.index, view.epoch))
             except (BrokenPipeError, OSError):
                 pass
+
+    def obs_section(self) -> Dict[str, Any]:
+        """The stats frame's observability block (obs-enabled shards only).
+
+        ``queue_depths`` is the paper's implicit queue deduced per live key
+        — current depth, not a high watermark; the watermark rides in the
+        registry as ``shard.queue_depth_max``, sampled on every acquire.
+        """
+        return {
+            "registry": self.obs.snapshot(),
+            "queue_depths": {
+                key: self._locks[key].queue_depth() for key in sorted(self._locks)
+            },
+        }
 
     def schedule_faults(self) -> None:
         """Arm this shard's declarative crash schedule (``spec.faults``)."""
@@ -488,19 +559,16 @@ class LockServiceShard:
         op_id = frame.get("id")
         try:
             if op == "stats":
-                await reply(
-                    {
-                        "id": op_id,
-                        "ok": True,
-                        "stats": {
-                            **self.stats,
-                            "shard": self.index,
-                            "epoch": self._view.epoch,
-                            "keys": len(self._locks),
-                            "held": len(self._holders),
-                        },
-                    }
-                )
+                stats_payload = {
+                    **self.stats,
+                    "shard": self.index,
+                    "epoch": self._view.epoch,
+                    "keys": len(self._locks),
+                    "held": len(self._holders),
+                }
+                if self._obs_enabled:
+                    stats_payload["obs"] = self.obs_section()
+                await reply({"id": op_id, "ok": True, "stats": stats_payload})
                 return
             if op == "view":
                 await reply(
@@ -660,7 +728,14 @@ class LockServiceShard:
         if held is not None:
             raise LockError(f"session {session} already holds {key!r}")
         keyed = self._keyed_lock(key)
+        if self._obs_enabled:
+            self._queue_depth_max.update_max(keyed.queue_depth())
+            wait_started = time.perf_counter()
         ticket = await keyed.acquire()
+        if self._obs_enabled:
+            self._acquire_wait_ms.observe(
+                (time.perf_counter() - wait_started) * 1000.0
+            )
         if record.cancelled:
             # The client spent its retry budget and asked us to cancel: the
             # grant has no consumer, so hand the token straight back.  Cached
@@ -876,6 +951,11 @@ class LockServiceCluster:
         """Every failover the supervisor has handled, oldest first."""
         return self._supervisor.events if self._supervisor is not None else []
 
+    def register_metrics(self, registry: Any, *, prefix: str = "cluster") -> None:
+        """Register the supervisor's cluster view into an obs registry."""
+        if self._supervisor is not None:
+            self._supervisor.register_metrics(registry, prefix=prefix)
+
     def kill_shard(self, index: int) -> None:
         """SIGKILL shard ``index`` (the chaos hook; the supervisor notices)."""
         if not 0 <= index < len(self._processes):
@@ -978,6 +1058,7 @@ class LockClient:
         channels: int = 8,
         op_timeout: Optional[float] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        trace: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         if not addresses:
             raise LockError("LockClient needs at least one shard address")
@@ -1004,6 +1085,19 @@ class LockClient:
             "deadline_timeouts": 0,
             "cancels": 0,
         }
+        #: Op-lifecycle trace sink: when set, every acquire/release appends a
+        #: span dict (absolute ``perf_counter`` start/end; the exporter
+        #: normalises against the run origin).  ``None`` costs nothing.
+        self._trace = trace
+
+    def register_metrics(self, registry: Any, *, prefix: str = "client") -> None:
+        """Register this client's retry ledger into an obs registry."""
+        registry.gauge(f"{prefix}.ops").set_function(lambda: self._op_counter)
+        registry.gauge(f"{prefix}.epoch").set_function(lambda: self._view.epoch)
+        for stat_name in self.retry_stats:
+            registry.gauge(f"{prefix}.{stat_name}").set_function(
+                lambda name=stat_name: self.retry_stats[name]
+            )
 
     @property
     def shards(self) -> int:
@@ -1076,6 +1170,41 @@ class LockClient:
     # the retry loop
     # ------------------------------------------------------------------ #
     async def _call(
+        self, frame: Dict[str, Any], *, key: str, session: int
+    ) -> Dict[str, Any]:
+        if self._trace is None:
+            return await self._call_loop(frame, key=key, session=session)
+        started = time.perf_counter()
+        retries_before = self.retry_stats["retries"] + self.retry_stats["reroutes"]
+        outcome = "error"
+        try:
+            response = await self._call_loop(frame, key=key, session=session)
+            outcome = "ok"
+            return response
+        except LockFencedError:
+            outcome = "fenced"
+            raise
+        except ShardUnavailableError:
+            outcome = "unavailable"
+            raise
+        finally:
+            retried = (
+                self.retry_stats["retries"]
+                + self.retry_stats["reroutes"]
+                - retries_before
+            )
+            self._trace.append(
+                {
+                    "name": f"{frame.get('op')} {key}",
+                    "cat": str(frame.get("op")),
+                    "tid": session,
+                    "start": started,
+                    "end": time.perf_counter(),
+                    "args": {"key": key, "outcome": outcome, "retried": retried},
+                }
+            )
+
+    async def _call_loop(
         self, frame: Dict[str, Any], *, key: str, session: int
     ) -> Dict[str, Any]:
         if self._closed:

@@ -147,6 +147,28 @@ class SimulationEngine:
         """Short name of the active scheduler (``"heap"`` or ``"ring"``)."""
         return self._scheduler.kind
 
+    def register_metrics(self, registry: Any, *, prefix: str = "sim") -> None:
+        """Register this engine (and its scheduler) into an obs registry.
+
+        Everything is a callback gauge reading state the engine already
+        maintains — :attr:`now`, :attr:`processed_events`,
+        :attr:`pending_events`, the scheduler's kind and tombstone count —
+        so the scheduling and drain hot paths pay nothing, enabled or not.
+        """
+        registry.gauge(f"{prefix}.now").set_function(lambda: self._now)
+        registry.gauge(f"{prefix}.processed_events").set_function(
+            lambda: self._processed
+        )
+        registry.gauge(f"{prefix}.pending_events").set_function(
+            lambda: self.pending_events
+        )
+        registry.gauge(f"{prefix}.scheduler").set_function(
+            lambda: self._scheduler.kind
+        )
+        registry.gauge(f"{prefix}.scheduler_tombstones").set_function(
+            lambda: self._scheduler.tombstones
+        )
+
     def use_scheduler(self, scheduler: Union[str, Scheduler]) -> None:
         """Swap the pending-event store.
 

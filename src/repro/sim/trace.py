@@ -48,6 +48,7 @@ class TraceRecorder:
         self.capacity = capacity
         self._events: List[TraceEvent] = []
         self._dropped = 0
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
 
     @property
     def events(self) -> List[TraceEvent]:
@@ -65,6 +66,23 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
+    def subscribe(
+        self, callback: Callable[[TraceEvent], None]
+    ) -> Callable[[TraceEvent], None]:
+        """Invoke ``callback`` for every event offered while enabled.
+
+        Subscribers are the streaming path around the ring buffer: they fire
+        even when the capacity is exhausted (the buffer drops, the stream
+        does not), but never while the recorder is disabled.  Returns the
+        callback so ``sub = recorder.subscribe(fn)`` reads naturally.
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        self._subscribers.remove(callback)
+
     def record(
         self,
         time: float,
@@ -72,8 +90,21 @@ class TraceRecorder:
         node: int,
         **detail: Any,
     ) -> None:
-        """Record one event (no-op when the recorder is disabled or full)."""
+        """Record one event (no-op when the recorder is disabled or full).
+
+        Subscribers registered with :meth:`subscribe` still see events the
+        capacity limit drops from the buffer.
+        """
         if not self.enabled:
+            return
+        if self._subscribers:
+            event = TraceEvent(time=time, category=category, node=node, detail=detail)
+            for callback in self._subscribers:
+                callback(event)
+            if self.capacity is not None and len(self._events) >= self.capacity:
+                self._dropped += 1
+                return
+            self._events.append(event)
             return
         if self.capacity is not None and len(self._events) >= self.capacity:
             self._dropped += 1

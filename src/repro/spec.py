@@ -516,6 +516,47 @@ class LatencySpec:
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """The observability toggle shared by simulated and live experiments.
+
+    ``enabled`` turns the :mod:`repro.obs` metrics registry on (off by
+    default: the disabled registry hands out no-op instruments, so the hot
+    paths keep their instrument calls at near-zero cost).  ``sample_every``
+    is the sampling knob — histograms record every Nth observation, stride
+    not random, so deterministic replays observe identical sample sets.
+    ``trace`` additionally records op lifecycles / simulator trace events
+    for Chrome ``trace_event`` export, bounded by ``trace_capacity``.
+    """
+
+    enabled: bool = False
+    sample_every: int = 1
+    trace: bool = False
+    trace_capacity: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ExperimentError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
+        if self.trace_capacity < 1:
+            raise ExperimentError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "sample_every": self.sample_every,
+            "trace": self.trace,
+            "trace_capacity": self.trace_capacity,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ObsSpec":
+        return ObsSpec(**_validated_dict(ObsSpec, data, "obs spec"))
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """The canonical, serializable description of one experiment.
 
@@ -544,6 +585,7 @@ class ExperimentSpec:
     record_trace: bool = False
     faults: Optional[FaultSpec] = None
     node_backend: str = "auto"
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in registry.names():
@@ -661,6 +703,7 @@ class ExperimentSpec:
             "record_trace": self.record_trace,
             "faults": self.faults.to_dict() if self.faults is not None else None,
             "node_backend": self.node_backend,
+            "obs": self.obs.to_dict() if self.obs is not None else None,
         }
 
     def canonical_json(self) -> str:
@@ -688,6 +731,8 @@ class ExperimentSpec:
             payload["latency"] = LatencySpec.from_dict(payload["latency"])
         if payload.get("faults") is not None:
             payload["faults"] = FaultSpec.from_dict(payload["faults"])
+        if payload.get("obs") is not None:
+            payload["obs"] = ObsSpec.from_dict(payload["obs"])
         return ExperimentSpec(**payload)
 
     @staticmethod
@@ -886,6 +931,7 @@ class RuntimeSpec:
     faults: Optional[RuntimeFaultSpec] = None
     heartbeat_interval: float = 0.1
     miss_window: float = 2.0
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in registry.names():
@@ -949,6 +995,7 @@ class RuntimeSpec:
             "faults": self.faults.to_dict() if self.faults is not None else None,
             "heartbeat_interval": self.heartbeat_interval,
             "miss_window": self.miss_window,
+            "obs": self.obs.to_dict() if self.obs is not None else None,
         }
 
     def canonical_json(self) -> str:
@@ -969,6 +1016,8 @@ class RuntimeSpec:
             payload["topology"] = TopologySpec.from_dict(payload["topology"])
         if payload.get("faults") is not None:
             payload["faults"] = RuntimeFaultSpec.from_dict(payload["faults"])
+        if payload.get("obs") is not None:
+            payload["obs"] = ObsSpec.from_dict(payload["obs"])
         return RuntimeSpec(**payload)
 
     @staticmethod

@@ -82,3 +82,13 @@ def test_lock_service_failover_example(capsys):
     assert "\n0 exclusion violations" in out
     assert "failover: shard 1" in out
     assert "clean shutdown." in out
+
+
+@pytest.mark.network
+def test_lock_service_metrics_example(capsys):
+    out = run_example("lock_service_metrics.py", [], capsys)
+    assert "starting instrumented lock service dag-star-n4-s2-unix" in out
+    assert "max queue depth" in out
+    assert "fairness over 12 sessions" in out
+    assert "trace events" in out
+    assert "clean shutdown." in out

@@ -1,0 +1,154 @@
+"""Chrome trace exporter + snapshot documents: shape, stability, canonical form."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.chrome_trace import (
+    SIM_TIME_SCALE_US,
+    chrome_trace_document,
+    runtime_span_events,
+    sim_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.snapshot import (
+    OBS_SNAPSHOT_SCHEMA,
+    fairness_summary,
+    merge_registry_snapshots,
+    quantile,
+    snapshot_document,
+    write_snapshot,
+)
+from repro.sim.trace import TraceEvent
+from repro.sweep import canonical_json
+
+
+def _event(time, category, node, **detail):
+    return TraceEvent(time=time, category=category, node=node, detail=detail)
+
+
+def test_sim_cs_events_fold_into_waiting_and_critical_spans():
+    events = [
+        _event(1.0, "cs_request", 3),
+        _event(2.5, "cs_enter", 3),
+        _event(4.0, "cs_exit", 3),
+    ]
+    out = sim_trace_events(events)
+    assert [item["name"] for item in out] == ["waiting", "critical_section"]
+    waiting, critical = out
+    assert waiting["ph"] == critical["ph"] == "X"
+    assert waiting["ts"] == int(1.0 * SIM_TIME_SCALE_US)
+    assert waiting["dur"] == int(1.5 * SIM_TIME_SCALE_US)
+    assert critical["ts"] == int(2.5 * SIM_TIME_SCALE_US)
+    assert critical["dur"] == int(1.5 * SIM_TIME_SCALE_US)
+    assert waiting["tid"] == 3
+
+
+def test_sim_unpaired_opens_are_dropped_not_invented():
+    events = [
+        _event(1.0, "cs_request", 1),  # never granted
+        _event(2.0, "cs_enter", 2),  # never exits
+    ]
+    assert sim_trace_events(events) == []
+
+
+def test_sim_other_categories_become_instants_with_sorted_args():
+    events = [_event(1.0, "send", 4, to=5, message="REQUEST")]
+    (instant,) = sim_trace_events(events)
+    assert instant["ph"] == "i"
+    assert instant["s"] == "t"
+    assert instant["name"] == "send"
+    assert list(instant["args"]) == ["message", "to"]
+
+
+def test_sim_events_sort_for_byte_stability():
+    events = [
+        _event(2.0, "send", 9),
+        _event(1.0, "send", 5),
+        _event(1.0, "receive", 2),
+    ]
+    out = sim_trace_events(events)
+    assert [(item["ts"], item["tid"]) for item in out] == [
+        (1000, 2),
+        (1000, 5),
+        (2000, 9),
+    ]
+
+
+def test_runtime_spans_render_complete_and_instant_events():
+    spans = [
+        {"name": "acquire k", "cat": "acquire", "start": 0.001, "end": 0.003,
+         "tid": 7, "args": {"outcome": "ok"}},
+        {"name": "cut-off", "start": 0.002},
+    ]
+    out = runtime_span_events(spans)
+    assert [item["name"] for item in out] == ["acquire k", "cut-off"]
+    complete, instant = out
+    assert complete["ph"] == "X"
+    assert complete["ts"] == 1000 and complete["dur"] == 2000
+    assert complete["tid"] == 7
+    assert instant["ph"] == "i"
+
+
+def test_runtime_zero_length_span_still_has_visible_duration():
+    (event,) = runtime_span_events([{"name": "op", "start": 0.5, "end": 0.5}])
+    assert event["dur"] == 1
+
+
+def test_chrome_trace_document_and_canonical_write(tmp_path):
+    events = sim_trace_events([_event(1.0, "send", 1, to=2)])
+    document = chrome_trace_document(events, metadata={"b": 2, "a": 1})
+    assert document["displayTimeUnit"] == "ms"
+    assert list(document["otherData"]) == ["a", "b"]
+    path = tmp_path / "trace.json"
+    write_chrome_trace(document, str(path))
+    text = path.read_text()
+    assert text == canonical_json(document)
+    parsed = json.loads(text)
+    assert parsed["traceEvents"] == events
+
+
+def test_quantile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert quantile(values, 0.0) == 1.0
+    assert quantile(values, 1.0) == 4.0
+    assert quantile(values, 0.5) == 2.5
+    assert quantile([], 0.5) == 0.0
+
+
+def test_fairness_summary_spreads_per_session_means():
+    summary = fairness_summary(
+        {1: [0.010, 0.020], 2: [0.500], 3: []}, max_queue_depth=4
+    )
+    assert summary["sessions"] == 2  # the empty session contributes nothing
+    assert summary["session_max_ms"] == 500.0
+    assert summary["session_p50_ms"] == 257.5
+    assert summary["max_queue_depth"] == 4
+    assert "max_queue_depth" not in fairness_summary({1: [0.01]})
+
+
+def test_merge_registry_snapshots_prefixes_and_sorts():
+    merged = merge_registry_snapshots(
+        {
+            "shard1": {"enabled": True, "sample_every": 2,
+                       "metrics": {"b": {"type": "counter", "value": 1}}},
+            "shard0": {"enabled": False, "sample_every": 1,
+                       "metrics": {"a": {"type": "counter", "value": 2}}},
+        }
+    )
+    assert merged["enabled"] is True
+    assert merged["sample_every"] == 2
+    assert list(merged["metrics"]) == ["shard0.a", "shard1.b"]
+
+
+def test_snapshot_document_schema_and_canonical_write(tmp_path):
+    document = snapshot_document(
+        source="sim:test",
+        registry_snapshot={"enabled": True, "sample_every": 1, "metrics": {}},
+        extra={"zeta": 1, "alpha": 2},
+    )
+    assert document["schema"] == OBS_SNAPSHOT_SCHEMA
+    assert document["source"] == "sim:test"
+    path = tmp_path / "snap.json"
+    write_snapshot(document, str(path))
+    assert path.read_text() == canonical_json(document)

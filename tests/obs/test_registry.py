@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry: instruments, sampling, null path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+)
+
+
+def test_counter_increments_and_snapshots():
+    counter = Counter("ops")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.snapshot() == {"type": "counter", "value": 5}
+
+
+def test_gauge_set_and_watermark():
+    gauge = Gauge("depth")
+    gauge.set(3)
+    gauge.update_max(1)
+    assert gauge.value == 3
+    gauge.update_max(7)
+    assert gauge.value == 7
+    assert gauge.snapshot() == {"type": "gauge", "value": 7}
+
+
+def test_callback_gauge_reads_lazily():
+    box = {"n": 0}
+    gauge = Gauge("pending")
+    gauge.set_function(lambda: box["n"])
+    box["n"] = 42
+    assert gauge.value == 42
+    # update_max must not clobber a callback gauge
+    gauge.update_max(10_000)
+    assert gauge.value == 42
+
+
+def test_histogram_buckets_and_overflow():
+    histogram = Histogram("wait", bounds=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["buckets"] == [[1.0, 1], [10.0, 1], [100.0, 1]]
+    assert snap["overflow"] == 1
+    assert snap["observed"] == 4
+    assert snap["recorded"] == 4
+    assert snap["max"] == 500.0
+
+
+def test_histogram_stride_sampling_is_deterministic():
+    def run() -> dict:
+        histogram = Histogram("wait", bounds=(10.0,), sample_every=3)
+        for value in range(1, 8):  # 7 observations
+            histogram.observe(float(value))
+        return histogram.snapshot()
+
+    first, second = run(), run()
+    # Every call is counted; only every 3rd (starting with the 1st) recorded.
+    assert first["observed"] == 7
+    assert first["recorded"] == 3
+    # Stride sampling, not random sampling: replays agree byte-for-byte.
+    assert first == second
+
+
+def test_histogram_rejects_bad_bounds_and_stride():
+    with pytest.raises(ExperimentError):
+        Histogram("bad", bounds=(10.0, 1.0))
+    with pytest.raises(ExperimentError):
+        Histogram("bad", bounds=())
+    with pytest.raises(ExperimentError):
+        Histogram("bad", sample_every=0)
+    with pytest.raises(ExperimentError):
+        MetricsRegistry(sample_every=0)
+
+
+def test_enabled_registry_registers_once_by_name():
+    registry = MetricsRegistry()
+    counter = registry.counter("ops")
+    assert registry.counter("ops") is counter
+    gauge = registry.gauge("depth")
+    assert registry.gauge("depth") is gauge
+    histogram = registry.histogram("wait")
+    assert registry.histogram("wait") is histogram
+    assert histogram.bounds == DEFAULT_LATENCY_BUCKETS_MS
+    counter.inc()
+    snap = registry.snapshot()
+    assert snap["enabled"] is True
+    assert sorted(snap["metrics"]) == ["depth", "ops", "wait"]
+    assert snap["metrics"]["ops"]["value"] == 1
+
+
+def test_disabled_registry_hands_out_shared_null_instruments():
+    registry = MetricsRegistry(enabled=False)
+    assert registry.counter("ops") is NULL_COUNTER
+    assert registry.gauge("depth") is NULL_GAUGE
+    assert registry.histogram("wait") is NULL_HISTOGRAM
+    # The null instruments swallow everything without recording.
+    NULL_COUNTER.inc()
+    NULL_GAUGE.set(9)
+    NULL_GAUGE.update_max(9)
+    NULL_HISTOGRAM.observe(1.0)
+    assert NULL_COUNTER.value == 0
+    assert NULL_GAUGE.value == 0
+    assert NULL_HISTOGRAM.observed == 0
+    assert registry.snapshot() == {
+        "enabled": False,
+        "sample_every": 1,
+        "metrics": {},
+    }
+
+
+def test_null_registry_is_disabled():
+    assert NULL_REGISTRY.enabled is False
+    assert NULL_REGISTRY.counter("anything") is NULL_COUNTER
+
+
+def test_registry_sampling_knob_reaches_histograms():
+    registry = MetricsRegistry(sample_every=2)
+    histogram = registry.histogram("wait")
+    for value in (1.0, 2.0, 3.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["observed"] == 3
+    assert snap["recorded"] == 2

@@ -231,6 +231,42 @@ def test_min_merge_is_conservative_on_failover_measurements():
     assert failover["availability"] == 0.95  # floor
 
 
+def synthetic_fairness_document(p99: float, depth: int) -> dict:
+    document = synthetic_document(2000.0, 5.0)
+    document["scenarios"][0]["timing"]["fairness"] = {
+        "sessions": 6,
+        "session_p50_ms": p99 / 2,
+        "session_p99_ms": p99,
+        "session_max_ms": p99 * 1.2,
+        "max_queue_depth": depth,
+    }
+    return document
+
+
+def test_min_merge_takes_the_worst_fairness_spread():
+    merged = min_merge_lockbench_documents(
+        [synthetic_fairness_document(4.0, 2), synthetic_fairness_document(9.0, 5)]
+    )
+    fairness = merged["scenarios"][0]["timing"]["fairness"]
+    assert fairness["sessions"] == 6  # identity, never merged
+    assert fairness["session_p99_ms"] == 9.0
+    assert fairness["session_max_ms"] == pytest.approx(10.8)
+    assert fairness["max_queue_depth"] == 5
+
+
+def test_min_merge_adopts_fairness_when_one_side_lacks_it():
+    # Older committed documents predate the fairness block; a calibration
+    # run that carries one must not be discarded against them.
+    merged = min_merge_lockbench_documents(
+        [synthetic_document(2000.0, 5.0), synthetic_fairness_document(4.0, 2)]
+    )
+    assert merged["scenarios"][0]["timing"]["fairness"]["max_queue_depth"] == 2
+    flipped = min_merge_lockbench_documents(
+        [synthetic_fairness_document(4.0, 2), synthetic_document(2000.0, 5.0)]
+    )
+    assert flipped["scenarios"][0]["timing"]["fairness"]["session_p99_ms"] == 4.0
+
+
 def test_min_merge_rejects_exclusion_violation_drift():
     clean = synthetic_fault_document(30.0, 0.99)
     dirty = synthetic_fault_document(30.0, 0.99)

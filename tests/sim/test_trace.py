@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.sim.trace import TraceEvent, TraceRecorder
+
+SPECS_DIR = Path(__file__).resolve().parents[2] / "examples" / "specs"
 
 
 def test_record_and_read_back():
@@ -88,3 +92,84 @@ def test_format_truncates_at_limit():
     text = trace.format(limit=3)
     assert "7 more events" in text
     assert len(text.splitlines()) == 4
+
+
+def test_subscribers_see_every_event_while_enabled():
+    trace = TraceRecorder()
+    seen = []
+    callback = trace.subscribe(seen.append)
+    trace.record(0.0, "send", 1, to=2)
+    trace.record(1.0, "receive", 2, sender=1)
+    assert [event.category for event in seen] == ["send", "receive"]
+    assert seen[0].detail == {"to": 2}
+    trace.unsubscribe(callback)
+    trace.record(2.0, "send", 3)
+    assert len(seen) == 2  # unsubscribed callbacks stop firing
+    assert len(trace) == 3  # ...but the buffer keeps recording
+
+
+def test_subscribe_returns_the_callback():
+    trace = TraceRecorder()
+
+    def callback(event):
+        pass
+
+    assert trace.subscribe(callback) is callback
+
+
+def test_subscribers_stream_past_a_full_buffer():
+    # The capacity bounds the *buffer*; subscribers are the streaming path
+    # around it, so they keep seeing events the ring drops.
+    trace = TraceRecorder(capacity=1)
+    seen = []
+    trace.subscribe(seen.append)
+    for index in range(4):
+        trace.record(float(index), "send", index)
+    assert len(trace) == 1
+    assert trace.dropped == 3
+    assert len(seen) == 4
+
+
+def test_subscribers_silent_while_disabled():
+    trace = TraceRecorder(enabled=False)
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(0.0, "send", 1)
+    assert seen == []
+
+
+def test_multiple_subscribers_all_fire():
+    trace = TraceRecorder()
+    first, second = [], []
+    trace.subscribe(first.append)
+    trace.subscribe(second.append)
+    trace.record(0.0, "send", 1)
+    assert len(first) == len(second) == 1
+
+
+def test_chrome_trace_replay_is_byte_identical():
+    """A committed spec replays to a byte-identical Chrome trace document.
+
+    This is the deterministic-replay contract of the exporter: same spec,
+    same trace bytes — the sim side of the obs acceptance criterion.
+    """
+    import dataclasses
+
+    from repro.obs.chrome_trace import chrome_trace_document, sim_trace_events
+    from repro.spec import ExperimentSpec
+    from repro.sweep import canonical_json
+    from repro.workload.driver import ExperimentDriver
+
+    spec = ExperimentSpec.load(str(SPECS_DIR / "dag_star50_heavy_crash_recover.json"))
+    spec = dataclasses.replace(spec, record_trace=True)
+
+    def export() -> str:
+        driver = ExperimentDriver.from_spec(spec)
+        driver.run(max_events=5_000_000)
+        events = sim_trace_events(driver.system.trace.events)
+        assert events, "the committed spec must produce trace events"
+        return canonical_json(
+            chrome_trace_document(events, metadata={"source": spec.name})
+        )
+
+    assert export() == export()

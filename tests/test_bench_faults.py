@@ -101,3 +101,26 @@ def test_check_fault_baseline_gates_deterministic_fields_exactly():
         document["scenarios"], slow, tolerance=0.5
     )
     assert problems and all("ev/s" in problem for problem in problems)
+
+
+def test_partition_heal_rows_are_in_the_matrices_and_the_committed_doc():
+    import json
+    from pathlib import Path
+
+    names = [spec.name for spec in default_fault_matrix()]
+    assert "dag-star-n50-heavy+partition-heal" in names
+    assert "ricart-agrawala-star-n50-heavy+partition-heal" in names
+    smoke = [spec.name for spec in smoke_fault_matrix()]
+    assert "dag-star-n50-heavy+partition-heal" in smoke
+    committed = json.loads(
+        (Path(__file__).resolve().parents[1] / "BENCH_faults.json").read_text()
+    )
+    rows = {row["scenario"]: row for row in committed["scenarios"]}
+    for name in (
+        "dag-star-n50-heavy+partition-heal",
+        "ricart-agrawala-star-n50-heavy+partition-heal",
+    ):
+        # The cut always lands; the heal only counts if the run is still
+        # going at heal time (dag drains its queue before the window ends).
+        assert rows[name]["total_faults"] >= 1
+        assert len(rows[name]["fault_log_sha256"]) == 64

@@ -545,3 +545,92 @@ def test_lockbench_calibrate_min_merges(capsys, tmp_path, monkeypatch):
     assert timing["locks_per_sec"] == 500.0  # slowest of the three runs
     assert timing["acquire_p99_ms"] == 3.0  # largest of the three runs
     assert calls == [1, 1, 1]
+
+
+# --------------------------------------------------------------------------- #
+# observability (repro obs / --trace)
+# --------------------------------------------------------------------------- #
+def test_run_trace_flag_writes_a_sim_chrome_trace(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "run", "dag", "star:9", "heavy:2", "--trace", str(trace_path),
+    )
+    assert code == 0
+    assert "trace events" in out
+    document = json.loads(trace_path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["source"] == "sim:dag-star-n9-heavy"
+    assert document["traceEvents"], "a heavy cell must emit trace events"
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert "X" in phases  # waiting / critical_section spans made it through
+
+
+def test_obs_sim_snapshot_and_trace_are_deterministic(capsys, tmp_path):
+    import json
+
+    spec_path = tmp_path / "cell.json"
+    code, _ = run_cli(
+        capsys, "run", "dag", "star:9", "heavy:2",
+        "--save-spec", str(spec_path), "--print-spec",
+    )
+    assert code == 0
+
+    def probe(tag: str):
+        snapshot = tmp_path / f"snap_{tag}.json"
+        trace = tmp_path / f"trace_{tag}.json"
+        code, _ = run_cli(
+            capsys, "obs", "--spec", str(spec_path),
+            "--snapshot", str(snapshot), "--trace", str(trace),
+        )
+        assert code == 0
+        return snapshot.read_bytes(), trace.read_bytes()
+
+    first, second = probe("a"), probe("b")
+    assert first == second  # same spec, byte-identical documents
+    snapshot = json.loads(first[0])
+    assert snapshot["schema"] == "obs-snapshot/v1"
+    assert snapshot["source"] == "sim:dag-star-n9-heavy"
+    assert snapshot["registry"]["metrics"]["sim.processed_events"]["value"] > 0
+    assert snapshot["entries"] > 0
+
+
+def test_obs_rejects_a_run_without_outputs(capsys, tmp_path):
+    spec_path = tmp_path / "cell.json"
+    code, _ = run_cli(
+        capsys, "run", "dag", "star:9", "heavy:2",
+        "--save-spec", str(spec_path), "--print-spec",
+    )
+    assert code == 0
+    assert main(["obs", "--spec", str(spec_path)]) == 2
+    assert "--snapshot" in capsys.readouterr().err
+
+
+def test_lockbench_trace_flag_writes_a_chrome_trace(capsys, tmp_path, monkeypatch):
+    import json
+
+    from repro.runtime import lockbench as lockbench_module
+
+    tiny = [
+        lockbench_module.LockBenchScenario(
+            shards=2, clients=5, locks=3, ops=2, channels=2
+        )
+    ]
+    monkeypatch.setattr(lockbench_module, "smoke_lockbench_matrix", lambda: tiny)
+    trace_path = tmp_path / "trace.json"
+    code, out = run_cli(capsys, "lockbench", "--smoke", "--trace", str(trace_path))
+    assert code == 0
+    assert "trace events" in out
+    document = json.loads(trace_path.read_text())
+    assert document["otherData"]["source"] == "lockbench"
+    assert document["otherData"]["scenarios"] == ["unix-s2-c5-k3-o2"]
+    assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+def test_lockbench_trace_rejects_calibrate(capsys, tmp_path):
+    code, _ = run_cli(
+        capsys, "lockbench", "--smoke", "--calibrate", "2",
+        "--trace", str(tmp_path / "trace.json"),
+    )
+    assert code == 2

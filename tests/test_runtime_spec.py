@@ -132,3 +132,29 @@ def test_runtime_fault_validation():
         RuntimeSpec(heartbeat_interval=0.0)
     with pytest.raises(ExperimentError, match="miss_window"):
         RuntimeSpec(heartbeat_interval=0.5, miss_window=0.5)
+
+
+# --------------------------------------------------------------------------- #
+# the obs section
+# --------------------------------------------------------------------------- #
+def test_obs_section_round_trips():
+    from repro.spec import ObsSpec
+
+    spec = RuntimeSpec(obs=ObsSpec(enabled=True, sample_every=4, trace=True))
+    restored = RuntimeSpec.from_dict(spec.to_dict())
+    assert restored == spec
+    assert restored.obs.sample_every == 4
+    # absent obs serializes as an explicit null and restores as None
+    assert RuntimeSpec().to_dict()["obs"] is None
+    assert RuntimeSpec.from_dict(RuntimeSpec().to_dict()).obs is None
+
+
+def test_obs_validation():
+    from repro.spec import ObsSpec
+
+    with pytest.raises(ExperimentError, match="sample_every"):
+        ObsSpec(sample_every=0)
+    with pytest.raises(ExperimentError, match="trace_capacity"):
+        ObsSpec(trace_capacity=0)
+    with pytest.raises(ExperimentError, match="unknown"):
+        ObsSpec.from_dict({"enabled": True, "verbosity": 9})

@@ -449,11 +449,21 @@ def test_committed_example_spec_replays_legacy_acceptance_cell():
 def test_all_committed_example_specs_load_and_round_trip():
     from pathlib import Path
 
+    from repro.spec import RuntimeSpec
+
     spec_dir = Path(__file__).resolve().parent.parent / "examples" / "specs"
     paths = sorted(spec_dir.glob("*.json"))
     assert len(paths) >= 3, "examples/specs should ship at least 3 spec files"
     for path in paths:
-        spec = ExperimentSpec.load(str(path))
+        # The directory commits both worlds; dispatch on the schema key the
+        # way `repro run --spec` does.
+        payload = json.loads(path.read_text())
+        loader = (
+            RuntimeSpec
+            if payload.get("schema") == "runtime-spec/v1"
+            else ExperimentSpec
+        )
+        spec = loader.load(str(path))
         # Committed files are in canonical form: load -> dump is the identity.
         assert spec.canonical_json() == path.read_text()
 
@@ -494,3 +504,25 @@ def test_run_experiment_spec_rejects_every_overriding_argument():
         run_experiment(spec, collect_metrics=False)
     with pytest.raises(ExperimentError, match="pass only the spec"):
         run_experiment(spec, record_trace=True)
+
+
+def test_experiment_spec_obs_section_round_trips():
+    import dataclasses
+
+    from repro.spec import ObsSpec
+
+    base = ExperimentSpec.parse("dag", "star:9", "light")
+    assert base.obs is None
+    assert json.loads(base.canonical_json())["obs"] is None  # explicit null
+    spec = dataclasses.replace(
+        base, obs=ObsSpec(enabled=True, sample_every=8, trace=True)
+    )
+    restored = ExperimentSpec.from_json(spec.canonical_json())
+    assert restored == spec
+    assert restored.obs.sample_every == 8
+    # the obs section never changes the cell's identity...
+    assert restored.name == base.name
+    # ...nor its virtual-time outcome (instrumentation is observation only)
+    assert spec.run(max_events=200_000).entry_order == base.run(
+        max_events=200_000
+    ).entry_order
